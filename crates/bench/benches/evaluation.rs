@@ -1,0 +1,61 @@
+//! Evaluation-harness benchmarks: full-ranking scoring throughput for
+//! score-based and generative models, negative mining for Table V, and
+//! metric aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcrec_bench::setup::{dataset, item_embeddings, Scale};
+use lcrec_eval::{build_negatives, top_k, NegativeKind, RankingMetrics};
+use lcrec_seqrec::{RecConfig, SasRec, ScoreModel, TrainingPairs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_score_and_rank(c: &mut Criterion) {
+    let ds = dataset(Scale::Tiny, "Games");
+    let mut cfg = RecConfig::test();
+    cfg.epochs = 1;
+    let pairs = TrainingPairs::build(&ds, cfg.max_len);
+    let mut sas = SasRec::new(ds.num_items(), cfg);
+    sas.fit(&pairs);
+    let (ctx, _) = ds.test_example(0);
+    let mut g = c.benchmark_group("ranking");
+    g.bench_function("sasrec_score_all", |b| b.iter(|| black_box(sas.score_all(0, ctx))));
+    let scores = sas.score_all(0, ctx);
+    g.bench_function("top_k_20", |b| b.iter(|| black_box(top_k(&scores, 20))));
+    g.finish();
+}
+
+fn bench_negative_mining(c: &mut Criterion) {
+    let ds = dataset(Scale::Tiny, "Games");
+    let emb = item_embeddings(&ds);
+    c.bench_function("table5_language_negatives", |b| {
+        b.iter(|| black_box(build_negatives(&ds, NegativeKind::Language, &emb, &emb, 3)))
+    });
+}
+
+fn bench_metric_aggregation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    use rand::Rng;
+    let examples: Vec<(Vec<u32>, u32)> = (0..1000)
+        .map(|_| {
+            let ranked: Vec<u32> = (0..20).map(|_| rng.random_range(0..500)).collect();
+            (ranked, rng.random_range(0..500))
+        })
+        .collect();
+    c.bench_function("metrics_1000_examples", |b| {
+        b.iter(|| {
+            let mut m = RankingMetrics::default();
+            for (ranked, target) in &examples {
+                m.push(ranked, *target);
+            }
+            black_box(m.finalize())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_score_and_rank, bench_negative_mining, bench_metric_aggregation
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Benchmarks for the item-indexing pipeline (§III-B): RQ-VAE quantization
+//! throughput, the Sinkhorn-Knopp solver, conflict resolution, and trie
+//! construction/lookup — the components behind Table III's LC-Rec rows and
+//! the Figure-2 indexing ablation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lcrec_bench::setup::{dataset, indices, item_embeddings, rq_config, Scale};
+use lcrec_rqvae::{sinkhorn_plan, IndexTrie, IndexerKind, RqVae, SinkhornConfig};
+use lcrec_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sinkhorn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sinkhorn");
+    for (n, k) in [(64usize, 16usize), (256, 32)] {
+        let cost = init::normal(&[n, k], 1.0, &mut StdRng::seed_from_u64(1)).map(f32::abs);
+        g.bench_function(format!("plan_{n}x{k}"), |b| {
+            b.iter(|| black_box(sinkhorn_plan(black_box(&cost), SinkhornConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let ds = dataset(Scale::Tiny, "Games");
+    let emb = item_embeddings(&ds);
+    let cfg = rq_config(Scale::Tiny, ds.num_items());
+    let mut model = RqVae::new(cfg);
+    model.warm_start(&emb);
+    let z = model.encode(&emb);
+    let mut g = c.benchmark_group("rqvae");
+    g.bench_function("quantize_greedy", |b| b.iter(|| black_box(model.quantize_greedy(&z))));
+    g.bench_function("quantize_usm", |b| b.iter(|| black_box(model.quantize_usm(&z))));
+    g.bench_function("train_step_epoch", |b| {
+        b.iter_batched(
+            || RqVae::new(rq_config(Scale::Tiny, ds.num_items())),
+            |mut m| {
+                let mut cfg2 = m.config().clone();
+                cfg2.epochs = 1;
+                let mut m2 = RqVae::new(cfg2);
+                std::mem::swap(&mut m, &mut m2);
+                black_box(m.train(&emb))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let ds = dataset(Scale::Tiny, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(Scale::Tiny, &ds, &emb, IndexerKind::LcRec);
+    let trie = IndexTrie::build(&idx);
+    let mut g = c.benchmark_group("trie");
+    g.bench_function("build", |b| b.iter(|| black_box(IndexTrie::build(&idx))));
+    g.bench_function("allowed_per_level", |b| {
+        b.iter(|| {
+            let mut prefix: Vec<u16> = Vec::new();
+            for _ in 0..idx.levels {
+                let allowed = trie.allowed(&prefix);
+                prefix.push(allowed[0]);
+            }
+            black_box(trie.item_at(&prefix))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    // Figure 4's projection cost.
+    let emb = init::normal(&[200, 48], 1.0, &mut StdRng::seed_from_u64(2));
+    c.bench_function("fig4_pca_fit_200x48", |b| {
+        b.iter(|| black_box(lcrec_tensor::linalg::Pca::fit(&emb, 2)))
+    });
+    let _ = Tensor::zeros(&[1]);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sinkhorn, bench_quantization, bench_trie, bench_pca
+}
+criterion_main!(benches);

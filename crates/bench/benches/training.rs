@@ -1,0 +1,87 @@
+//! Per-model training-step cost — the compute budget behind every row of
+//! Tables III and IV.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lcrec_bench::setup::{dataset, Scale};
+use lcrec_seqrec::{Bert4Rec, FmlpRec, Gru4Rec, RecConfig, SasRec, TrainingPairs};
+use std::hint::black_box;
+
+fn one_epoch_cfg() -> RecConfig {
+    let mut c = RecConfig::test();
+    c.epochs = 1;
+    c
+}
+
+fn bench_baseline_epochs(c: &mut Criterion) {
+    let ds = dataset(Scale::Tiny, "Games");
+    let pairs = TrainingPairs::build(&ds, 10);
+    let mut g = c.benchmark_group("baseline_train_epoch");
+    g.bench_function("sasrec", |b| {
+        b.iter_batched(
+            || SasRec::new(ds.num_items(), one_epoch_cfg()),
+            |mut m| black_box(m.fit(&pairs)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("gru4rec", |b| {
+        b.iter_batched(
+            || Gru4Rec::new(ds.num_items(), one_epoch_cfg()),
+            |mut m| black_box(m.fit(&pairs)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("bert4rec", |b| {
+        b.iter_batched(
+            || Bert4Rec::new(ds.num_items(), one_epoch_cfg()),
+            |mut m| black_box(m.fit(&pairs)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("fmlp", |b| {
+        b.iter_batched(
+            || FmlpRec::new(ds.num_items(), one_epoch_cfg()),
+            |mut m| black_box(m.fit(&pairs)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_lm_steps(c: &mut Criterion) {
+    use lcrec_core::{CausalLm, LmConfig};
+    use lcrec_tensor::Graph;
+    // One forward+backward of the LC-Rec LM at tiny scale.
+    let lm = CausalLm::new(LmConfig::test(200));
+    let tokens: Vec<u32> = (0..16 * 32).map(|i| (i % 190) as u32).collect();
+    let targets: Vec<u32> = tokens.iter().map(|&t| (t + 1) % 190).collect();
+    c.bench_function("lm_forward_backward_b16_t32", |b| {
+        b.iter_batched(
+            || CausalLm::new(LmConfig::test(200)),
+            |mut fresh| {
+                let mut g = Graph::new();
+                let logits = fresh.forward_logits(&mut g, &tokens, 16, 32);
+                let loss = g.cross_entropy(logits, &targets, u32::MAX);
+                let ps = fresh.store_mut();
+                ps.zero_grads();
+                g.backward(loss, ps);
+                black_box(ps.grad_norm())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let _ = &lm;
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    use lcrec_data::{Dataset, DatasetConfig};
+    c.bench_function("dataset_generate_tiny", |b| {
+        b.iter(|| black_box(Dataset::generate(&DatasetConfig::tiny())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baseline_epochs, bench_lm_steps, bench_dataset_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|all \
+//!       [--scale tiny|small] [--out results]
+//! ```
+//!
+//! Markdown goes to stdout and `<out>/<exp>.md`; CSV artifacts (Figure 4)
+//! go to `<out>/`.
+
+use lcrec_bench::experiments as exp;
+use lcrec_bench::{ExpOutput, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut which = "all".to_string();
+    let mut scale = Scale::Small;
+    let mut out_dir = "results".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                which = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                let s = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                scale = Scale::parse(&s).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--out" => {
+                out_dir = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "calib"];
+    // `--exp` accepts a single id, a comma-separated list (run in the
+    // given order, sharing the in-process model cache), or "all".
+    let selected: Vec<&str> = if which == "all" {
+        all.to_vec()
+    } else {
+        let parts: Vec<&str> = which.split(',').map(str::trim).collect();
+        if parts.iter().all(|p| all.contains(p)) {
+            parts
+        } else {
+            usage()
+        }
+    };
+
+    for name in selected {
+        let start = Instant::now();
+        eprintln!("[repro] running {name} at {scale:?} scale…");
+        let output: ExpOutput = match name {
+            "table2" => exp::table2(scale),
+            "table3" => exp::table3(scale),
+            "table4" => exp::table4(scale),
+            "fig2" => exp::fig2(scale),
+            "fig3" => exp::fig3(scale),
+            "fig4" => exp::fig4(scale),
+            "table5" => exp::table5(scale),
+            "fig5" => exp::fig5(scale),
+            "fig6" => exp::fig6(scale),
+            "sweeps" => exp::sweeps(scale),
+            "calib" => exp::calib(scale),
+            _ => unreachable!(),
+        };
+        println!("{}", output.markdown);
+        std::fs::write(format!("{out_dir}/{name}.md"), &output.markdown).expect("write markdown");
+        for (file, contents) in &output.artifacts {
+            std::fs::write(format!("{out_dir}/{file}"), contents).expect("write artifact");
+        }
+        eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f32());
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|calib|all] \
+         [--scale tiny|small] [--out DIR]"
+    );
+    std::process::exit(2);
+}

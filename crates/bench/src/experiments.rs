@@ -1,0 +1,594 @@
+//! One function per table/figure of the paper's evaluation section.
+//! Each returns markdown (plus optional CSV artifacts) in the same
+//! row/column layout as the paper, regenerated from scratch.
+
+use crate::setup::{
+    dataset, dataset_suite, indices, item_embeddings, rec_config, train_lcrec, train_lcrec_cached,
+    train_p5cid, train_tiger, Scale,
+};
+use lcrec_core::casestudy;
+use lcrec_core::{LcRec, LcRecRanker, TextSimilarityScorer};
+use lcrec_data::{Dataset, InstructionBuilder, Seg, TaskSet};
+use lcrec_eval::{
+    build_negatives, evaluate_test, pairwise_accuracy, NegativeKind, PairwiseScorer, Projection,
+    Ranker, RankingMetrics,
+};
+use lcrec_eval::report::{fmt_metric, improvement_row, markdown_table, metrics_table};
+use lcrec_rqvae::IndexerKind;
+use lcrec_seqrec::{
+    Bert4Rec, Caser, Dssm, DssmConfig, Fdsa, FmlpRec, Gru4Rec, Hgn, S3Rec, SasRec, ScoreModel,
+    ScoreRanker, TrainingPairs,
+};
+use lcrec_tensor::Tensor;
+
+/// A rendered experiment: markdown plus optional CSV artifacts.
+pub struct ExpOutput {
+    /// Markdown report section.
+    pub markdown: String,
+    /// `(filename, contents)` artifacts (e.g. Figure-4 CSVs).
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl ExpOutput {
+    fn text(markdown: String) -> Self {
+        ExpOutput { markdown, artifacts: Vec::new() }
+    }
+}
+
+/// How many evaluation templates LC-Rec metrics are averaged over
+/// (the paper averages multiple instruction templates).
+const EVAL_TEMPLATES: usize = 2;
+
+fn eval_lcrec(model: &LcRec, ds: &Dataset, k: usize) -> RankingMetrics {
+    let runs: Vec<RankingMetrics> = (0..EVAL_TEMPLATES)
+        .map(|t| {
+            let ranker = LcRecRanker { model, builder: InstructionBuilder::new(ds), template: t };
+            evaluate_test(&ranker, ds, k)
+        })
+        .collect();
+    RankingMetrics::average(&runs)
+}
+
+// ------------------------------------------------------------------ Table II
+
+/// Table II: statistics of the preprocessed datasets.
+pub fn table2(scale: Scale) -> ExpOutput {
+    let mut rows = Vec::new();
+    for ds in dataset_suite(scale) {
+        let st = ds.stats();
+        rows.push(vec![
+            ds.catalog.taxonomy.name.to_string(),
+            st.users.to_string(),
+            st.items.to_string(),
+            st.interactions.to_string(),
+            format!("{:.2}%", st.sparsity * 100.0),
+            format!("{:.2}", st.avg_len),
+        ]);
+    }
+    let md = format!(
+        "## Table II — dataset statistics\n\n{}",
+        markdown_table(&["Dataset", "#Users", "#Items", "#Interactions", "Sparsity", "Avg. len"], &rows)
+    );
+    ExpOutput::text(md)
+}
+
+// ----------------------------------------------------------------- Table III
+
+/// Trains and evaluates every baseline plus LC-Rec on one dataset.
+pub fn table3_dataset(scale: Scale, ds: &Dataset) -> Vec<(String, RankingMetrics)> {
+    eprintln!("[repro]  dataset {} ({} users, {} items)", ds.catalog.taxonomy.name, ds.num_users(), ds.num_items());
+    let k = 20;
+    let cfg = rec_config(scale);
+    let pairs = TrainingPairs::build(ds, cfg.max_len);
+    let mut results: Vec<(String, RankingMetrics)> = Vec::new();
+
+    let mut caser = Caser::new(ds.num_items(), ds.num_users(), cfg.clone());
+    caser.fit(ds);
+    eprintln!("[repro]   Caser done");
+    results.push(("Caser".into(), evaluate_test(&ScoreRanker(&caser), ds, k)));
+
+    let mut hgn = Hgn::new(ds.num_items(), ds.num_users(), cfg.clone());
+    hgn.fit(ds);
+    eprintln!("[repro]   HGN done");
+    results.push(("HGN".into(), evaluate_test(&ScoreRanker(&hgn), ds, k)));
+
+    let mut gru = Gru4Rec::new(ds.num_items(), cfg.clone());
+    gru.fit(&pairs);
+    eprintln!("[repro]   GRU4Rec done");
+    results.push(("GRU4Rec".into(), evaluate_test(&ScoreRanker(&gru), ds, k)));
+
+    let mut bert = Bert4Rec::new(ds.num_items(), cfg.clone());
+    bert.fit(&pairs);
+    eprintln!("[repro]   BERT4Rec done");
+    results.push(("BERT4Rec".into(), evaluate_test(&ScoreRanker(&bert), ds, k)));
+
+    let mut sas = SasRec::new(ds.num_items(), cfg.clone());
+    sas.fit(&pairs);
+    eprintln!("[repro]   SASRec done");
+    results.push(("SASRec".into(), evaluate_test(&ScoreRanker(&sas), ds, k)));
+
+    let mut fmlp = FmlpRec::new(ds.num_items(), cfg.clone());
+    fmlp.fit(&pairs);
+    eprintln!("[repro]   FMLP-Rec done");
+    results.push(("FMLP-Rec".into(), evaluate_test(&ScoreRanker(&fmlp), ds, k)));
+
+    let mut fdsa = Fdsa::new(ds, cfg.clone());
+    fdsa.fit(&pairs);
+    eprintln!("[repro]   FDSA done");
+    results.push(("FDSA".into(), evaluate_test(&ScoreRanker(&fdsa), ds, k)));
+
+    let mut s3 = S3Rec::new(ds, cfg.clone());
+    s3.fit(ds, &pairs);
+    eprintln!("[repro]   S3-Rec done");
+    results.push(("S3-Rec".into(), evaluate_test(&ScoreRanker(&s3), ds, k)));
+
+    let p5 = train_p5cid(scale, ds);
+    eprintln!("[repro]   P5-CID done");
+    results.push(("P5-CID".into(), evaluate_test(&p5, ds, k)));
+
+    let emb = item_embeddings(ds);
+    let idx = indices(scale, ds, &emb, IndexerKind::LcRec);
+    let tiger = train_tiger(scale, ds, idx.clone());
+    eprintln!("[repro]   TIGER done");
+    results.push(("TIGER".into(), evaluate_test(&tiger, ds, k)));
+
+    let lcrec = train_lcrec(scale, ds, idx, TaskSet::full());
+    eprintln!("[repro]   LC-Rec done");
+    results.push(("LC-Rec".into(), eval_lcrec(&lcrec, ds, k)));
+
+    results
+}
+
+/// Table III: overall performance comparison across the three datasets.
+pub fn table3(scale: Scale) -> ExpOutput {
+    let mut md = String::from("## Table III — overall performance (full ranking)\n\n");
+    for ds in dataset_suite(scale) {
+        let results = table3_dataset(scale, &ds);
+        md.push_str(&metrics_table(ds.catalog.taxonomy.name, &results));
+        if let Some(imp) = improvement_row(&results) {
+            md.push_str(&format!(
+                "\nImprovement of LC-Rec over best baseline: HR@1 {:+.1}%, HR@5 {:+.1}%, HR@10 {:+.1}%, NDCG@5 {:+.1}%, NDCG@10 {:+.1}%\n\n",
+                imp[0], imp[1], imp[2], imp[3], imp[4]
+            ));
+        }
+    }
+    ExpOutput::text(md)
+}
+
+// ------------------------------------------------------------------ Table IV
+
+/// Table IV: cumulative ablation of the alignment tasks on Arts and Games.
+pub fn table4(scale: Scale) -> ExpOutput {
+    // The paper ablates on Arts and Games; the single-CPU small-scale run
+    // uses Games (the largest preset) — rerun with "Arts" added for both.
+    let names = vec!["Games"];
+    let _ = scale;
+    let mut md = String::from("## Table IV — ablation of semantic alignment tasks\n\n");
+    for name in names {
+        let ds = dataset(scale, name);
+        let emb = item_embeddings(&ds);
+        let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+        let mut results = Vec::new();
+        for (label, tasks) in TaskSet::ablation_ladder() {
+            let model = train_lcrec_cached(scale, &ds, idx.clone(), tasks, "lcrec");
+            results.push((label.to_string(), eval_lcrec(&model, &ds, 20)));
+        }
+        md.push_str(&metrics_table(ds.catalog.taxonomy.name, &results));
+        md.push('\n');
+    }
+    ExpOutput::text(md)
+}
+
+// ------------------------------------------------------------------ Figure 2
+
+/// Figure 2: indexing-method ablation (× SEQ-only / full alignment) on
+/// Games; reports HR@5 and NDCG@5 as in the paper's bars.
+pub fn fig2(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let mut rows = Vec::new();
+    for kind in IndexerKind::all() {
+        let idx = indices(scale, &ds, &emb, kind);
+        for (mode, tasks) in [("SEQ", TaskSet::seq_only()), ("w/ ALIGN", TaskSet::full())] {
+            let model = train_lcrec_cached(scale, &ds, idx.clone(), tasks, &format!("{kind:?}"));
+            let m = eval_lcrec(&model, &ds, 20);
+            rows.push(vec![
+                kind.label().to_string(),
+                mode.to_string(),
+                fmt_metric(m.hr5),
+                fmt_metric(m.ndcg5),
+            ]);
+        }
+    }
+    let md = format!(
+        "## Figure 2 — indexing methods × alignment (Games)\n\n{}",
+        markdown_table(&["Indexing", "Tuning", "HR@5", "NDCG@5"], &rows)
+    );
+    ExpOutput::text(md)
+}
+
+// ------------------------------------------------------------------ Figure 3
+
+struct IntentionRanker<'a> {
+    model: &'a LcRec,
+    builder: InstructionBuilder<'a>,
+}
+
+impl Ranker for IntentionRanker<'_> {
+    fn rank(&self, user: usize, _history: &[u32], k: usize) -> Vec<u32> {
+        let (segs, _) = self.builder.intention_eval_prompt(user);
+        self.model.recommend_prompt(&segs, k).into_iter().take(k).map(|h| h.item).collect()
+    }
+
+    fn name(&self) -> String {
+        "LC-Rec".into()
+    }
+}
+
+struct DssmRanker<'a> {
+    model: &'a Dssm,
+    builder: InstructionBuilder<'a>,
+}
+
+impl Ranker for DssmRanker<'_> {
+    fn rank(&self, user: usize, _history: &[u32], k: usize) -> Vec<u32> {
+        let (query, _) = self.builder.intention_query(user);
+        lcrec_eval::top_k(&self.model.score_query(&query), k)
+    }
+
+    fn name(&self) -> String {
+        "DSSM".into()
+    }
+}
+
+/// Figure 3: item prediction from user intentions — DSSM vs LC-Rec and
+/// the zero-shot LC-Rec variant never trained on the intention task.
+pub fn fig3(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+
+    let mut dssm = Dssm::new(&ds, match scale {
+        Scale::Small => DssmConfig::small(),
+        Scale::Tiny => DssmConfig { dim: 16, hidden: 24, temperature: 0.1, lr: 3e-3, epochs: 4, batch: 32, seed: 3 },
+    });
+    dssm.fit(&ds);
+
+    let full = train_lcrec_cached(scale, &ds, idx.clone(), TaskSet::full(), "lcrec");
+    // Zero-shot: trained on everything except the intention task.
+    let mut no_ite = TaskSet::full();
+    no_ite.ite = false;
+    let zero = train_lcrec_cached(scale, &ds, idx, no_ite, "lcrec");
+
+    let k = 20;
+    let results = vec![
+        ("DSSM".to_string(), evaluate_test(&DssmRanker { model: &dssm, builder: InstructionBuilder::new(&ds) }, &ds, k)),
+        ("LC-Rec (Zero-Shot)".to_string(),
+         evaluate_test(&IntentionRanker { model: &zero, builder: InstructionBuilder::new(&ds) }, &ds, k)),
+        ("LC-Rec".to_string(),
+         evaluate_test(&IntentionRanker { model: &full, builder: InstructionBuilder::new(&ds) }, &ds, k)),
+    ];
+    let md = format!("## Figure 3 — item prediction from user intention (Games)\n\n{}",
+        metrics_table("Games / intention retrieval", &results));
+    ExpOutput::text(md)
+}
+
+// ------------------------------------------------------------------ Figure 4
+
+/// Figure 4: PCA of token embeddings — SEQ-only vs full LC-Rec — plus the
+/// quantitative separation between index tokens and item-text tokens.
+pub fn fig4(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+    let seq_only = train_lcrec_cached(scale, &ds, idx.clone(), TaskSet::seq_only(), "lcrec");
+    let full = train_lcrec_cached(scale, &ds, idx, TaskSet::full(), "lcrec");
+
+    let mut artifacts = Vec::new();
+    let mut rows = Vec::new();
+    for (label, model) in [("SEQ only", &*seq_only), ("LC-Rec", &*full)] {
+        let (embm, labels) = model.embedding_groups(&ds);
+        let proj = Projection::pca_2d(
+            &embm,
+            labels.clone(),
+            vec!["item-index".into(), "item-text".into()],
+        );
+        let sep = proj.separation(0, 1);
+        let cosine = lcrec_eval::viz::cross_group_cosine(&embm, &labels, 0, 1);
+        rows.push(vec![label.to_string(), format!("{sep:.3}"), format!("{cosine:.4}")]);
+        artifacts.push((
+            format!("fig4_{}.csv", label.replace(' ', "_").to_lowercase()),
+            proj.to_csv(),
+        ));
+    }
+    let md = format!(
+        "## Figure 4 — token-embedding integration (Games)\n\n\
+         Lower separation / higher cross-group cosine = index tokens are\n\
+         integrated into the LM's semantic space.\n\n{}",
+        markdown_table(&["Tuning", "PCA separation (idx vs text)", "cross-group cosine"], &rows)
+    );
+    ExpOutput { markdown: md, artifacts }
+}
+
+// ------------------------------------------------------------------ Table V
+
+struct SasRecPairwise<'a>(&'a SasRec);
+
+impl PairwiseScorer for SasRecPairwise<'_> {
+    fn score(&self, user: usize, history: &[u32], item: u32) -> f64 {
+        self.0.score_all(user, history)[item as usize] as f64
+    }
+    fn name(&self) -> String {
+        "SASRec".into()
+    }
+}
+
+struct LcRecPairwise<'a> {
+    model: &'a LcRec,
+    builder: InstructionBuilder<'a>,
+}
+
+impl PairwiseScorer for LcRecPairwise<'_> {
+    fn score(&self, _user: usize, history: &[u32], item: u32) -> f64 {
+        let segs = self.builder.seq_eval_prompt(history);
+        self.model.score_item(&segs, item) as f64
+    }
+    fn name(&self) -> String {
+        "LC-Rec".into()
+    }
+}
+
+struct LcRecTitlePairwise<'a> {
+    model: &'a LcRec,
+    ds: &'a Dataset,
+}
+
+impl PairwiseScorer for LcRecTitlePairwise<'_> {
+    fn score(&self, _user: usize, history: &[u32], item: u32) -> f64 {
+        let segs = [
+            Seg::Text("based on the interaction history predict the title of the item the user may need next".into()),
+            Seg::Items(history.to_vec()),
+        ];
+        self.model.score_text(&segs, &self.ds.catalog.item(item).title) as f64
+    }
+    fn name(&self) -> String {
+        "LC-Rec (Title)".into()
+    }
+}
+
+/// Table V: pairwise accuracy against language- / collaborative- / random-
+/// similar negatives.
+pub fn table5(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let text_emb = item_embeddings(&ds);
+    let cfg = rec_config(scale);
+    let pairs = TrainingPairs::build(&ds, cfg.max_len);
+    let mut sas = SasRec::new(ds.num_items(), cfg);
+    sas.fit(&pairs);
+    let collab_emb: Tensor = sas.item_embeddings().expect("sasrec has item matrix");
+
+    let idx = indices(scale, &ds, &text_emb, IndexerKind::LcRec);
+    let lcrec = train_lcrec_cached(scale, &ds, idx, TaskSet::full(), "lcrec");
+
+    let llama = TextSimilarityScorer::llama(&ds);
+    let chatgpt = TextSimilarityScorer::chatgpt(&ds);
+    let sas_scorer = SasRecPairwise(&sas);
+    let lcrec_title = LcRecTitlePairwise { model: &lcrec, ds: &ds };
+    let lcrec_scorer = LcRecPairwise { model: &lcrec, builder: InstructionBuilder::new(&ds) };
+    let scorers: Vec<&dyn PairwiseScorer> =
+        vec![&sas_scorer, &llama, &chatgpt, &lcrec_title, &lcrec_scorer];
+
+    let kinds =
+        [NegativeKind::Language, NegativeKind::Collaborative, NegativeKind::Random];
+    let negatives: Vec<Vec<(usize, u32, u32)>> = kinds
+        .iter()
+        .map(|&k| build_negatives(&ds, k, &text_emb, &collab_emb, 0x7AB5))
+        .collect();
+
+    let mut rows = Vec::new();
+    for s in &scorers {
+        let mut row = vec![s.name()];
+        for neg in &negatives {
+            row.push(format!("{:.2}", pairwise_accuracy(*s, &ds, neg)));
+        }
+        rows.push(row);
+    }
+    let md = format!(
+        "## Table V — accuracy on semantically similar negatives (Games)\n\n{}",
+        markdown_table(
+            &["Method", "Language Neg.", "Collaborative Neg.", "Random Neg."],
+            &rows
+        )
+    );
+    ExpOutput::text(md)
+}
+
+// ------------------------------------------------------------- Figures 5 & 6
+
+/// Figure 5: case studies — titles generated from growing index prefixes,
+/// and related-item generation vs text-similarity retrieval.
+pub fn fig5(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+    let model = train_lcrec_cached(scale, &ds, idx, TaskSet::full(), "lcrec");
+    let levels = model.vocab().indices().levels;
+
+    let mut md = String::from("## Figure 5 — case studies\n\n### (a) titles from index prefixes\n\n");
+    for item in [0u32, 1, 2] {
+        let truth = &ds.catalog.item(item).title;
+        md.push_str(&format!("**item {item}** (`{}`), true title: *{truth}*\n\n", model.vocab().indices().format(item)));
+        for used in 1..=levels {
+            let gen = casestudy::title_from_prefix(&model, item, used);
+            md.push_str(&format!("- {used} index level(s): {gen}\n"));
+        }
+        md.push('\n');
+    }
+    md.push_str("### (b) related items: generated vs text-similar\n\n");
+    let mut rows = Vec::new();
+    for source in [3u32, 4, 5] {
+        let (generated, textual) = casestudy::related_items(&model, &ds, source);
+        rows.push(vec![
+            ds.catalog.item(source).title.clone(),
+            generated.map_or("(none)".into(), |g| ds.catalog.item(g).title.clone()),
+            ds.catalog.item(textual).title.clone(),
+        ]);
+    }
+    md.push_str(&markdown_table(&["Source item", "LC-Rec generated", "Text-embedding nearest"], &rows));
+    ExpOutput::text(md)
+}
+
+/// Figure 6: proportion of generated-content changes caused by each index
+/// level (coarse-to-fine decay).
+pub fn fig6(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+    let model = train_lcrec_cached(scale, &ds, idx, TaskSet::full(), "lcrec");
+    let sample = match scale {
+        Scale::Small => 120,
+        Scale::Tiny => 20,
+    };
+    let props = casestudy::level_change_proportions(&model, &ds, sample);
+    let rows: Vec<Vec<String>> = props
+        .iter()
+        .enumerate()
+        .map(|(l, p)| vec![format!("level {}", l + 1), format!("{:.3}", p)])
+        .collect();
+    let md = format!(
+        "## Figure 6 — content changes caused by each index level (Games)\n\n{}",
+        markdown_table(&["Index level", "Proportion of content change"], &rows)
+    );
+    ExpOutput::text(md)
+}
+
+/// Quick calibration: LC-Rec alone on Games with test-split metrics —
+/// used while tuning hyperparameters without re-running all of Table III.
+pub fn calib(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+    eprintln!("[repro]  indices ready ({} conflicts)", idx.conflicts());
+    let mut md = String::from("## calib — LC-Rec variants on Games\n\n");
+    for (label, tasks) in [("SEQ-only", TaskSet::seq_only()), ("full", TaskSet::full())] {
+        let t0 = std::time::Instant::now();
+        let mut model = lcrec_core::LcRec::build(&ds, idx.clone(), crate::setup::lcrec_config(scale, tasks));
+        let losses = model.fit(&ds);
+        eprintln!("[repro]  {label} trained in {:.0}s, losses {losses:?}", t0.elapsed().as_secs_f32());
+        let m = eval_lcrec(&model, &ds, 20);
+        let line = format!(
+            "{label}: HR@1 {:.4} HR@5 {:.4} HR@10 {:.4} NDCG@10 {:.4} ({} users)\n",
+            m.hr1, m.hr5, m.hr10, m.ndcg10, m.count
+        );
+        eprintln!("[repro]  {line}");
+        md.push_str(&line);
+    }
+    ExpOutput::text(md)
+}
+
+// ------------------------------------------------------- extra: design sweeps
+
+/// Design-choice sweeps beyond the paper's figures: RQ-VAE codebook size
+/// and depth (conflict rate, reconstruction error, vocabulary cost), and
+/// beam-width sensitivity of LC-Rec's full ranking.
+pub fn sweeps(scale: Scale) -> ExpOutput {
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let mut md = String::from("## Extra — design-choice sweeps (Games)\n\n### RQ-VAE codebook size K (H fixed)\n\n");
+
+    let mut rows = Vec::new();
+    for k in [8usize, 16, 32] {
+        let mut cfg = crate::setup::rq_config(scale, ds.num_items());
+        cfg.codebook_size = k;
+        let mut usm_off = cfg.clone();
+        usm_off.usm = false;
+        let mut model = lcrec_rqvae::RqVae::new(usm_off);
+        let report = model.train(&emb);
+        let z = model.encode(&emb);
+        let (codes, _) = model.quantize_greedy(&z);
+        let greedy_conflicts = lcrec_rqvae::ItemIndices::new(
+            vec![k; cfg.levels],
+            codes,
+        )
+        .conflicts();
+        let mut usm_model = lcrec_rqvae::RqVae::new(cfg.clone());
+        usm_model.train(&emb);
+        let usm_idx = usm_model.build_indices(&emb);
+        rows.push(vec![
+            k.to_string(),
+            greedy_conflicts.to_string(),
+            usm_idx.conflicts().to_string(),
+            format!("{:.4}", report.final_recon),
+            usm_idx.vocab_tokens().to_string(),
+        ]);
+    }
+    md.push_str(&markdown_table(
+        &["K", "conflicts (greedy)", "conflicts (USM)", "recon MSE", "extra vocab"],
+        &rows,
+    ));
+
+    md.push_str("\n### index depth H (K fixed)\n\n");
+    let mut rows = Vec::new();
+    for h in [2usize, 3, 4] {
+        let mut cfg = crate::setup::rq_config(scale, ds.num_items());
+        cfg.levels = h;
+        let mut model = lcrec_rqvae::RqVae::new(cfg.clone());
+        let report = model.train(&emb);
+        let idx = model.build_indices(&emb);
+        rows.push(vec![
+            h.to_string(),
+            idx.conflicts().to_string(),
+            format!("{:.4}", report.final_recon),
+            format!("{:.3}", idx.prefix_sharing(1)),
+        ]);
+    }
+    md.push_str(&markdown_table(&["H", "conflicts (USM)", "recon MSE", "level-1 sharing"], &rows));
+
+    md.push_str("\n### beam-width sensitivity of LC-Rec\n\n");
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+    let model = train_lcrec_cached(scale, &ds, idx, TaskSet::full(), "lcrec");
+    let mut rows = Vec::new();
+    for beam in [1usize, 5, 10, 20] {
+        let ranker = BeamRanker { model: &model, builder: InstructionBuilder::new(&ds), beam };
+        let m = evaluate_test(&ranker, &ds, beam.min(20));
+        rows.push(vec![
+            beam.to_string(),
+            fmt_metric(m.hr1),
+            fmt_metric(if beam >= 10 { m.hr10 } else { f64::NAN }),
+        ]);
+    }
+    md.push_str(&markdown_table(&["beam", "HR@1", "HR@10"], &rows));
+    ExpOutput::text(md)
+}
+
+struct BeamRanker<'a> {
+    model: &'a LcRec,
+    builder: InstructionBuilder<'a>,
+    beam: usize,
+}
+
+impl Ranker for BeamRanker<'_> {
+    fn rank(&self, _user: usize, history: &[u32], k: usize) -> Vec<u32> {
+        let segs = self.builder.seq_eval_prompt(history);
+        self.model.recommend_prompt(&segs, self.beam).into_iter().take(k).map(|h| h.item).collect()
+    }
+    fn name(&self) -> String {
+        format!("LC-Rec (beam {})", self.beam)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_datasets() {
+        let out = table2(Scale::Tiny);
+        assert!(out.markdown.contains("Tiny"));
+        assert!(out.markdown.contains("Sparsity"));
+    }
+
+    // The remaining experiment functions are exercised end-to-end (at tiny
+    // scale) by the workspace integration tests; running them all here
+    // would duplicate that cost in every `cargo test -p lcrec-bench`.
+}

@@ -1,0 +1,14 @@
+//! # lcrec-bench
+//!
+//! The experiment harness: one reproduction function per table/figure of
+//! the LC-Rec paper (see `experiments`), shared setup helpers, the `repro`
+//! binary that regenerates them, and Criterion micro-benchmarks for every
+//! performance-relevant component.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setup;
+
+pub use experiments::ExpOutput;
+pub use setup::Scale;

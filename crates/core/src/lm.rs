@@ -1,0 +1,566 @@
+//! The decoder-only causal language model — the LLaMA substitute.
+//!
+//! Architecture (LLaMA-flavoured at reduced scale): token + learned absolute
+//! position embeddings, pre-RMSNorm blocks with multi-head causal attention
+//! and gated-SiLU feed-forward, a final RMSNorm, and a weight-tied LM head.
+//! (The paper's backbone uses rotary embeddings; learned absolute positions
+//! are an equivalent-capacity substitute at this scale — see DESIGN.md.)
+//!
+//! Two execution paths:
+//! * **training** — define-by-run autograd graphs with teacher forcing and
+//!   response-only loss (Eqn. 7);
+//! * **inference** — a raw, allocation-light path with a per-sequence
+//!   [`KvCache`], the optimization the paper highlights in §III-D2.
+
+use lcrec_tensor::{
+    init, matmul_acc, softmax_rows, AdamW, Graph, ParamId, ParamStore, Schedule, Tensor, Var,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LM hyperparameters.
+#[derive(Clone, Debug)]
+pub struct LmConfig {
+    /// Vocabulary size (base words + index tokens).
+    pub vocab: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN hidden width.
+    pub ff_hidden: usize,
+    /// Maximum sequence length.
+    pub max_seq: usize,
+    /// Dropout during training.
+    pub dropout: f32,
+    /// Seed for initialization.
+    pub seed: u64,
+}
+
+impl LmConfig {
+    /// A configuration sized for the small dataset presets.
+    pub fn small(vocab: usize) -> Self {
+        LmConfig { vocab, dim: 48, layers: 2, heads: 4, ff_hidden: 96, max_seq: 112, dropout: 0.1, seed: 1234 }
+    }
+
+    /// A micro configuration for unit tests.
+    pub fn test(vocab: usize) -> Self {
+        LmConfig { vocab, dim: 16, layers: 1, heads: 2, ff_hidden: 32, max_seq: 48, dropout: 0.0, seed: 5 }
+    }
+}
+
+struct Block {
+    norm1: ParamId,
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+    wo: ParamId,
+    norm2: ParamId,
+    w_gate: ParamId,
+    w_up: ParamId,
+    w_down: ParamId,
+}
+
+/// The causal LM.
+pub struct CausalLm {
+    cfg: LmConfig,
+    ps: ParamStore,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    blocks: Vec<Block>,
+    final_norm: ParamId,
+}
+
+/// Per-sequence attention cache: keys/values for every layer and head.
+#[derive(Clone)]
+pub struct KvCache {
+    /// `k[layer]` is `[len, dim]` flattened (head-major within a row).
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    len: usize,
+}
+
+impl KvCache {
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl CausalLm {
+    /// Builds an untrained LM.
+    pub fn new(cfg: LmConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamStore::new();
+        let tok_emb = ps.add_no_decay("tok_emb", init::lm_default(&[cfg.vocab, cfg.dim], &mut rng));
+        let pos_emb = ps.add_no_decay("pos_emb", init::lm_default(&[cfg.max_seq, cfg.dim], &mut rng));
+        let blocks = (0..cfg.layers)
+            .map(|l| Block {
+                norm1: ps.add_no_decay(&format!("b{l}.norm1"), Tensor::full(&[cfg.dim], 1.0)),
+                wq: ps.add(&format!("b{l}.wq"), init::xavier(&[cfg.dim, cfg.dim], &mut rng)),
+                wk: ps.add(&format!("b{l}.wk"), init::xavier(&[cfg.dim, cfg.dim], &mut rng)),
+                wv: ps.add(&format!("b{l}.wv"), init::xavier(&[cfg.dim, cfg.dim], &mut rng)),
+                wo: ps.add(&format!("b{l}.wo"), init::xavier(&[cfg.dim, cfg.dim], &mut rng)),
+                norm2: ps.add_no_decay(&format!("b{l}.norm2"), Tensor::full(&[cfg.dim], 1.0)),
+                w_gate: ps.add(&format!("b{l}.w_gate"), init::xavier(&[cfg.dim, cfg.ff_hidden], &mut rng)),
+                w_up: ps.add(&format!("b{l}.w_up"), init::xavier(&[cfg.dim, cfg.ff_hidden], &mut rng)),
+                w_down: ps.add(&format!("b{l}.w_down"), init::xavier(&[cfg.ff_hidden, cfg.dim], &mut rng)),
+            })
+            .collect();
+        let final_norm = ps.add_no_decay("final_norm", Tensor::full(&[cfg.dim], 1.0));
+        CausalLm { cfg, ps, tok_emb, pos_emb, blocks, final_norm }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LmConfig {
+        &self.cfg
+    }
+
+    /// Total scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.ps.num_scalars()
+    }
+
+    /// The token-embedding matrix (for Figure 4's visualization).
+    pub fn token_embeddings(&self) -> &Tensor {
+        self.ps.value(self.tok_emb)
+    }
+
+    // ---------------------------------------------------------------- train
+
+    /// Graph forward over `[b, t]` right-padded token rows → logits
+    /// `[b*t, vocab]`.
+    pub fn forward_logits(&self, g: &mut Graph, tokens: &[u32], b: usize, t: usize) -> Var {
+        assert!(t <= self.cfg.max_seq, "sequence {t} exceeds max_seq {}", self.cfg.max_seq);
+        let table = g.param(&self.ps, self.tok_emb);
+        let x = g.embedding(table, tokens);
+        let pos_table = g.param(&self.ps, self.pos_emb);
+        let pos_ids: Vec<u32> = (0..b).flat_map(|_| 0..t as u32).collect();
+        let p = g.embedding(pos_table, &pos_ids);
+        let x = g.add(x, p);
+        let mut x = g.dropout(x, self.cfg.dropout);
+        let mask = crate::mask_cache(t);
+        for blk in &self.blocks {
+            x = self.block_forward(g, blk, x, b, t, &mask);
+        }
+        let gamma = g.param(&self.ps, self.final_norm);
+        let x = g.rms_norm(x, gamma, 1e-6);
+        g.matmul_nt(x, table)
+    }
+
+    fn block_forward(&self, g: &mut Graph, blk: &Block, x: Var, b: usize, t: usize, mask: &Tensor) -> Var {
+        let h = self.cfg.heads;
+        let dh = self.cfg.dim / h;
+        let g1 = g.param(&self.ps, blk.norm1);
+        let xn = g.rms_norm(x, g1, 1e-6);
+        let wq = g.param(&self.ps, blk.wq);
+        let wk = g.param(&self.ps, blk.wk);
+        let wv = g.param(&self.ps, blk.wv);
+        let q = g.matmul(xn, wq);
+        let k = g.matmul(xn, wk);
+        let v = g.matmul(xn, wv);
+        let qh = g.split_heads(q, b, t, h);
+        let kh = g.split_heads(k, b, t, h);
+        let vh = g.split_heads(v, b, t, h);
+        let scores = g.bmm_nt(qh, kh);
+        let scores = g.scale(scores, 1.0 / (dh as f32).sqrt());
+        let flat = g.reshape(scores, &[b * h * t, t]);
+        let masked = g.add_cycle_const(flat, mask);
+        let resh = g.reshape(masked, &[b * h, t, t]);
+        let probs = g.softmax(resh);
+        let probs = g.dropout(probs, self.cfg.dropout);
+        let ctx = g.bmm(probs, vh);
+        let merged = g.merge_heads(ctx, b, t, h);
+        let wo = g.param(&self.ps, blk.wo);
+        let att = g.matmul(merged, wo);
+        let att = g.dropout(att, self.cfg.dropout);
+        let x = g.add(x, att);
+        // Gated FFN.
+        let g2 = g.param(&self.ps, blk.norm2);
+        let xn2 = g.rms_norm(x, g2, 1e-6);
+        let wg = g.param(&self.ps, blk.w_gate);
+        let wu = g.param(&self.ps, blk.w_up);
+        let wd = g.param(&self.ps, blk.w_down);
+        let gate = g.matmul(xn2, wg);
+        let gate = g.silu(gate);
+        let up = g.matmul(xn2, wu);
+        let hid = g.mul(gate, up);
+        let down = g.matmul(hid, wd);
+        let down = g.dropout(down, self.cfg.dropout);
+        g.add(x, down)
+    }
+
+    /// Mutable parameter access (the trainer drives the optimizer).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    /// Immutable parameter access.
+    pub fn store(&self) -> &ParamStore {
+        &self.ps
+    }
+
+    // ------------------------------------------------------------- inference
+
+    /// An empty cache.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache {
+            k: vec![Vec::new(); self.cfg.layers],
+            v: vec![Vec::new(); self.cfg.layers],
+            len: 0,
+        }
+    }
+
+    /// Feeds one token through the raw inference path, appending to the
+    /// cache and returning the logits for the next position.
+    pub fn advance(&self, cache: &mut KvCache, token: u32) -> Vec<f32> {
+        let d = self.cfg.dim;
+        let h = self.cfg.heads;
+        let dh = d / h;
+        let pos = cache.len.min(self.cfg.max_seq - 1);
+        let tok_table = self.ps.value(self.tok_emb);
+        let pos_table = self.ps.value(self.pos_emb);
+        let mut x: Vec<f32> = tok_table.row(token as usize).to_vec();
+        for (xi, pi) in x.iter_mut().zip(pos_table.row(pos)) {
+            *xi += pi;
+        }
+        for (l, blk) in self.blocks.iter().enumerate() {
+            let xn = rms_vec(&x, self.ps.value(blk.norm1).data());
+            let q = vecmat(&xn, self.ps.value(blk.wq));
+            let k = vecmat(&xn, self.ps.value(blk.wk));
+            let v = vecmat(&xn, self.ps.value(blk.wv));
+            cache.k[l].extend_from_slice(&k);
+            cache.v[l].extend_from_slice(&v);
+            let t = cache.len + 1;
+            let scale = 1.0 / (dh as f32).sqrt();
+            let mut ctx = vec![0.0f32; d];
+            for head in 0..h {
+                let qh = &q[head * dh..(head + 1) * dh];
+                // Scores over all cached positions for this head.
+                let mut scores = Vec::with_capacity(t);
+                for ti in 0..t {
+                    let kh = &cache.k[l][ti * d + head * dh..ti * d + (head + 1) * dh];
+                    let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
+                    scores.push(dot * scale);
+                }
+                let mut probs = vec![0.0f32; t];
+                softmax_rows(&scores, &mut probs, t);
+                let out = &mut ctx[head * dh..(head + 1) * dh];
+                for (ti, &p) in probs.iter().enumerate() {
+                    let vh = &cache.v[l][ti * d + head * dh..ti * d + (head + 1) * dh];
+                    for (o, &vv) in out.iter_mut().zip(vh) {
+                        *o += p * vv;
+                    }
+                }
+            }
+            let att = vecmat(&ctx, self.ps.value(blk.wo));
+            for (xi, a) in x.iter_mut().zip(&att) {
+                *xi += a;
+            }
+            let xn2 = rms_vec(&x, self.ps.value(blk.norm2).data());
+            let gate = vecmat(&xn2, self.ps.value(blk.w_gate));
+            let up = vecmat(&xn2, self.ps.value(blk.w_up));
+            let hid: Vec<f32> = gate
+                .iter()
+                .zip(&up)
+                .map(|(&gv, &uv)| gv * lcrec_tensor::sigmoid(gv) * uv)
+                .collect();
+            let down = vecmat(&hid, self.ps.value(blk.w_down));
+            for (xi, dv) in x.iter_mut().zip(&down) {
+                *xi += dv;
+            }
+        }
+        cache.len += 1;
+        let xf = rms_vec(&x, self.ps.value(self.final_norm).data());
+        // Tied head: logits = xf @ tok_emb^T.
+        let mut logits = vec![0.0f32; self.cfg.vocab];
+        for (vi, logit) in logits.iter_mut().enumerate() {
+            let row = tok_table.row(vi);
+            let mut acc = 0.0;
+            for (a, b) in xf.iter().zip(row) {
+                acc += a * b;
+            }
+            *logit = acc;
+        }
+        logits
+    }
+
+    /// Runs all `tokens` through the cache; returns the logits after the
+    /// last token.
+    pub fn prefill(&self, cache: &mut KvCache, tokens: &[u32]) -> Vec<f32> {
+        assert!(!tokens.is_empty(), "prefill needs at least one token");
+        let mut logits = Vec::new();
+        for &t in tokens {
+            logits = self.advance(cache, t);
+        }
+        logits
+    }
+
+    /// Log-probability of `continuation` given `prefix` (sums per-token
+    /// log-softmax scores). Used for pairwise scoring (Table V).
+    pub fn sequence_logprob(&self, prefix: &[u32], continuation: &[u32]) -> f32 {
+        let mut cache = self.new_cache();
+        let mut logits = self.prefill(&mut cache, prefix);
+        let mut total = 0.0;
+        for &tok in continuation {
+            total += log_softmax_pick(&logits, tok);
+            logits = self.advance(&mut cache, tok);
+        }
+        total
+    }
+
+    /// Greedy decoding until `stop` returns true or `max_new` tokens.
+    pub fn greedy(&self, prefix: &[u32], max_new: usize, stop: impl Fn(u32) -> bool) -> Vec<u32> {
+        let mut cache = self.new_cache();
+        let mut logits = self.prefill(&mut cache, prefix);
+        let mut out = Vec::new();
+        for _ in 0..max_new {
+            let next = argmax(&logits) as u32;
+            if stop(next) {
+                break;
+            }
+            out.push(next);
+            if cache.len >= self.cfg.max_seq - 1 {
+                break;
+            }
+            logits = self.advance(&mut cache, next);
+        }
+        out
+    }
+
+    /// Full-graph logits for a single sequence without a cache — the
+    /// reference path the KV cache is benchmarked against (§III-D2).
+    pub fn logits_uncached(&self, tokens: &[u32]) -> Vec<f32> {
+        let t = tokens.len().min(self.cfg.max_seq);
+        let toks = &tokens[tokens.len() - t..];
+        let mut g = Graph::inference();
+        let logits = self.forward_logits(&mut g, toks, 1, t);
+        let all = g.value(logits);
+        all.row(t - 1).to_vec()
+    }
+}
+
+fn rms_vec(x: &[f32], gamma: &[f32]) -> Vec<f32> {
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let r = 1.0 / (ms + 1e-6).sqrt();
+    x.iter().zip(gamma).map(|(&v, &g)| v * r * g).collect()
+}
+
+fn vecmat(x: &[f32], w: &Tensor) -> Vec<f32> {
+    let (rows, cols) = (w.dim(0), w.dim(1));
+    debug_assert_eq!(x.len(), rows);
+    let mut out = vec![0.0f32; cols];
+    matmul_acc(x, w.data(), &mut out, 1, rows, cols);
+    out
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    let mut bv = f32::NEG_INFINITY;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > bv {
+            bv = x;
+            best = i;
+        }
+    }
+    best
+}
+
+/// `log softmax(logits)[pick]` computed stably.
+pub fn log_softmax_pick(logits: &[f32], pick: u32) -> f32 {
+    let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = logits.iter().map(|&v| (v - mx).exp()).sum();
+    logits[pick as usize] - mx - z.ln()
+}
+
+/// Training configuration for instruction tuning.
+#[derive(Clone, Debug)]
+pub struct LmTrainConfig {
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Epochs over the instruction data.
+    pub epochs: usize,
+    /// Sequences per step.
+    pub batch: usize,
+    /// Warmup steps of the cosine schedule.
+    pub warmup: usize,
+    /// Optional hard cap on optimizer steps (budget control).
+    pub max_steps: Option<usize>,
+    /// Seed for shuffling.
+    pub seed: u64,
+}
+
+impl LmTrainConfig {
+    /// Defaults for the small presets (the paper uses lr 5e-5 at 7B scale;
+    /// a model this small wants a proportionally larger rate).
+    pub fn small() -> Self {
+        LmTrainConfig { lr: 1.5e-3, epochs: 4, batch: 16, warmup: 30, max_steps: None, seed: 99 }
+    }
+}
+
+/// One tokenized training example: tokens plus the prompt length whose
+/// positions are excluded from the loss.
+pub type LmExample = (Vec<u32>, usize);
+
+/// Instruction-tunes the LM on a fixed example set (Eqn. 7: next-token CE
+/// on response positions only). Returns mean loss per epoch.
+pub fn train_lm(lm: &mut CausalLm, examples: &[LmExample], cfg: &LmTrainConfig) -> Vec<f32> {
+    train_lm_epochs(lm, cfg, examples.len(), |_| examples.to_vec())
+}
+
+/// Instruction-tunes with a per-epoch example provider — the paper pairs
+/// each datum with **one sampled template per epoch**, so the example set
+/// is regenerated every epoch.
+pub fn train_lm_epochs(
+    lm: &mut CausalLm,
+    cfg: &LmTrainConfig,
+    examples_per_epoch: usize,
+    mut provider: impl FnMut(usize) -> Vec<LmExample>,
+) -> Vec<f32> {
+    let max_seq = lm.config().max_seq;
+    let pad = lcrec_text::token::PAD;
+    let total_steps = cfg
+        .max_steps
+        .unwrap_or(usize::MAX)
+        .min(cfg.epochs * examples_per_epoch.div_ceil(cfg.batch));
+    let mut opt = AdamW::new(cfg.lr).with_schedule(Schedule::CosineWarmup {
+        warmup: cfg.warmup,
+        total: total_steps.max(cfg.warmup + 1),
+        min_ratio: 0.1,
+    });
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut epoch_losses = Vec::new();
+    let mut steps = 0usize;
+    'outer: for epoch in 0..cfg.epochs {
+        let examples = provider(epoch);
+        if examples.is_empty() {
+            epoch_losses.push(0.0);
+            continue;
+        }
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        // Sort by length with shuffled ties: batches stay dense.
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        order.sort_by_key(|&i| examples[i].0.len());
+        let mut sum = 0.0;
+        let mut nb = 0usize;
+        for chunk in order.chunks(cfg.batch) {
+            let t = chunk.iter().map(|&i| examples[i].0.len()).max().expect("non-empty").min(max_seq);
+            let b = chunk.len();
+            let mut tokens = vec![pad; b * t];
+            let mut targets = vec![u32::MAX; b * t];
+            for (row, &i) in chunk.iter().enumerate() {
+                let (ex, prompt_len) = &examples[i];
+                // Overlong examples lose their oldest (prompt) tokens; the
+                // prompt boundary shifts left by the same amount.
+                let cut = ex.len().saturating_sub(t);
+                let ex = &ex[cut..];
+                let plen = prompt_len.saturating_sub(cut).min(ex.len());
+                for (j, &tok) in ex.iter().enumerate() {
+                    tokens[row * t + j] = tok;
+                    // Position j predicts token j+1; supervise only when
+                    // the *predicted* token is inside the response.
+                    if j + 1 < ex.len() && j + 1 >= plen {
+                        targets[row * t + j] = ex[j + 1];
+                    }
+                }
+            }
+            let mut g = Graph::new();
+            g.seed(cfg.seed ^ (steps as u64) << 8);
+            let logits = lm.forward_logits(&mut g, &tokens, b, t);
+            let loss = g.cross_entropy(logits, &targets, u32::MAX);
+            sum += g.value(loss).item();
+            nb += 1;
+            let ps = lm.store_mut();
+            ps.zero_grads();
+            g.backward(loss, ps);
+            ps.clip_grad_norm(1.0);
+            opt.step(ps);
+            steps += 1;
+            if steps >= total_steps {
+                epoch_losses.push(sum / nb as f32);
+                break 'outer;
+            }
+        }
+        epoch_losses.push(sum / nb.max(1) as f32);
+    }
+    epoch_losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_and_uncached_logits_agree() {
+        let lm = CausalLm::new(LmConfig::test(30));
+        let tokens = [1u32, 7, 3, 9, 2];
+        let mut cache = lm.new_cache();
+        let cached = lm.prefill(&mut cache, &tokens);
+        let uncached = lm.logits_uncached(&tokens);
+        for (a, b) in cached.iter().zip(&uncached) {
+            assert!((a - b).abs() < 1e-3, "cached {a} vs graph {b}");
+        }
+    }
+
+    #[test]
+    fn lm_memorizes_a_tiny_mapping() {
+        // Three prompt→response pairs; the LM must learn them exactly.
+        let mut lm = CausalLm::new(LmConfig::test(20));
+        let examples: Vec<LmExample> = vec![
+            (vec![1, 10, 11, 5, 2], 3),
+            (vec![1, 12, 13, 6, 2], 3),
+            (vec![1, 14, 15, 7, 2], 3),
+        ];
+        let cfg = LmTrainConfig { lr: 5e-3, epochs: 120, batch: 3, warmup: 5, max_steps: None, seed: 1 };
+        let losses = train_lm(&mut lm, &examples, &cfg);
+        assert!(losses.last().expect("epochs") < &0.1, "final loss {:?}", losses.last());
+        for (ex, plen) in &examples {
+            let out = lm.greedy(&ex[..*plen], 1, |_| false);
+            assert_eq!(out[0], ex[*plen], "wrong continuation for {ex:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_logprob_prefers_trained_continuation() {
+        let mut lm = CausalLm::new(LmConfig::test(20));
+        let examples: Vec<LmExample> = vec![(vec![1, 10, 11, 5, 2], 3)];
+        let cfg = LmTrainConfig { lr: 5e-3, epochs: 100, batch: 1, warmup: 5, max_steps: None, seed: 2 };
+        train_lm(&mut lm, &examples, &cfg);
+        let good = lm.sequence_logprob(&[1, 10, 11], &[5]);
+        let bad = lm.sequence_logprob(&[1, 10, 11], &[6]);
+        assert!(good > bad, "trained continuation should win: {good} vs {bad}");
+    }
+
+    #[test]
+    fn greedy_stops_on_predicate() {
+        let lm = CausalLm::new(LmConfig::test(10));
+        let out = lm.greedy(&[1, 2], 20, |t| t == lcrec_text::token::EOS || true);
+        assert!(out.is_empty(), "stop-on-first predicate halts immediately");
+    }
+
+    #[test]
+    fn max_steps_caps_training() {
+        let mut lm = CausalLm::new(LmConfig::test(20));
+        let examples: Vec<LmExample> = (0..32).map(|i| (vec![1, 4 + (i % 8), 5, 2], 2)).collect();
+        let cfg = LmTrainConfig { lr: 1e-3, epochs: 50, batch: 4, warmup: 2, max_steps: Some(3), seed: 3 };
+        let losses = train_lm(&mut lm, &examples, &cfg);
+        assert_eq!(losses.len(), 1, "training must stop within the first epoch");
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let lm = CausalLm::new(LmConfig::test(10));
+        // tok 10*16 + pos 48*16 + block (norm 16*2 + 4*16*16 + gate/up 2*16*32 + down 32*16) + final 16
+        let expect = 160 + 768 + (32 + 1024 + 1024 + 512) + 16;
+        assert_eq!(lm.num_params(), expect);
+    }
+}

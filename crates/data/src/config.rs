@@ -1,0 +1,121 @@
+//! Dataset configurations and presets.
+//!
+//! The paper's datasets (Table II) are Amazon review subsets with 25k–50k
+//! users and 10k–21k items. The `small` presets keep the relative shape
+//! (user/item ratio, sparsity, average sequence length ≈ 8–9, max length 20)
+//! at a scale a single CPU can train all eleven models on. The `paper`
+//! presets document the full-scale knobs; they are constructible but not
+//! exercised by the experiment harness.
+
+/// Parameters of a synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetConfig {
+    /// Taxonomy name (see [`lcrec_text::taxonomy::by_name`]).
+    pub domain: &'static str,
+    /// Users to simulate before 5-core filtering.
+    pub num_users: usize,
+    /// Items in the catalog before filtering.
+    pub num_items: usize,
+    /// Mean interactions per user (geometric-ish distribution).
+    pub mean_seq_len: f32,
+    /// Maximum sequence length kept (most recent wins) — 20 in the paper.
+    pub max_seq_len: usize,
+    /// K-core threshold — 5 in the paper.
+    pub min_interactions: usize,
+    /// Probability that the next interaction stays in the same sub-category.
+    pub p_stay: f32,
+    /// Probability of a bundle jump (collaborative, cross-category link).
+    pub p_bundle: f32,
+    /// Probability of moving to a sibling sub-category (same coarse).
+    pub p_sibling: f32,
+    /// Zipf exponent for item popularity within a sub-category.
+    pub popularity_skew: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    fn base(domain: &'static str, users: usize, items: usize, seed: u64) -> Self {
+        DatasetConfig {
+            domain,
+            num_users: users,
+            num_items: items,
+            mean_seq_len: 9.0,
+            max_seq_len: 20,
+            min_interactions: 5,
+            p_stay: 0.30,
+            p_bundle: 0.25,
+            p_sibling: 0.20,
+            popularity_skew: 1.05,
+            seed,
+        }
+    }
+
+    /// Small-scale "Musical Instruments" analogue.
+    pub fn instruments_small() -> Self {
+        Self::base("instruments", 600, 280, 101)
+    }
+
+    /// Small-scale "Arts, Crafts and Sewing" analogue.
+    pub fn arts_small() -> Self {
+        Self::base("arts", 900, 430, 202)
+    }
+
+    /// Small-scale "Video Games" analogue.
+    pub fn games_small() -> Self {
+        Self::base("games", 1_000, 380, 303)
+    }
+
+    /// Paper-scale "Musical Instruments" (documented; not run on one CPU).
+    pub fn instruments_paper() -> Self {
+        Self::base("instruments", 24_773, 9_923, 101)
+    }
+
+    /// Paper-scale "Arts, Crafts and Sewing".
+    pub fn arts_paper() -> Self {
+        Self::base("arts", 45_142, 20_957, 202)
+    }
+
+    /// Paper-scale "Video Games".
+    pub fn games_paper() -> Self {
+        Self::base("games", 50_547, 16_860, 303)
+    }
+
+    /// Tiny fixture for unit tests and criterion benches.
+    pub fn tiny() -> Self {
+        let mut c = Self::base("tiny", 120, 40, 7);
+        c.mean_seq_len = 8.0;
+        c
+    }
+
+    /// The three small presets in paper order.
+    pub fn small_suite() -> Vec<DatasetConfig> {
+        vec![Self::instruments_small(), Self::arts_small(), Self::games_small()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_preserve_paper_shape() {
+        // More users than items, as in all three Amazon subsets.
+        for c in DatasetConfig::small_suite() {
+            assert!(c.num_users > c.num_items, "{}", c.domain);
+            assert_eq!(c.max_seq_len, 20);
+            assert_eq!(c.min_interactions, 5);
+        }
+        // Games is the largest, Instruments the smallest (Table II).
+        let suite = DatasetConfig::small_suite();
+        assert!(suite[2].num_users > suite[1].num_users || suite[2].num_items > suite[1].num_items);
+        assert!(suite[0].num_users < suite[1].num_users);
+    }
+
+    #[test]
+    fn transition_probabilities_form_subdistribution() {
+        for c in DatasetConfig::small_suite() {
+            assert!(c.p_stay + c.p_bundle + c.p_sibling < 1.0);
+        }
+    }
+}

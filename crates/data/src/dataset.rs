@@ -1,0 +1,207 @@
+//! Dataset assembly: simulation → k-core filtering → id remapping →
+//! truncation → leave-one-out splits → Table II statistics.
+
+use crate::catalog::{Catalog, Item};
+use crate::config::DatasetConfig;
+use crate::interactions::{k_core, simulate};
+
+/// A fully prepared sequential-recommendation dataset.
+pub struct Dataset {
+    /// The generating configuration.
+    pub config: DatasetConfig,
+    /// Filtered catalog with dense, remapped item ids.
+    pub catalog: Catalog,
+    /// Per-user chronological item sequences; every sequence has length in
+    /// `[min_interactions, max_seq_len]`.
+    pub sequences: Vec<Vec<u32>>,
+}
+
+/// Table II row: corpus statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Users after filtering.
+    pub users: usize,
+    /// Items after filtering.
+    pub items: usize,
+    /// Total interactions.
+    pub interactions: usize,
+    /// `1 - interactions / (users * items)`.
+    pub sparsity: f64,
+    /// Mean sequence length.
+    pub avg_len: f64,
+}
+
+impl Dataset {
+    /// Generates, filters and splits a dataset from a configuration.
+    pub fn generate(cfg: &DatasetConfig) -> Dataset {
+        let catalog = Catalog::generate(cfg);
+        let raw = simulate(cfg, &catalog);
+        let mut seqs = k_core(raw, cfg.min_interactions);
+        // Keep the most recent `max_seq_len` interactions, as in the paper.
+        for s in &mut seqs {
+            if s.len() > cfg.max_seq_len {
+                let cut = s.len() - cfg.max_seq_len;
+                s.drain(..cut);
+            }
+        }
+        // Remap surviving items to dense ids.
+        let mut used = vec![false; catalog.len()];
+        for s in &seqs {
+            for &i in s {
+                used[i as usize] = true;
+            }
+        }
+        let mut remap = vec![u32::MAX; catalog.len()];
+        let mut items: Vec<Item> = Vec::new();
+        for (old, item) in catalog.items.into_iter().enumerate() {
+            if used[old] {
+                let new_id = items.len() as u32;
+                remap[old] = new_id;
+                let mut it = item;
+                it.id = new_id;
+                items.push(it);
+            }
+        }
+        for s in &mut seqs {
+            for i in s.iter_mut() {
+                *i = remap[*i as usize];
+            }
+        }
+        let taxonomy = catalog.taxonomy;
+        let mut by_sub = vec![Vec::new(); taxonomy.num_subs()];
+        for it in &items {
+            by_sub[it.profile.flat_sub(taxonomy)].push(it.id);
+        }
+        Dataset {
+            config: cfg.clone(),
+            catalog: Catalog { items, taxonomy, by_sub },
+            sequences: seqs,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Leave-one-out **training** portion of user `u` (all but the last
+    /// two interactions).
+    pub fn train_seq(&self, u: usize) -> &[u32] {
+        let s = &self.sequences[u];
+        &s[..s.len() - 2]
+    }
+
+    /// Validation example: (context, target) with target = second-most-recent.
+    pub fn valid_example(&self, u: usize) -> (&[u32], u32) {
+        let s = &self.sequences[u];
+        (&s[..s.len() - 2], s[s.len() - 2])
+    }
+
+    /// Test example: (context, target) with target = most recent item.
+    pub fn test_example(&self, u: usize) -> (&[u32], u32) {
+        let s = &self.sequences[u];
+        (&s[..s.len() - 1], s[s.len() - 1])
+    }
+
+    /// Computes Table II statistics.
+    pub fn stats(&self) -> Stats {
+        let users = self.num_users();
+        let items = self.num_items();
+        let interactions: usize = self.sequences.iter().map(Vec::len).sum();
+        let sparsity = 1.0 - interactions as f64 / (users as f64 * items as f64);
+        let avg_len = interactions as f64 / users as f64;
+        Stats { users, items, interactions, sparsity, avg_len }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} users, {} items, {} interactions, {:.2}% sparse, avg len {:.2}",
+            self.users,
+            self.items,
+            self.interactions,
+            self.sparsity * 100.0,
+            self.avg_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_tiny_dataset() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        assert!(ds.num_users() > 50, "{} users survived", ds.num_users());
+        assert!(ds.num_items() > 10);
+        for s in &ds.sequences {
+            assert!(s.len() >= ds.config.min_interactions);
+            assert!(s.len() <= ds.config.max_seq_len);
+            for &i in s {
+                assert!((i as usize) < ds.num_items(), "dangling item id {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn splits_partition_each_sequence() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        for u in 0..ds.num_users() {
+            let full = &ds.sequences[u];
+            let train = ds.train_seq(u);
+            let (vctx, vt) = ds.valid_example(u);
+            let (tctx, tt) = ds.test_example(u);
+            assert_eq!(train.len(), full.len() - 2);
+            assert_eq!(vctx, train);
+            assert_eq!(vt, full[full.len() - 2]);
+            assert_eq!(tctx.len(), full.len() - 1);
+            assert_eq!(tt, *full.last().expect("non-empty"));
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_after_remap() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        for (i, item) in ds.catalog.items.iter().enumerate() {
+            assert_eq!(item.id as usize, i);
+        }
+        // Every catalog item appears somewhere (it survived k-core).
+        let mut seen = vec![false; ds.num_items()];
+        for s in &ds.sequences {
+            for &i in s {
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // by_sub covers all items exactly once.
+        let covered: usize = ds.catalog.by_sub.iter().map(Vec::len).sum();
+        assert_eq!(covered, ds.num_items());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let st = ds.stats();
+        assert_eq!(st.users, ds.num_users());
+        assert_eq!(st.items, ds.num_items());
+        assert!(st.sparsity > 0.5 && st.sparsity < 1.0);
+        assert!(st.avg_len >= ds.config.min_interactions as f64);
+    }
+
+    #[test]
+    fn small_presets_mirror_table2_ordering() {
+        // Avg length around 8-10 and high sparsity, as in Table II.
+        let ds = Dataset::generate(&DatasetConfig::instruments_small());
+        let st = ds.stats();
+        assert!(st.avg_len > 5.0 && st.avg_len < 15.0, "avg len {}", st.avg_len);
+        assert!(st.sparsity > 0.95, "sparsity {}", st.sparsity);
+    }
+}

@@ -1,0 +1,274 @@
+//! User interaction simulation.
+//!
+//! Each simulated user holds a preference mixture over coarse categories and
+//! walks the catalog with session-like persistence:
+//!
+//! * with `p_stay` the next item stays in the current sub-category
+//!   (language-semantic continuity — similar text),
+//! * with `p_bundle` it jumps inside a *bundle* (collaborative continuity —
+//!   e.g. guitar → amplifier: items that co-occur without textual overlap),
+//! * with `p_sibling` it moves to a sibling sub-category,
+//! * otherwise the user re-samples from their preference mixture.
+//!
+//! Item choice inside a sub-category is popularity-skewed (Zipf). The result
+//! is data where text predicts part of co-occurrence but not all of it —
+//! the regime in which the paper's language+collaborative integration wins.
+
+use crate::catalog::Catalog;
+use crate::config::DatasetConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw interactions of one user, chronological.
+pub type UserSeq = Vec<u32>;
+
+/// Simulates all user sequences (before k-core filtering).
+pub fn simulate(cfg: &DatasetConfig, catalog: &Catalog) -> Vec<UserSeq> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xA5A5).wrapping_add(2));
+    let tax = catalog.taxonomy;
+    let ncoarse = tax.num_coarse();
+    // Zipf weights per sub-category, precomputed.
+    let zipf: Vec<Vec<f64>> = catalog
+        .by_sub
+        .iter()
+        .map(|items| {
+            (0..items.len()).map(|r| 1.0 / ((r + 1) as f64).powf(cfg.popularity_skew)).collect()
+        })
+        .collect();
+
+    (0..cfg.num_users)
+        .map(|u| {
+            let mut urng = StdRng::seed_from_u64(cfg.seed ^ (u as u64).wrapping_mul(0x5DEECE66D));
+            simulate_user(cfg, catalog, &zipf, ncoarse, &mut urng, &mut rng)
+        })
+        .collect()
+}
+
+fn simulate_user(
+    cfg: &DatasetConfig,
+    catalog: &Catalog,
+    zipf: &[Vec<f64>],
+    ncoarse: usize,
+    urng: &mut StdRng,
+    shared: &mut StdRng,
+) -> UserSeq {
+    let tax = catalog.taxonomy;
+    // Preference mixture: 1-3 favourite coarse categories.
+    let nfav = urng.random_range(1..=3usize.min(ncoarse));
+    let mut favs = Vec::with_capacity(nfav);
+    while favs.len() < nfav {
+        let c = urng.random_range(0..ncoarse);
+        if !favs.contains(&c) {
+            favs.push(c);
+        }
+    }
+    // Sequence length: shifted geometric around the configured mean.
+    let extra = cfg.mean_seq_len - cfg.min_interactions as f32;
+    let p = 1.0 / extra.max(1.0);
+    let mut len = cfg.min_interactions;
+    while urng.random_range(0.0f32..1.0) > p && len < cfg.max_seq_len * 3 {
+        len += 1;
+    }
+
+    let mut seq = Vec::with_capacity(len);
+    let mut current_sub: Option<usize> = None;
+    while seq.len() < len {
+        let sub = match current_sub {
+            Some(s) => {
+                let r: f32 = urng.random_range(0.0..1.0);
+                if r < cfg.p_stay {
+                    s
+                } else if r < cfg.p_stay + cfg.p_bundle {
+                    match tax.bundle_of(s) {
+                        Some(bundle) => bundle[urng.random_range(0..bundle.len())],
+                        None => s,
+                    }
+                } else if r < cfg.p_stay + cfg.p_bundle + cfg.p_sibling {
+                    let (c, _) = tax.sub_coords(s);
+                    let nsubs = tax.coarse[c].subs.len();
+                    tax.sub_index(c, urng.random_range(0..nsubs))
+                } else {
+                    sample_from_mixture(tax, &favs, urng)
+                }
+            }
+            None => sample_from_mixture(tax, &favs, urng),
+        };
+        current_sub = Some(sub);
+        let pool = &catalog.by_sub[sub];
+        if pool.is_empty() {
+            current_sub = None;
+            continue;
+        }
+        let item = pool[zipf_sample(&zipf[sub], shared)];
+        // Avoid immediate repeats; retry once, then accept whatever comes.
+        if seq.last() == Some(&item) {
+            let retry = pool[zipf_sample(&zipf[sub], shared)];
+            if Some(&retry) != seq.last() {
+                seq.push(retry);
+            }
+            continue;
+        }
+        seq.push(item);
+    }
+    seq
+}
+
+fn sample_from_mixture(
+    tax: &lcrec_text::Taxonomy,
+    favs: &[usize],
+    rng: &mut StdRng,
+) -> usize {
+    let c = favs[rng.random_range(0..favs.len())];
+    tax.sub_index(c, rng.random_range(0..tax.coarse[c].subs.len()))
+}
+
+fn zipf_sample(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Iterative k-core filter: removes users with fewer than `k` interactions
+/// and items appearing fewer than `k` times, until stable. Returns the
+/// retained sequences (original item ids) — the paper's "filter unpopular
+/// users and items with less than five interactions".
+pub fn k_core(sequences: Vec<UserSeq>, k: usize) -> Vec<UserSeq> {
+    let mut seqs = sequences;
+    loop {
+        let mut item_count = std::collections::HashMap::new();
+        for s in &seqs {
+            for &i in s {
+                *item_count.entry(i).or_insert(0usize) += 1;
+            }
+        }
+        let mut changed = false;
+        for s in &mut seqs {
+            let before = s.len();
+            s.retain(|i| item_count[i] >= k);
+            if s.len() != before {
+                changed = true;
+            }
+        }
+        let before_users = seqs.len();
+        seqs.retain(|s| s.len() >= k);
+        if seqs.len() != before_users {
+            changed = true;
+        }
+        if !changed {
+            return seqs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+
+    fn make() -> (DatasetConfig, Catalog) {
+        let cfg = DatasetConfig::tiny();
+        let cat = Catalog::generate(&cfg);
+        (cfg, cat)
+    }
+
+    #[test]
+    fn simulation_produces_min_lengths() {
+        let (cfg, cat) = make();
+        let seqs = simulate(&cfg, &cat);
+        assert_eq!(seqs.len(), cfg.num_users);
+        assert!(seqs.iter().all(|s| s.len() >= cfg.min_interactions));
+    }
+
+    #[test]
+    fn no_immediate_repeats_dominate() {
+        let (cfg, cat) = make();
+        let seqs = simulate(&cfg, &cat);
+        let (mut repeats, mut total) = (0usize, 0usize);
+        for s in &seqs {
+            for w in s.windows(2) {
+                total += 1;
+                if w[0] == w[1] {
+                    repeats += 1;
+                }
+            }
+        }
+        assert!((repeats as f32) < 0.1 * total as f32, "{repeats}/{total} repeats");
+    }
+
+    #[test]
+    fn sessions_have_category_persistence() {
+        // Consecutive items should share a sub-category far more often than
+        // random pairs would.
+        let (cfg, cat) = make();
+        let seqs = simulate(&cfg, &cat);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for s in &seqs {
+            for w in s.windows(2) {
+                total += 1;
+                if cat.sub_of(w[0]) == cat.sub_of(w[1]) {
+                    same += 1;
+                }
+            }
+        }
+        let rate = same as f32 / total as f32;
+        // 4 sub-categories in tiny ⇒ random ≈ heavily below p_stay.
+        assert!(rate > 0.25, "persistence rate {rate}");
+    }
+
+    #[test]
+    fn bundle_jumps_create_cross_category_links() {
+        let (cfg, cat) = make();
+        let seqs = simulate(&cfg, &cat);
+        // In TINY, bundle 0 is subs {0, 2} (different coarse categories).
+        let mut cross = 0usize;
+        for s in &seqs {
+            for w in s.windows(2) {
+                let (a, b) = (cat.sub_of(w[0]), cat.sub_of(w[1]));
+                if (a == 0 && b == 2) || (a == 2 && b == 0) {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "expected bundle transitions between subs 0 and 2");
+    }
+
+    #[test]
+    fn k_core_enforces_thresholds() {
+        let seqs = vec![
+            vec![0, 1, 2, 3, 4],       // fine if items survive
+            vec![0, 1],                // too short -> dropped
+            vec![0, 0, 0, 1, 1, 2, 3], // keeps frequent items
+        ];
+        let out = k_core(seqs, 3);
+        for s in &out {
+            assert!(s.len() >= 3);
+        }
+        let mut counts = std::collections::HashMap::new();
+        for s in &out {
+            for &i in s {
+                *counts.entry(i).or_insert(0) += 1;
+            }
+        }
+        for (&item, &c) in &counts {
+            assert!(c >= 3, "item {item} appears {c} times");
+        }
+    }
+
+    #[test]
+    fn k_core_keeps_most_of_a_healthy_dataset() {
+        let (cfg, cat) = make();
+        let seqs = simulate(&cfg, &cat);
+        let total_before: usize = seqs.iter().map(Vec::len).sum();
+        let out = k_core(seqs, cfg.min_interactions);
+        let total_after: usize = out.iter().map(Vec::len).sum();
+        assert!(total_after as f32 > 0.6 * total_before as f32,
+                "k-core kept only {total_after}/{total_before}");
+    }
+}

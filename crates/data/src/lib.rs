@@ -1,0 +1,19 @@
+//! # lcrec-data
+//!
+//! Dataset substrate for the LC-Rec reproduction: synthetic Amazon-like
+//! catalogs, latent-preference interaction simulation with 5-core
+//! filtering, leave-one-out splits, Table-II statistics, and the five
+//! alignment-tuning instruction-task builders of paper §III-C.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod config;
+pub mod dataset;
+pub mod instructions;
+pub mod interactions;
+
+pub use catalog::{Catalog, Item};
+pub use config::DatasetConfig;
+pub use dataset::{Dataset, Stats};
+pub use instructions::{Example, InstructionBuilder, Seg, Task, TaskSet};

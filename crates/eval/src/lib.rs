@@ -1,0 +1,20 @@
+//! # lcrec-eval
+//!
+//! Evaluation harness for the LC-Rec reproduction: HR@K / NDCG@K metrics,
+//! the leave-one-out full-ranking protocol (§IV-A3), the Table-V pairwise
+//! similar-negative probe, Figure-4 embedding visualization support, and
+//! markdown report writers.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod viz;
+
+pub use harness::{
+    build_negatives, evaluate_test, evaluate_valid, pairwise_accuracy, NegativeKind,
+    PairwiseScorer, Ranker,
+};
+pub use metrics::{top_k, top_k_filtered, RankingMetrics};
+pub use viz::Projection;

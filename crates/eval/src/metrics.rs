@@ -1,0 +1,200 @@
+//! Top-K ranking metrics: Hit Ratio and NDCG, computed from ranked lists
+//! exactly as in the paper's full-ranking evaluation (§IV-A3).
+
+/// Position (0-based) of `target` in `ranked`, if present.
+pub fn rank_of(ranked: &[u32], target: u32) -> Option<usize> {
+    ranked.iter().position(|&i| i == target)
+}
+
+/// HR@k for a single example: 1 if the target appears in the top-k.
+pub fn hit_at(ranked: &[u32], target: u32, k: usize) -> f64 {
+    match rank_of(ranked, target) {
+        Some(r) if r < k => 1.0,
+        _ => 0.0,
+    }
+}
+
+/// NDCG@k for a single example with one relevant item:
+/// `1 / log2(rank + 2)` if the target is in the top-k, else 0.
+pub fn ndcg_at(ranked: &[u32], target: u32, k: usize) -> f64 {
+    match rank_of(ranked, target) {
+        Some(r) if r < k => 1.0 / ((r as f64 + 2.0).log2()),
+        _ => 0.0,
+    }
+}
+
+/// Reciprocal rank of the target within the top-k (0 if absent) — not
+/// reported in the paper's tables but standard in the area and useful for
+/// diagnosing beam-width effects.
+pub fn mrr_at(ranked: &[u32], target: u32, k: usize) -> f64 {
+    match rank_of(ranked, target) {
+        Some(r) if r < k => 1.0 / (r as f64 + 1.0),
+        _ => 0.0,
+    }
+}
+
+/// Aggregated metrics over an evaluation run — one Table III cell group.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankingMetrics {
+    /// HR@1.
+    pub hr1: f64,
+    /// HR@5.
+    pub hr5: f64,
+    /// HR@10.
+    pub hr10: f64,
+    /// NDCG@5.
+    pub ndcg5: f64,
+    /// NDCG@10.
+    pub ndcg10: f64,
+    /// Number of evaluated examples.
+    pub count: usize,
+}
+
+impl RankingMetrics {
+    /// Accumulates one example.
+    pub fn push(&mut self, ranked: &[u32], target: u32) {
+        self.hr1 += hit_at(ranked, target, 1);
+        self.hr5 += hit_at(ranked, target, 5);
+        self.hr10 += hit_at(ranked, target, 10);
+        self.ndcg5 += ndcg_at(ranked, target, 5);
+        self.ndcg10 += ndcg_at(ranked, target, 10);
+        self.count += 1;
+    }
+
+    /// Finalizes sums into means.
+    pub fn finalize(mut self) -> Self {
+        if self.count > 0 {
+            let n = self.count as f64;
+            self.hr1 /= n;
+            self.hr5 /= n;
+            self.hr10 /= n;
+            self.ndcg5 /= n;
+            self.ndcg10 /= n;
+        }
+        self
+    }
+
+    /// Mean of several finalized metric sets (e.g. over instruction
+    /// templates, as the paper reports for LC-Rec).
+    pub fn average(runs: &[RankingMetrics]) -> RankingMetrics {
+        let mut out = RankingMetrics::default();
+        if runs.is_empty() {
+            return out;
+        }
+        for r in runs {
+            out.hr1 += r.hr1;
+            out.hr5 += r.hr5;
+            out.hr10 += r.hr10;
+            out.ndcg5 += r.ndcg5;
+            out.ndcg10 += r.ndcg10;
+        }
+        let n = runs.len() as f64;
+        out.hr1 /= n;
+        out.hr5 /= n;
+        out.hr10 /= n;
+        out.ndcg5 /= n;
+        out.ndcg10 /= n;
+        out.count = runs.iter().map(|r| r.count).sum::<usize>() / runs.len();
+        out
+    }
+
+    /// The five metric values in Table III row order.
+    pub fn as_row(&self) -> [f64; 5] {
+        [self.hr1, self.hr5, self.hr10, self.ndcg5, self.ndcg10]
+    }
+}
+
+/// Returns the indices of the `k` largest scores, descending, skipping
+/// indices for which `valid` returns false.
+pub fn top_k_filtered(scores: &[f32], k: usize, valid: impl Fn(usize) -> bool) -> Vec<u32> {
+    let mut idx: Vec<u32> =
+        (0..scores.len() as u32).filter(|&i| valid(i as usize)).collect();
+    let k = k.min(idx.len());
+    idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Top-k without filtering.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<u32> {
+    top_k_filtered(scores, k, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_ndcg_basic() {
+        let ranked = [5u32, 3, 9, 1];
+        assert_eq!(hit_at(&ranked, 5, 1), 1.0);
+        assert_eq!(hit_at(&ranked, 3, 1), 0.0);
+        assert_eq!(hit_at(&ranked, 3, 5), 1.0);
+        assert_eq!(hit_at(&ranked, 42, 10), 0.0);
+        assert!((ndcg_at(&ranked, 5, 10) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at(&ranked, 3, 10) - 1.0 / 3f64.log2()).abs() < 1e-12);
+        assert_eq!(ndcg_at(&ranked, 9, 2), 0.0, "rank 2 outside top-2");
+    }
+
+    #[test]
+    fn metrics_accumulate_and_finalize() {
+        let mut m = RankingMetrics::default();
+        m.push(&[1, 2, 3], 1); // hit@1
+        m.push(&[1, 2, 3], 3); // hit@5, not @1
+        m.push(&[1, 2, 3], 9); // miss
+        let f = m.finalize();
+        assert!((f.hr1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((f.hr5 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f.count, 3);
+    }
+
+    #[test]
+    fn mrr_is_reciprocal_rank() {
+        let ranked = [7u32, 3, 9];
+        assert_eq!(mrr_at(&ranked, 7, 10), 1.0);
+        assert_eq!(mrr_at(&ranked, 3, 10), 0.5);
+        assert_eq!(mrr_at(&ranked, 9, 2), 0.0, "outside top-k");
+        assert_eq!(mrr_at(&ranked, 42, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_decays_with_rank() {
+        let ranked: Vec<u32> = (0..10).collect();
+        let values: Vec<f64> = (0..10).map(|t| ndcg_at(&ranked, t, 10)).collect();
+        for w in values.windows(2) {
+            assert!(w[0] > w[1], "NDCG must strictly decay: {values:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k(&scores, 3), vec![1, 3, 2]);
+        assert_eq!(top_k(&scores, 10), vec![1, 3, 2, 0], "k larger than n is clamped");
+    }
+
+    #[test]
+    fn top_k_filter_excludes() {
+        let scores = [0.9, 0.8, 0.7];
+        let ranked = top_k_filtered(&scores, 2, |i| i != 0);
+        assert_eq!(ranked, vec![1, 2]);
+    }
+
+    #[test]
+    fn average_over_templates() {
+        let a = RankingMetrics { hr1: 0.2, hr5: 0.4, hr10: 0.5, ndcg5: 0.3, ndcg10: 0.35, count: 10 };
+        let b = RankingMetrics { hr1: 0.4, hr5: 0.6, hr10: 0.7, ndcg5: 0.5, ndcg10: 0.55, count: 10 };
+        let avg = RankingMetrics::average(&[a, b]);
+        assert!((avg.hr1 - 0.3).abs() < 1e-12);
+        assert!((avg.ndcg10 - 0.45).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Markdown report writers: render experiment results in the same row/column
+//! layout as the paper's tables so `EXPERIMENTS.md` can be regenerated.
+
+use crate::metrics::RankingMetrics;
+
+/// Builds a markdown table from a header and rows of cells.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for c in row {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a metric value in the paper's 4-decimal style.
+pub fn fmt_metric(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// A Table-III-style block: methods × five metrics for one dataset.
+pub fn metrics_table(dataset: &str, results: &[(String, RankingMetrics)]) -> String {
+    let header = ["Method", "HR@1", "HR@5", "HR@10", "NDCG@5", "NDCG@10"];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, m)| {
+            let mut row = vec![name.clone()];
+            row.extend(m.as_row().iter().map(|&v| fmt_metric(v)));
+            row
+        })
+        .collect();
+    format!("### {dataset}\n\n{}", markdown_table(&header, &rows))
+}
+
+/// Relative improvement of the last row over the best of the others —
+/// the paper's "Improv." column, in percent per metric.
+pub fn improvement_row(results: &[(String, RankingMetrics)]) -> Option<Vec<f64>> {
+    if results.len() < 2 {
+        return None;
+    }
+    let (last, rest) = results.split_last()?;
+    let ours = last.1.as_row();
+    let mut best = [f64::NEG_INFINITY; 5];
+    for (_, m) in rest {
+        for (b, v) in best.iter_mut().zip(m.as_row()) {
+            *b = b.max(v);
+        }
+    }
+    Some(
+        ours.iter()
+            .zip(best)
+            .map(|(&o, b)| if b > 0.0 { 100.0 * (o - b) / b } else { 0.0 })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(hr1: f64) -> RankingMetrics {
+        RankingMetrics { hr1, hr5: hr1 * 2.0, hr10: hr1 * 3.0, ndcg5: hr1 * 1.5, ndcg10: hr1 * 1.8, count: 10 }
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let t = metrics_table("Games", &[("SASRec".into(), m(0.01)), ("LC-Rec".into(), m(0.02))]);
+        assert!(t.contains("### Games"));
+        assert!(t.contains("| SASRec |"));
+        assert!(t.contains("0.0100"));
+        assert!(t.lines().filter(|l| l.starts_with('|')).count() == 4);
+    }
+
+    #[test]
+    fn improvement_relative_to_best_baseline() {
+        let rows = vec![
+            ("A".into(), m(0.010)),
+            ("B".into(), m(0.020)),
+            ("ours".into(), m(0.025)),
+        ];
+        let imp = improvement_row(&rows).expect("some");
+        assert!((imp[0] - 25.0).abs() < 1e-9, "{imp:?}");
+    }
+
+    #[test]
+    fn improvement_requires_two_rows() {
+        assert!(improvement_row(&[("solo".into(), m(0.1))]).is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! Embedding-space visualization support for Figure 4: PCA projection of
+//! token embeddings plus a quantitative separation statistic, and CSV
+//! export so the projection can be plotted externally.
+
+use lcrec_tensor::linalg::{cosine, Pca};
+use lcrec_tensor::Tensor;
+
+/// A labelled 2-D point cloud: the contents of one Figure-4 panel.
+#[derive(Clone, Debug)]
+pub struct Projection {
+    /// Point coordinates, shape `[n, 2]`.
+    pub points: Tensor,
+    /// Group label per point (e.g. 0 = item-index token, 1 = item-text token).
+    pub labels: Vec<u8>,
+    /// Names of the groups.
+    pub group_names: Vec<String>,
+}
+
+impl Projection {
+    /// Projects `embeddings: [n, d]` to 2-D via PCA.
+    pub fn pca_2d(embeddings: &Tensor, labels: Vec<u8>, group_names: Vec<String>) -> Projection {
+        assert_eq!(embeddings.rows(), labels.len());
+        let pca = Pca::fit(embeddings, 2);
+        Projection { points: pca.transform(embeddings), labels, group_names }
+    }
+
+    /// Mean point of one group.
+    fn centroid(&self, group: u8) -> [f32; 2] {
+        let mut c = [0.0f32; 2];
+        let mut n = 0;
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l == group {
+                c[0] += self.points.at(i, 0);
+                c[1] += self.points.at(i, 1);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            c[0] /= n as f32;
+            c[1] /= n as f32;
+        }
+        c
+    }
+
+    /// Mean within-group distance to centroid for one group.
+    fn spread(&self, group: u8) -> f32 {
+        let c = self.centroid(group);
+        let mut s = 0.0;
+        let mut n = 0;
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l == group {
+                let dx = self.points.at(i, 0) - c[0];
+                let dy = self.points.at(i, 1) - c[1];
+                s += (dx * dx + dy * dy).sqrt();
+                n += 1;
+            }
+        }
+        if n > 0 {
+            s / n as f32
+        } else {
+            0.0
+        }
+    }
+
+    /// Separation ratio between two groups: centroid distance divided by
+    /// mean spread. Figure 4's "incompatible" panel shows a large value
+    /// (index tokens far from text tokens); a well-integrated space shows a
+    /// small one.
+    pub fn separation(&self, a: u8, b: u8) -> f32 {
+        let ca = self.centroid(a);
+        let cb = self.centroid(b);
+        let d = ((ca[0] - cb[0]).powi(2) + (ca[1] - cb[1]).powi(2)).sqrt();
+        let spread = 0.5 * (self.spread(a) + self.spread(b));
+        if spread > 0.0 {
+            d / spread
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// CSV dump: `x,y,group` per line with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y,group\n");
+        for (i, &l) in self.labels.iter().enumerate() {
+            out.push_str(&format!(
+                "{:.5},{:.5},{}\n",
+                self.points.at(i, 0),
+                self.points.at(i, 1),
+                self.group_names.get(l as usize).map_or("?", |s| s.as_str()),
+            ));
+        }
+        out
+    }
+}
+
+/// Mean cosine similarity between all cross-group pairs in the *original*
+/// embedding space — the high-dimensional companion to the 2-D separation
+/// statistic (more faithful, no projection loss).
+pub fn cross_group_cosine(embeddings: &Tensor, labels: &[u8], a: u8, b: u8) -> f32 {
+    let rows_a: Vec<usize> =
+        labels.iter().enumerate().filter(|(_, &l)| l == a).map(|(i, _)| i).collect();
+    let rows_b: Vec<usize> =
+        labels.iter().enumerate().filter(|(_, &l)| l == b).map(|(i, _)| i).collect();
+    if rows_a.is_empty() || rows_b.is_empty() {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for &i in &rows_a {
+        for &j in &rows_b {
+            s += cosine(embeddings.row(i), embeddings.row(j));
+        }
+    }
+    s / (rows_a.len() * rows_b.len()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_clusters(sep: f32) -> (Tensor, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for g in 0..2u8 {
+            for _ in 0..30 {
+                let noise = init::normal(&[8], 0.3, &mut rng);
+                let mut r = noise.into_data();
+                r[0] += g as f32 * sep;
+                rows.push(r);
+                labels.push(g);
+            }
+        }
+        (Tensor::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn separation_reflects_cluster_distance() {
+        let (far, l1) = two_clusters(10.0);
+        let (near, l2) = two_clusters(0.5);
+        let pf = Projection::pca_2d(&far, l1, vec!["a".into(), "b".into()]);
+        let pn = Projection::pca_2d(&near, l2, vec!["a".into(), "b".into()]);
+        assert!(
+            pf.separation(0, 1) > 3.0 * pn.separation(0, 1),
+            "far {} vs near {}",
+            pf.separation(0, 1),
+            pn.separation(0, 1)
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let (x, l) = two_clusters(1.0);
+        let p = Projection::pca_2d(&x, l, vec!["idx".into(), "txt".into()]);
+        let csv = p.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,y,group");
+        assert_eq!(lines.len(), 61);
+        assert!(lines[1].ends_with("idx") || lines[1].ends_with("txt"));
+    }
+
+    #[test]
+    fn cross_group_cosine_higher_for_aligned_spaces() {
+        // Aligned: both groups share a dominant direction. Separated: the
+        // groups point in opposite directions.
+        let mut rng = StdRng::seed_from_u64(8);
+        let build = |flip: f32, rng: &mut StdRng| -> (Tensor, Vec<u8>) {
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            for g in 0..2u8 {
+                let sign = if g == 1 { flip } else { 1.0 };
+                for _ in 0..20 {
+                    let noise = init::normal(&[8], 0.3, rng);
+                    let mut r = noise.into_data();
+                    r[0] += 2.0 * sign;
+                    rows.push(r);
+                    labels.push(g);
+                }
+            }
+            (Tensor::from_rows(&rows), labels)
+        };
+        let (aligned, la) = build(1.0, &mut rng);
+        let (separated, ls) = build(-1.0, &mut rng);
+        let ca = cross_group_cosine(&aligned, &la, 0, 1);
+        let cs = cross_group_cosine(&separated, &ls, 0, 1);
+        assert!(ca > 0.5, "aligned cosine {ca}");
+        assert!(cs < 0.0, "separated cosine {cs}");
+    }
+}

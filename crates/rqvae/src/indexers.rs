@@ -1,0 +1,175 @@
+//! The four indexing schemes compared in Figure 2 of the paper.
+//!
+//! * **Vanilla ID** — one unique token per item (traditional item IDs).
+//! * **Random indices** — multi-level codes drawn uniformly at random
+//!   (structure without semantics).
+//! * **RQ w/o USM** — semantic RQ-VAE codes, but conflicts resolved by a
+//!   supplementary distinct ID appended as an extra level (the prior-work
+//!   strategy LC-Rec replaces).
+//! * **LC-Rec (RQ + USM)** — the paper's method.
+
+use crate::indices::ItemIndices;
+use crate::model::{RqVae, RqVaeConfig};
+use lcrec_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Which item-indexing scheme to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexerKind {
+    /// One unique token per item.
+    VanillaId,
+    /// Random multi-level codes (unique, semantics-free).
+    Random,
+    /// RQ-VAE without uniform semantic mapping; conflicts get suffix IDs.
+    RqNoUsm,
+    /// Full LC-Rec indexing: RQ-VAE + uniform semantic mapping.
+    LcRec,
+}
+
+impl IndexerKind {
+    /// Display name matching the paper's Figure 2 legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexerKind::VanillaId => "Vanilla ID",
+            IndexerKind::Random => "Random Indices",
+            IndexerKind::RqNoUsm => "LC-Rec w/o USM",
+            IndexerKind::LcRec => "LC-Rec",
+        }
+    }
+
+    /// All schemes in Figure-2 order.
+    pub fn all() -> [IndexerKind; 4] {
+        [IndexerKind::VanillaId, IndexerKind::Random, IndexerKind::RqNoUsm, IndexerKind::LcRec]
+    }
+}
+
+/// Builds item indices under a scheme. `embeddings` are the item text
+/// embeddings (`[num_items, dim]`); schemes that ignore semantics only use
+/// the row count.
+pub fn build_indices(kind: IndexerKind, embeddings: &Tensor, cfg: &RqVaeConfig) -> ItemIndices {
+    match kind {
+        IndexerKind::VanillaId => vanilla(embeddings.rows()),
+        IndexerKind::Random => random(embeddings.rows(), cfg),
+        IndexerKind::RqNoUsm => {
+            let mut c = cfg.clone();
+            c.usm = false;
+            let mut model = RqVae::new(c);
+            model.train(embeddings);
+            with_suffix_ids(&model, embeddings)
+        }
+        IndexerKind::LcRec => {
+            let mut model = RqVae::new(cfg.clone());
+            model.train(embeddings);
+            model.build_indices(embeddings)
+        }
+    }
+}
+
+/// Vanilla IDs: a single level whose codebook enumerates the items.
+fn vanilla(n: usize) -> ItemIndices {
+    ItemIndices::new(vec![n], (0..n).map(|i| vec![i as u16]).collect())
+}
+
+/// Random unique multi-level codes.
+fn random(n: usize, cfg: &RqVaeConfig) -> ItemIndices {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let mut seen = std::collections::HashSet::new();
+    let mut codes = Vec::with_capacity(n);
+    while codes.len() < n {
+        let c: Vec<u16> =
+            (0..cfg.levels).map(|_| rng.random_range(0..cfg.codebook_size as u16)).collect();
+        if seen.insert(c.clone()) {
+            codes.push(c);
+        }
+    }
+    ItemIndices::new(vec![cfg.codebook_size; cfg.levels], codes)
+}
+
+/// RQ codes with conflicts resolved by a supplementary final level: every
+/// item gains one extra code that enumerates its position inside its
+/// conflict group (0 for singletons) — the strategy of P5/TIGER-style
+/// index trees the paper critiques.
+fn with_suffix_ids(model: &RqVae, embeddings: &Tensor) -> ItemIndices {
+    let z = model.encode(embeddings);
+    let (codes, _) = model.quantize_greedy(&z);
+    let mut groups: HashMap<&[u16], Vec<usize>> = HashMap::new();
+    for (i, c) in codes.iter().enumerate() {
+        groups.entry(c.as_slice()).or_default().push(i);
+    }
+    let max_group = groups.values().map(Vec::len).max().unwrap_or(1);
+    let mut suffix = vec![0u16; codes.len()];
+    for items in groups.values() {
+        for (pos, &i) in items.iter().enumerate() {
+            suffix[i] = pos as u16;
+        }
+    }
+    let cfg = model.config();
+    let mut sizes = vec![cfg.codebook_size; cfg.levels];
+    sizes.push(max_group.max(1));
+    let full: Vec<Vec<u16>> = codes
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut c)| {
+            c.push(suffix[i]);
+            c
+        })
+        .collect();
+    ItemIndices::new(sizes, full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_tensor::init;
+
+    fn embeddings(n: usize) -> Tensor {
+        init::normal(&[n, 12], 1.0, &mut StdRng::seed_from_u64(2))
+    }
+
+    fn cfg() -> RqVaeConfig {
+        let mut c = RqVaeConfig::small(12, 30);
+        c.epochs = 8;
+        c.codebook_size = 5;
+        c.levels = 3;
+        c.latent_dim = 8;
+        c.hidden = vec![16];
+        c
+    }
+
+    #[test]
+    fn vanilla_is_one_level_unique() {
+        let idx = build_indices(IndexerKind::VanillaId, &embeddings(30), &cfg());
+        assert_eq!(idx.levels, 1);
+        assert!(idx.is_unique());
+        assert_eq!(idx.vocab_tokens(), 30);
+    }
+
+    #[test]
+    fn random_is_unique_and_multi_level() {
+        let idx = build_indices(IndexerKind::Random, &embeddings(30), &cfg());
+        assert_eq!(idx.levels, 3);
+        assert!(idx.is_unique());
+    }
+
+    #[test]
+    fn rq_no_usm_gains_suffix_level() {
+        let idx = build_indices(IndexerKind::RqNoUsm, &embeddings(30), &cfg());
+        assert_eq!(idx.levels, 4, "suffix level appended");
+        assert!(idx.is_unique(), "suffix IDs must disambiguate conflicts");
+    }
+
+    #[test]
+    fn lcrec_indices_unique_without_extra_level() {
+        let idx = build_indices(IndexerKind::LcRec, &embeddings(30), &cfg());
+        assert_eq!(idx.levels, 3, "USM must not add levels");
+        assert!(idx.is_unique());
+    }
+
+    #[test]
+    fn labels_match_figure_2() {
+        let labels: Vec<&str> = IndexerKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["Vanilla ID", "Random Indices", "LC-Rec w/o USM", "LC-Rec"]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Item index containers and the prefix trie used for constrained decoding.
+
+use std::collections::HashMap;
+
+/// The learned multi-level indices of a whole catalog.
+///
+/// `codes[item][level]` is the codeword chosen at that level. The paper's
+/// notation `<a_12><b_3><c_41><d_9>` corresponds to
+/// `codes[item] = [12, 3, 41, 9]` with `levels = 4`.
+#[derive(Clone, Debug)]
+pub struct ItemIndices {
+    /// Number of levels `H`.
+    pub levels: usize,
+    /// Codebook size per level. Level `l` codewords live in
+    /// `0..codebook_sizes[l]`.
+    pub codebook_sizes: Vec<usize>,
+    /// Per-item code sequences, each of length `levels`.
+    pub codes: Vec<Vec<u16>>,
+}
+
+impl ItemIndices {
+    /// Builds the container, validating code ranges.
+    pub fn new(codebook_sizes: Vec<usize>, codes: Vec<Vec<u16>>) -> Self {
+        let levels = codebook_sizes.len();
+        for (i, c) in codes.iter().enumerate() {
+            assert_eq!(c.len(), levels, "item {i} has {} levels, expected {levels}", c.len());
+            for (l, &code) in c.iter().enumerate() {
+                assert!(
+                    (code as usize) < codebook_sizes[l],
+                    "item {i} level {l} code {code} out of {}",
+                    codebook_sizes[l]
+                );
+            }
+        }
+        ItemIndices { levels, codebook_sizes, codes }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code sequence of one item.
+    pub fn of(&self, item: u32) -> &[u16] {
+        &self.codes[item as usize]
+    }
+
+    /// Number of items that share their full index with another item.
+    /// The paper's USM step exists to drive this to zero.
+    pub fn conflicts(&self) -> usize {
+        let mut seen: HashMap<&[u16], usize> = HashMap::new();
+        for c in &self.codes {
+            *seen.entry(c.as_slice()).or_default() += 1;
+        }
+        seen.values().filter(|&&n| n > 1).map(|&n| n).sum()
+    }
+
+    /// True if every item has a unique full index.
+    pub fn is_unique(&self) -> bool {
+        self.conflicts() == 0
+    }
+
+    /// Total number of distinct tokens the LM vocabulary must gain —
+    /// the paper's "usually ~1,000 additional tokens" (H × K).
+    pub fn vocab_tokens(&self) -> usize {
+        self.codebook_sizes.iter().sum()
+    }
+
+    /// Offset of level `l`'s tokens inside the flattened index-token block.
+    pub fn level_offset(&self, level: usize) -> usize {
+        self.codebook_sizes[..level].iter().sum()
+    }
+
+    /// Flattens `(level, code)` into a single token id in
+    /// `0..vocab_tokens()`.
+    pub fn flat_token(&self, level: usize, code: u16) -> usize {
+        self.level_offset(level) + code as usize
+    }
+
+    /// Human-readable form, e.g. `<a_12><b_3><c_41><d_9>`.
+    pub fn format(&self, item: u32) -> String {
+        let letters = ['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'];
+        self.codes[item as usize]
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| format!("<{}_{}>", letters[l % letters.len()], c))
+            .collect()
+    }
+
+    /// Fraction of same-prefix item pairs (at `depth` levels) — a coarse
+    /// measure of how hierarchical the code space is.
+    pub fn prefix_sharing(&self, depth: usize) -> f32 {
+        let n = self.codes.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut groups: HashMap<&[u16], usize> = HashMap::new();
+        for c in &self.codes {
+            *groups.entry(&c[..depth.min(self.levels)]).or_default() += 1;
+        }
+        let pairs: usize = groups.values().map(|&g| g * (g - 1) / 2).sum();
+        pairs as f32 / (n * (n - 1) / 2) as f32
+    }
+}
+
+/// A prefix tree over item indices. Drives the paper's constrained beam
+/// search: at each generation step only children of the current prefix are
+/// legal, so every completed beam is a real item ("probabilities of tokens
+/// that may result in illegal item indices will be assigned 0").
+#[derive(Debug)]
+pub struct IndexTrie {
+    levels: usize,
+    /// node → (code → child node id); leaves store item ids in `items`.
+    children: Vec<HashMap<u16, usize>>,
+    items: Vec<Option<u32>>,
+}
+
+impl IndexTrie {
+    /// Builds the trie from a set of item indices.
+    pub fn build(indices: &ItemIndices) -> Self {
+        let mut trie = IndexTrie {
+            levels: indices.levels,
+            children: vec![HashMap::new()],
+            items: vec![None],
+        };
+        for (item, codes) in indices.codes.iter().enumerate() {
+            let mut node = 0usize;
+            for &c in codes {
+                let next = match trie.children[node].get(&c) {
+                    Some(&n) => n,
+                    None => {
+                        trie.children.push(HashMap::new());
+                        trie.items.push(None);
+                        let id = trie.children.len() - 1;
+                        trie.children[node].insert(c, id);
+                        id
+                    }
+                };
+                node = next;
+            }
+            if trie.items[node].is_none() {
+                trie.items[node] = Some(item as u32);
+            }
+        }
+        trie
+    }
+
+    /// Number of index levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The node reached by `prefix`, if it exists.
+    fn node_at(&self, prefix: &[u16]) -> Option<usize> {
+        let mut node = 0usize;
+        for c in prefix {
+            node = *self.children[node].get(c)?;
+        }
+        Some(node)
+    }
+
+    /// Legal next codes after `prefix` (empty slice if the prefix is
+    /// illegal or complete).
+    pub fn allowed(&self, prefix: &[u16]) -> Vec<u16> {
+        match self.node_at(prefix) {
+            Some(n) => {
+                let mut v: Vec<u16> = self.children[n].keys().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The item whose full index is `codes`, if any.
+    pub fn item_at(&self, codes: &[u16]) -> Option<u32> {
+        if codes.len() != self.levels {
+            return None;
+        }
+        self.node_at(codes).and_then(|n| self.items[n])
+    }
+
+    /// Total node count (diagnostics / benches).
+    pub fn num_nodes(&self) -> usize {
+        self.children.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ItemIndices {
+        ItemIndices::new(
+            vec![4, 4, 4],
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1, 3],
+                vec![0, 2, 0],
+                vec![3, 0, 0],
+            ],
+        )
+    }
+
+    #[test]
+    fn uniqueness_and_conflicts() {
+        let idx = sample();
+        assert!(idx.is_unique());
+        let dup = ItemIndices::new(vec![2, 2], vec![vec![0, 1], vec![0, 1], vec![1, 0]]);
+        assert!(!dup.is_unique());
+        assert_eq!(dup.conflicts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_out_of_range_codes() {
+        ItemIndices::new(vec![2], vec![vec![5]]);
+    }
+
+    #[test]
+    fn token_flattening() {
+        let idx = sample();
+        assert_eq!(idx.vocab_tokens(), 12);
+        assert_eq!(idx.flat_token(0, 3), 3);
+        assert_eq!(idx.flat_token(1, 0), 4);
+        assert_eq!(idx.flat_token(2, 2), 10);
+    }
+
+    #[test]
+    fn format_is_readable() {
+        let idx = sample();
+        assert_eq!(idx.format(0), "<a_0><b_1><c_2>");
+    }
+
+    #[test]
+    fn trie_allows_only_real_prefixes() {
+        let idx = sample();
+        let trie = IndexTrie::build(&idx);
+        assert_eq!(trie.allowed(&[]), vec![0, 3]);
+        assert_eq!(trie.allowed(&[0]), vec![1, 2]);
+        assert_eq!(trie.allowed(&[0, 1]), vec![2, 3]);
+        assert!(trie.allowed(&[2]).is_empty(), "illegal prefix has no children");
+    }
+
+    #[test]
+    fn trie_resolves_items() {
+        let idx = sample();
+        let trie = IndexTrie::build(&idx);
+        assert_eq!(trie.item_at(&[0, 1, 3]), Some(1));
+        assert_eq!(trie.item_at(&[3, 0, 0]), Some(3));
+        assert_eq!(trie.item_at(&[1, 1, 1]), None);
+        assert_eq!(trie.item_at(&[0, 1]), None, "partial index is not an item");
+    }
+
+    #[test]
+    fn prefix_sharing_decreases_with_depth() {
+        let idx = sample();
+        assert!(idx.prefix_sharing(1) >= idx.prefix_sharing(2));
+        assert!(idx.prefix_sharing(2) >= idx.prefix_sharing(3));
+    }
+}

@@ -1,0 +1,147 @@
+//! Lightweight k-means (k-means++ seeding + Lloyd iterations) used to
+//! initialize RQ-VAE codebooks from data, the standard warm start for
+//! residual quantizers.
+
+use lcrec_tensor::linalg::sq_dist;
+use lcrec_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runs k-means on the rows of `x: [n, d]`, returning `[k, d]` centroids.
+/// If `n < k`, remaining centroids are filled with jittered copies so the
+/// result always has exactly `k` rows.
+pub fn kmeans(x: &Tensor, k: usize, iters: usize, rng: &mut StdRng) -> Tensor {
+    let n = x.rows();
+    let d = x.cols();
+    assert!(k > 0 && n > 0);
+    // --- k-means++ seeding ---
+    let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centers.push(x.row(rng.random_range(0..n)).to_vec());
+    let mut dists: Vec<f32> = (0..n).map(|i| sq_dist(x.row(i), &centers[0])).collect();
+    while centers.len() < k.min(n) {
+        let total: f32 = dists.iter().sum();
+        let pick = if total <= 1e-12 {
+            rng.random_range(0..n)
+        } else {
+            let mut u = rng.random_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in dists.iter().enumerate() {
+                if u < w {
+                    idx = i;
+                    break;
+                }
+                u -= w;
+            }
+            idx
+        };
+        centers.push(x.row(pick).to_vec());
+        for i in 0..n {
+            let dnew = sq_dist(x.row(i), centers.last().expect("non-empty"));
+            if dnew < dists[i] {
+                dists[i] = dnew;
+            }
+        }
+    }
+    // Pad with jittered copies if there were fewer points than centroids.
+    while centers.len() < k {
+        let base = centers[rng.random_range(0..centers.len())].clone();
+        let jittered: Vec<f32> =
+            base.iter().map(|v| v + rng.random_range(-0.01..0.01)).collect();
+        centers.push(jittered);
+    }
+
+    // --- Lloyd iterations ---
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        let mut changed = false;
+        for i in 0..n {
+            let row = x.row(i);
+            let mut best = 0;
+            let mut bd = f32::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let dd = sq_dist(row, center);
+                if dd < bd {
+                    bd = dd;
+                    best = c;
+                }
+            }
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f32; d]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assign[i]] += 1;
+            for (s, &v) in sums[assign[i]].iter_mut().zip(x.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                for (dst, s) in centers[c].iter_mut().zip(&sums[c]) {
+                    *dst = s * inv;
+                }
+            } else {
+                // Re-seed an empty cluster at the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(x.row(a), &centers[assign[a]]);
+                        let db = sq_dist(x.row(b), &centers[assign[b]]);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("non-empty");
+                centers[c] = x.row(far).to_vec();
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut flat = Vec::with_capacity(k * d);
+    for c in centers {
+        flat.extend(c);
+    }
+    Tensor::new(&[k, d], flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_two_clusters() {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let j = i as f32 * 0.01;
+            rows.push(vec![0.0 + j, 0.0]);
+            rows.push(vec![10.0 + j, 10.0]);
+        }
+        let x = Tensor::from_rows(&rows);
+        let c = kmeans(&x, 2, 20, &mut StdRng::seed_from_u64(3));
+        let mut xs: Vec<f32> = (0..2).map(|i| c.row(i)[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((xs[0] - 0.1).abs() < 0.5, "{xs:?}");
+        assert!((xs[1] - 10.1).abs() < 0.5, "{xs:?}");
+    }
+
+    #[test]
+    fn pads_when_fewer_points_than_centroids() {
+        let x = Tensor::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let c = kmeans(&x, 5, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(c.shape(), &[5, 2]);
+        assert!(!c.has_non_finite());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x = Tensor::from_rows(&(0..30).map(|i| vec![i as f32, (i * i) as f32 * 0.01]).collect::<Vec<_>>());
+        let a = kmeans(&x, 4, 10, &mut StdRng::seed_from_u64(9));
+        let b = kmeans(&x, 4, 10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,635 @@
+//! The RQ-VAE item-index learner (paper §III-B, Algorithm 1).
+//!
+//! An MLP encoder maps the item text embedding `e` to a latent `z`; `H`
+//! codebooks quantize `z` residually (coarse → fine); an MLP decoder
+//! reconstructs `e` from the quantized latent. Losses follow Eqn. (3)–(5):
+//! reconstruction + per-level codebook/commitment terms with stop-gradients,
+//! trained with AdamW (lr 1e-3), straight-through estimation for the
+//! quantization step.
+//!
+//! Uniform semantic mapping (USM): during training, the **last** level's
+//! assignment in each batch is solved as entropic optimal transport with
+//! uniform codeword marginals via Sinkhorn-Knopp instead of nearest
+//! neighbour (Algorithm 1 line 6). At index-construction time a second
+//! stage resolves any remaining full-index conflicts by redistributing
+//! last-level codes inside each conflicting prefix group.
+
+use crate::indices::ItemIndices;
+use crate::kmeans::kmeans;
+use crate::sinkhorn::{sinkhorn_plan, SinkhornConfig};
+use lcrec_tensor::linalg::sq_dist;
+use lcrec_tensor::nn::Linear;
+use lcrec_tensor::{AdamW, Graph, ParamId, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// RQ-VAE hyperparameters. Defaults mirror the paper at reduced scale.
+#[derive(Clone, Debug)]
+pub struct RqVaeConfig {
+    /// Input (text-embedding) dimension.
+    pub input_dim: usize,
+    /// Latent dimension (the paper uses 32).
+    pub latent_dim: usize,
+    /// Hidden widths of the MLP encoder/decoder.
+    pub hidden: Vec<usize>,
+    /// Number of quantization levels `H` (paper: 4).
+    pub levels: usize,
+    /// Codebook size `K` per level (paper: 256; scaled presets use less).
+    pub codebook_size: usize,
+    /// Commitment coefficient β (paper: 0.25).
+    pub beta: f32,
+    /// Learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Training epochs over the item set.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Whether the last level uses uniform semantic mapping during training.
+    pub usm: bool,
+    /// Sinkhorn configuration for USM.
+    pub sinkhorn: SinkhornConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RqVaeConfig {
+    /// A configuration sized for the small dataset presets.
+    ///
+    /// The paper uses H=4, K=256 for 10k–21k items (a ~10⁵× overprovisioned
+    /// code space). Scaled to a few hundred items, H=3 with K ≈
+    /// `items^0.55` keeps a ~30–50× overprovisioned space and the same
+    /// coarse-to-fine structure while keeping constrained decoding sharp.
+    pub fn small(input_dim: usize, num_items: usize) -> Self {
+        let k = ((num_items as f32).powf(0.55).ceil() as usize).clamp(8, 64);
+        RqVaeConfig {
+            input_dim,
+            latent_dim: 24,
+            hidden: vec![48],
+            levels: 3,
+            codebook_size: k,
+            beta: 0.25,
+            lr: 1e-3,
+            epochs: 60,
+            batch: 256,
+            usm: true,
+            sinkhorn: SinkhornConfig::default(),
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// A trained RQ-VAE.
+pub struct RqVae {
+    cfg: RqVaeConfig,
+    ps: ParamStore,
+    encoder: Vec<Linear>,
+    decoder: Vec<Linear>,
+    codebooks: Vec<ParamId>,
+}
+
+/// Diagnostics from one training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Final reconstruction loss.
+    pub final_recon: f32,
+}
+
+impl RqVae {
+    /// Builds an untrained model.
+    pub fn new(cfg: RqVaeConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamStore::new();
+        let mut encoder = Vec::new();
+        let mut dims = vec![cfg.input_dim];
+        dims.extend(&cfg.hidden);
+        dims.push(cfg.latent_dim);
+        for w in dims.windows(2) {
+            let i = encoder.len();
+            encoder.push(Linear::new(&mut ps, &format!("enc{i}"), w[0], w[1], &mut rng));
+        }
+        let mut decoder = Vec::new();
+        let mut ddims = vec![cfg.latent_dim];
+        ddims.extend(cfg.hidden.iter().rev());
+        ddims.push(cfg.input_dim);
+        for w in ddims.windows(2) {
+            let i = decoder.len();
+            decoder.push(Linear::new(&mut ps, &format!("dec{i}"), w[0], w[1], &mut rng));
+        }
+        let codebooks = (0..cfg.levels)
+            .map(|l| {
+                ps.add_no_decay(
+                    &format!("codebook{l}"),
+                    lcrec_tensor::init::normal(&[cfg.codebook_size, cfg.latent_dim], 0.1, &mut rng),
+                )
+            })
+            .collect();
+        RqVae { cfg, ps, encoder, decoder, codebooks }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RqVaeConfig {
+        &self.cfg
+    }
+
+    fn run_mlp(&self, g: &mut Graph, layers: &[Linear], mut x: Var) -> Var {
+        for (i, l) in layers.iter().enumerate() {
+            x = l.forward(g, &self.ps, x);
+            if i + 1 < layers.len() {
+                x = g.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Encodes embeddings to latents without recording gradients.
+    pub fn encode(&self, e: &Tensor) -> Tensor {
+        let mut g = Graph::inference();
+        let x = g.constant(e.clone());
+        let z = self.run_mlp(&mut g, &self.encoder, x);
+        g.value(z).clone()
+    }
+
+    /// Greedy residual quantization (Eqn. 1–2) of latents `z: [n, d]` →
+    /// per-item codes plus the quantized latents.
+    pub fn quantize_greedy(&self, z: &Tensor) -> (Vec<Vec<u16>>, Tensor) {
+        let n = z.rows();
+        let d = z.cols();
+        let mut residual = z.clone();
+        let mut zq = Tensor::zeros(&[n, d]);
+        let mut codes = vec![Vec::with_capacity(self.cfg.levels); n];
+        for l in 0..self.cfg.levels {
+            let book = self.ps.value(self.codebooks[l]);
+            for i in 0..n {
+                let (c, _) = nearest(book, residual.row(i));
+                codes[i].push(c as u16);
+                let cw = book.row(c);
+                let (rrow, qrow) = (residual.row_mut(i), ());
+                let _ = qrow;
+                for (j, r) in rrow.iter_mut().enumerate() {
+                    *r -= cw[j];
+                }
+                let qrow = zq.row_mut(i);
+                for (j, q) in qrow.iter_mut().enumerate() {
+                    *q += cw[j];
+                }
+            }
+        }
+        (codes, zq)
+    }
+
+    /// Residual quantization with USM on the last level (Algorithm 1):
+    /// levels `1..H-1` greedy, level `H` via batch Sinkhorn with uniform
+    /// codeword marginals.
+    pub fn quantize_usm(&self, z: &Tensor) -> (Vec<Vec<u16>>, Tensor) {
+        let n = z.rows();
+        let d = z.cols();
+        let mut residual = z.clone();
+        let mut zq = Tensor::zeros(&[n, d]);
+        let mut codes = vec![Vec::with_capacity(self.cfg.levels); n];
+        for l in 0..self.cfg.levels {
+            let book = self.ps.value(self.codebooks[l]);
+            let chosen: Vec<usize> = if l + 1 < self.cfg.levels || !self.cfg.usm {
+                (0..n).map(|i| nearest(book, residual.row(i)).0).collect()
+            } else {
+                // Cost matrix over the batch, then balanced assignment.
+                let k = self.cfg.codebook_size;
+                let mut cost = Vec::with_capacity(n * k);
+                for i in 0..n {
+                    let r = residual.row(i);
+                    for c in 0..k {
+                        cost.push(sq_dist(r, book.row(c)));
+                    }
+                }
+                let cost = Tensor::new(&[n, k], cost);
+                let plan = sinkhorn_plan(&cost, self.cfg.sinkhorn);
+                crate::sinkhorn::balanced_assign(&plan).into_iter().map(|c| c as usize).collect()
+            };
+            for i in 0..n {
+                let c = chosen[i];
+                codes[i].push(c as u16);
+                let cw = book.row(c).to_vec();
+                for (j, r) in residual.row_mut(i).iter_mut().enumerate() {
+                    *r -= cw[j];
+                }
+                for (j, q) in zq.row_mut(i).iter_mut().enumerate() {
+                    *q += cw[j];
+                }
+            }
+        }
+        (codes, zq)
+    }
+
+    /// Initializes each codebook with k-means over the residuals the
+    /// untrained encoder produces — the residual-quantizer warm start.
+    pub fn warm_start(&mut self, embeddings: &Tensor) {
+        let z = self.encode(embeddings);
+        let mut residual = z;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xBEEF);
+        for l in 0..self.cfg.levels {
+            let centers = kmeans(&residual, self.cfg.codebook_size, 15, &mut rng);
+            // Subtract the nearest centre to form the next level's residuals.
+            for i in 0..residual.rows() {
+                let (c, _) = nearest(&centers, residual.row(i));
+                let cw = centers.row(c).to_vec();
+                for (j, r) in residual.row_mut(i).iter_mut().enumerate() {
+                    *r -= cw[j];
+                }
+            }
+            *self.ps.value_mut(self.codebooks[l]) = centers;
+        }
+    }
+
+    /// Trains encoder, decoder and codebooks on the item embeddings
+    /// `e: [num_items, input_dim]`.
+    pub fn train(&mut self, embeddings: &Tensor) -> TrainReport {
+        self.warm_start(embeddings);
+        let n = embeddings.rows();
+        let mut opt = AdamW::new(self.cfg.lr);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7777);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut report = TrainReport::default();
+        for _epoch in 0..self.cfg.epochs {
+            for i in (1..n).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(self.cfg.batch) {
+                let batch = gather(embeddings, chunk);
+                let (loss, recon) = self.train_step(&batch, &mut opt);
+                epoch_loss += loss;
+                report.final_recon = recon;
+                batches += 1;
+            }
+            report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        }
+        report
+    }
+
+    /// One optimization step on a batch; returns (total loss, recon loss).
+    fn train_step(&mut self, e: &Tensor, opt: &mut AdamW) -> (f32, f32) {
+        let mut g = Graph::new();
+        let ev = g.constant(e.clone());
+        let z = self.run_mlp(&mut g, &self.encoder, ev);
+        let z_val = g.value(z).clone();
+        // Quantize outside the tape (indices are discrete), then re-enter
+        // via the straight-through trick: zq_st = z + const(zq - z).
+        let (codes, zq_val) = self.quantize_usm(&z_val);
+        let mut delta = zq_val.clone();
+        for (d, zv) in delta.data_mut().iter_mut().zip(z_val.data()) {
+            *d -= zv;
+        }
+        let delta_c = g.constant(delta);
+        let zq_st = g.add(z, delta_c);
+        let recon = self.run_mlp(&mut g, &self.decoder, zq_st);
+        let recon_loss = g.mse(recon, ev);
+
+        // Per-level residual/codebook losses (Eqn. 4).
+        let mut total = recon_loss;
+        let mut residual_val = z_val.clone();
+        // r_i as a graph value: z - const(prefix of codewords).
+        let mut prefix = Tensor::zeros(&[e.rows(), self.cfg.latent_dim]);
+        for l in 0..self.cfg.levels {
+            let book_var = g.param(&self.ps, self.codebooks[l]);
+            let ids: Vec<u32> = codes.iter().map(|c| c[l] as u32).collect();
+            let chosen = g.gather_rows(book_var, &ids); // differentiable into codebook
+            // Term 1: ||sg[r_i] - v||² — train the codebook towards residuals.
+            let r_const = g.constant(residual_val.clone());
+            let codebook_term = g.mse(chosen, r_const);
+            // Term 2 (commitment): β ||r_i - sg[v]||² — pull encoder to codes.
+            let prefix_c = g.constant(prefix.clone());
+            let r_graph = g.sub(z, prefix_c);
+            let chosen_vals: Tensor = {
+                let book = self.ps.value(self.codebooks[l]);
+                let mut d = Vec::with_capacity(ids.len() * self.cfg.latent_dim);
+                for &i in &ids {
+                    d.extend_from_slice(book.row(i as usize));
+                }
+                Tensor::new(&[ids.len(), self.cfg.latent_dim], d)
+            };
+            let chosen_c = g.constant(chosen_vals.clone());
+            let commit_raw = g.mse(r_graph, chosen_c);
+            let commit = g.scale(commit_raw, self.cfg.beta);
+            let level = g.add(codebook_term, commit);
+            total = g.add(total, level);
+            // Advance residuals and prefix for the next level.
+            for ((r, p), c) in residual_val
+                .data_mut()
+                .iter_mut()
+                .zip(prefix.data_mut())
+                .zip(chosen_vals.data())
+            {
+                *r -= c;
+                *p += c;
+            }
+        }
+        let loss_val = g.value(total).item();
+        let recon_val = g.value(recon_loss).item();
+        self.ps.zero_grads();
+        g.backward(total, &mut self.ps);
+        self.ps.clip_grad_norm(5.0);
+        opt.step(&mut self.ps);
+        (loss_val, recon_val)
+    }
+
+    /// Constructs final item indices (two-stage, paper §III-B2):
+    /// greedy assignment per Eqn. (1), then per-prefix-group conflict
+    /// resolution that redistributes last-level codes uniformly.
+    pub fn build_indices(&self, embeddings: &Tensor) -> ItemIndices {
+        let z = self.encode(embeddings);
+        let (mut codes, _) = self.quantize_greedy(&z);
+        if self.cfg.usm {
+            self.resolve_conflicts(&z, &mut codes);
+        } else {
+            // Ablation variant handled by the indexer layer (suffix IDs).
+        }
+        ItemIndices::new(vec![self.cfg.codebook_size; self.cfg.levels], codes)
+    }
+
+    /// Residual of item `i` entering level `level` (z minus the chosen
+    /// codewords of all earlier levels).
+    fn residual_at(&self, z: &Tensor, codes: &[Vec<u16>], i: usize, level: usize) -> Vec<f32> {
+        let mut r = z.row(i).to_vec();
+        for (l, &code) in codes[i][..level].iter().enumerate() {
+            let cw = self.ps.value(self.codebooks[l]);
+            for (j, rr) in r.iter_mut().enumerate() {
+                *rr -= cw.at(code as usize, j);
+            }
+        }
+        r
+    }
+
+    /// Redistributes last-level codes inside groups of items that share all
+    /// `H` codes (paper §III-B2). Within each (H-1)-prefix cohort the
+    /// conflicting items receive distinct unused codes, ordered by a
+    /// Sinkhorn-balanced transport over their last-level residuals. Cohorts
+    /// larger than the codebook overflow into sibling prefixes by moving an
+    /// item's level-(H-2) code to its next-nearest codeword, which
+    /// guarantees progress; the round budget bounds pathological cases.
+    fn resolve_conflicts(&self, z: &Tensor, codes: &mut [Vec<u16>]) {
+        let h = self.cfg.levels;
+        let k = self.cfg.codebook_size;
+        let book = self.ps.value(self.codebooks[h - 1]);
+        for round in 0..(2 * k + 4) {
+            // Conflicting items grouped by their (H-1)-prefix cohort.
+            let mut groups: HashMap<Vec<u16>, Vec<usize>> = HashMap::new();
+            for (i, c) in codes.iter().enumerate() {
+                groups.entry(c.clone()).or_default().push(i);
+            }
+            let mut by_prefix: HashMap<Vec<u16>, Vec<usize>> = HashMap::new();
+            for (full, items) in groups.into_iter().filter(|(_, v)| v.len() > 1) {
+                by_prefix.entry(full[..h - 1].to_vec()).or_default().extend(items);
+            }
+            if by_prefix.is_empty() {
+                return;
+            }
+            for (prefix, mut items) in by_prefix {
+                items.sort_unstable();
+                // Last-level codes reserved by non-conflicting cohort members.
+                let mut used: Vec<bool> = vec![false; k];
+                for (i, c) in codes.iter().enumerate() {
+                    if c[..h - 1] == prefix[..] && !items.contains(&i) {
+                        used[c[h - 1] as usize] = true;
+                    }
+                }
+                let free: Vec<u16> =
+                    (0..k as u16).filter(|&c| !used[c as usize]).collect();
+                let fit = items.len().min(free.len());
+                if fit > 0 {
+                    // Transport the first `fit` items onto the free codes.
+                    let mut cost = Vec::with_capacity(fit * free.len());
+                    for &i in items.iter().take(fit) {
+                        let r = self.residual_at(z, codes, i, h - 1);
+                        for &c in &free {
+                            cost.push(sq_dist(&r, book.row(c as usize)));
+                        }
+                    }
+                    let cost = Tensor::new(&[fit, free.len()], cost);
+                    let plan = sinkhorn_plan(&cost, self.cfg.sinkhorn);
+                    let assign = crate::sinkhorn::balanced_assign(&plan);
+                    // Capacity may exceed 1 when fit < free; enforce
+                    // uniqueness greedily as a final pass.
+                    let mut taken = vec![false; free.len()];
+                    for (slot, &i) in items.iter().take(fit).enumerate() {
+                        let mut pick = assign[slot] as usize;
+                        if taken[pick] {
+                            pick = (0..free.len()).find(|&c| !taken[c]).expect("fit <= free");
+                        }
+                        taken[pick] = true;
+                        codes[i][h - 1] = free[pick];
+                    }
+                }
+                // Overflow: move level-(H-2) codes toward later-ranked
+                // neighbours so the items land in sibling cohorts.
+                if items.len() > fit && h >= 2 {
+                    let up_book = self.ps.value(self.codebooks[h - 2]);
+                    for &i in items.iter().skip(fit) {
+                        let r = self.residual_at(z, codes, i, h - 2);
+                        let mut ranked: Vec<usize> = (0..k).collect();
+                        ranked.sort_by(|&a, &b| {
+                            sq_dist(&r, up_book.row(a))
+                                .partial_cmp(&sq_dist(&r, up_book.row(b)))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        // Walk further down the ranking every round.
+                        let next = ranked[(1 + round) % k];
+                        codes[i][h - 2] = next as u16;
+                        // Re-seat the last level greedily in the new cohort.
+                        let r_last = self.residual_at(z, codes, i, h - 1);
+                        let mut best = 0u16;
+                        let mut bd = f32::INFINITY;
+                        for c in 0..k {
+                            let d = sq_dist(&r_last, book.row(c));
+                            if d < bd {
+                                bd = d;
+                                best = c as u16;
+                            }
+                        }
+                        codes[i][h - 1] = best;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes quantized latents back to embedding space (diagnostics).
+    pub fn decode(&self, zq: &Tensor) -> Tensor {
+        let mut g = Graph::inference();
+        let x = g.constant(zq.clone());
+        let y = self.run_mlp(&mut g, &self.decoder, x);
+        g.value(y).clone()
+    }
+
+    /// Codebook tensor at a level (read-only).
+    pub fn codebook(&self, level: usize) -> &Tensor {
+        self.ps.value(self.codebooks[level])
+    }
+}
+
+fn nearest(book: &Tensor, row: &[f32]) -> (usize, f32) {
+    let mut best = 0;
+    let mut bd = f32::INFINITY;
+    for c in 0..book.rows() {
+        let d = sq_dist(row, book.row(c));
+        if d < bd {
+            bd = d;
+            best = c;
+        }
+    }
+    (best, bd)
+}
+
+fn gather(x: &Tensor, rows: &[usize]) -> Tensor {
+    let d = x.cols();
+    let mut out = Vec::with_capacity(rows.len() * d);
+    for &r in rows {
+        out.extend_from_slice(x.row(r));
+    }
+    Tensor::new(&[rows.len(), d], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_tensor::init;
+
+    /// Synthetic embeddings with 4 clear clusters.
+    fn clustered(n_per: usize, dim: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(5);
+        let centers = init::normal(&[4, dim], 2.0, &mut rng);
+        let mut rows = Vec::new();
+        for c in 0..4 {
+            for _ in 0..n_per {
+                let noise = init::normal(&[dim], 0.15, &mut rng);
+                let row: Vec<f32> =
+                    centers.row(c).iter().zip(noise.data()).map(|(a, b)| a + b).collect();
+                rows.push(row);
+            }
+        }
+        Tensor::from_rows(&rows)
+    }
+
+    fn tiny_cfg(dim: usize) -> RqVaeConfig {
+        RqVaeConfig {
+            input_dim: dim,
+            latent_dim: 8,
+            hidden: vec![16],
+            levels: 3,
+            codebook_size: 6,
+            beta: 0.25,
+            lr: 2e-3,
+            epochs: 25,
+            batch: 32,
+            usm: true,
+            sinkhorn: SinkhornConfig::default(),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let e = clustered(10, 12);
+        let mut m = RqVae::new(tiny_cfg(12));
+        let report = m.train(&e);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().expect("non-empty");
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn indices_are_unique_after_usm() {
+        let e = clustered(12, 12);
+        let mut m = RqVae::new(tiny_cfg(12));
+        m.train(&e);
+        let idx = m.build_indices(&e);
+        assert!(idx.is_unique(), "{} conflicts remain", idx.conflicts());
+        assert_eq!(idx.len(), e.rows());
+    }
+
+    #[test]
+    fn first_level_codes_follow_clusters() {
+        // Items in the same synthetic cluster should mostly share their
+        // level-1 code — the "meaningful IDs" property.
+        let e = clustered(12, 12);
+        let mut m = RqVae::new(tiny_cfg(12));
+        m.train(&e);
+        let idx = m.build_indices(&e);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for cluster in 0..4 {
+            let base = cluster * 12;
+            // Majority level-1 code of this cluster.
+            let mut counts = HashMap::new();
+            for i in 0..12 {
+                *counts.entry(idx.of((base + i) as u32)[0]).or_insert(0usize) += 1;
+            }
+            let majority = counts.values().copied().max().expect("non-empty");
+            agree += majority;
+            total += 12;
+        }
+        let purity = agree as f32 / total as f32;
+        assert!(purity > 0.7, "cluster purity {purity}");
+    }
+
+    #[test]
+    fn quantize_greedy_matches_codebook_arithmetic() {
+        let e = clustered(4, 12);
+        let m = RqVae::new(tiny_cfg(12));
+        let z = m.encode(&e);
+        let (codes, zq) = m.quantize_greedy(&z);
+        // zq must equal the sum of the chosen codewords.
+        for (i, c) in codes.iter().enumerate() {
+            let mut sum = vec![0.0f32; 8];
+            for (l, &code) in c.iter().enumerate() {
+                for (j, s) in sum.iter_mut().enumerate() {
+                    *s += m.codebook(l).at(code as usize, j);
+                }
+            }
+            for (a, b) in sum.iter().zip(zq.row(i)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_beats_zero_baseline() {
+        let e = clustered(10, 12);
+        let mut m = RqVae::new(tiny_cfg(12));
+        m.train(&e);
+        let z = m.encode(&e);
+        let (_, zq) = m.quantize_usm(&z);
+        let rec = m.decode(&zq);
+        let err: f32 = rec
+            .data()
+            .iter()
+            .zip(e.data())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / e.numel() as f32;
+        let var: f32 = {
+            let mean = e.mean();
+            e.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / e.numel() as f32
+        };
+        assert!(err < var, "reconstruction MSE {err} vs variance {var}");
+    }
+
+    #[test]
+    fn usm_spreads_last_level_codes() {
+        let e = clustered(12, 12);
+        let mut m = RqVae::new(tiny_cfg(12));
+        m.train(&e);
+        let z = m.encode(&e);
+        let (codes, _) = m.quantize_usm(&z);
+        let mut counts = vec![0usize; 6];
+        for c in &codes {
+            counts[c[2] as usize] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        // 48 items over 6 codes: uniform is 8; allow slack but forbid collapse.
+        assert!(max <= 8, "last-level counts {counts:?}");
+    }
+}

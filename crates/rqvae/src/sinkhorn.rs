@@ -1,0 +1,193 @@
+//! Sinkhorn-Knopp solver for the uniform-semantic-mapping constraint
+//! (paper Eqn. 6).
+//!
+//! The last RQ level's assignment is cast as entropic optimal transport:
+//! rows are residual vectors, columns are codewords, cost is squared
+//! distance, row marginals are `1/n` and column marginals `1/K` (uniform —
+//! every codeword receives the same mass). The solver returns the transport
+//! plan `q(c_H = k | r_H)`.
+
+use lcrec_tensor::Tensor;
+
+/// Configuration of the Sinkhorn iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct SinkhornConfig {
+    /// Entropic regularization ε; smaller is sharper but less stable.
+    pub epsilon: f32,
+    /// Number of row/column scaling sweeps.
+    pub iterations: usize,
+}
+
+impl Default for SinkhornConfig {
+    fn default() -> Self {
+        SinkhornConfig { epsilon: 0.05, iterations: 50 }
+    }
+}
+
+/// Runs Sinkhorn-Knopp on a `[n, k]` cost matrix with uniform marginals.
+/// Returns the transport plan as a `[n, k]` tensor whose rows sum to `1/n`
+/// and columns to `1/k` (up to convergence tolerance).
+pub fn sinkhorn_plan(cost: &Tensor, cfg: SinkhornConfig) -> Tensor {
+    let n = cost.rows();
+    let k = cost.cols();
+    assert!(n > 0 && k > 0, "empty cost matrix");
+    // Stabilize: subtract the row minimum before exponentiating.
+    let mut kmat = vec![0.0f32; n * k];
+    for (i, row) in cost.data().chunks_exact(k).enumerate() {
+        let mn = row.iter().copied().fold(f32::INFINITY, f32::min);
+        for (j, &c) in row.iter().enumerate() {
+            kmat[i * k + j] = (-(c - mn) / cfg.epsilon).exp().max(1e-30);
+        }
+    }
+    let r = 1.0 / n as f32; // row marginal
+    let c = 1.0 / k as f32; // column marginal
+    let mut u = vec![1.0f32; n];
+    let mut v = vec![1.0f32; k];
+    for _ in 0..cfg.iterations {
+        // u_i = r / (K v)_i
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..k {
+                s += kmat[i * k + j] * v[j];
+            }
+            u[i] = r / s.max(1e-30);
+        }
+        // v_j = c / (K^T u)_j
+        for j in 0..k {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += kmat[i * k + j] * u[i];
+            }
+            v[j] = c / s.max(1e-30);
+        }
+    }
+    let mut plan = vec![0.0f32; n * k];
+    for i in 0..n {
+        for j in 0..k {
+            plan[i * k + j] = u[i] * kmat[i * k + j] * v[j];
+        }
+    }
+    Tensor::new(&[n, k], plan)
+}
+
+/// Balanced hard assignment from a transport plan: rows are assigned to
+/// columns greedily by descending plan mass, respecting a per-column
+/// capacity of `ceil(n / k)`. Every row receives exactly one column, and no
+/// column exceeds its capacity — the discrete counterpart of Eqn. (6)'s
+/// uniform constraint.
+pub fn balanced_assign(plan: &Tensor) -> Vec<u16> {
+    let n = plan.rows();
+    let k = plan.cols();
+    let cap = n.div_ceil(k);
+    // Sort all (row, col) cells by descending mass.
+    let mut cells: Vec<(u32, u16)> = Vec::with_capacity(n * k);
+    for i in 0..n {
+        for j in 0..k {
+            cells.push((i as u32, j as u16));
+        }
+    }
+    cells.sort_by(|a, b| {
+        let pa = plan.at(a.0 as usize, a.1 as usize);
+        let pb = plan.at(b.0 as usize, b.1 as usize);
+        pb.partial_cmp(&pa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut assigned = vec![u16::MAX; n];
+    let mut remaining = n;
+    let mut load = vec![0usize; k];
+    for (i, j) in cells {
+        let (i, j) = (i as usize, j as usize);
+        if assigned[i] != u16::MAX || load[j] >= cap {
+            continue;
+        }
+        assigned[i] = j as u16;
+        load[j] += 1;
+        remaining -= 1;
+        if remaining == 0 {
+            break;
+        }
+    }
+    debug_assert!(assigned.iter().all(|&a| a != u16::MAX));
+    assigned
+}
+
+/// Convenience: Sinkhorn plan + balanced hard assignment in one call.
+pub fn uniform_assign(cost: &Tensor, cfg: SinkhornConfig) -> Vec<u16> {
+    balanced_assign(&sinkhorn_plan(cost, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost_from(points: &[[f32; 2]], centers: &[[f32; 2]]) -> Tensor {
+        let mut data = Vec::new();
+        for p in points {
+            for c in centers {
+                data.push((p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2));
+            }
+        }
+        Tensor::new(&[points.len(), centers.len()], data)
+    }
+
+    #[test]
+    fn plan_has_uniform_marginals() {
+        let cost = cost_from(
+            &[[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]],
+            &[[0.0, 0.0], [5.0, 5.0]],
+        );
+        let plan = sinkhorn_plan(&cost, SinkhornConfig::default());
+        let (n, k) = (4, 2);
+        for i in 0..n {
+            let s: f32 = (0..k).map(|j| plan.at(i, j)).sum();
+            assert!((s - 0.25).abs() < 1e-3, "row {i} sums {s}");
+        }
+        for j in 0..k {
+            let s: f32 = (0..n).map(|i| plan.at(i, j)).sum();
+            assert!((s - 0.5).abs() < 1e-3, "col {j} sums {s}");
+        }
+    }
+
+    #[test]
+    fn balanced_assignment_respects_capacity() {
+        // 5 points, 2 centers → capacity 3.
+        let cost = cost_from(
+            &[[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [0.3, 0.0], [5.0, 5.0]],
+            &[[0.0, 0.0], [5.0, 5.0]],
+        );
+        let a = uniform_assign(&cost, SinkhornConfig::default());
+        let c0 = a.iter().filter(|&&x| x == 0).count();
+        let c1 = a.iter().filter(|&&x| x == 1).count();
+        assert!(c0 <= 3 && c1 <= 3, "loads {c0}/{c1}");
+        assert_eq!(c0 + c1, 5);
+        // The far point must go to its own center.
+        assert_eq!(a[4], 1);
+    }
+
+    #[test]
+    fn balanced_assignment_splits_identical_points() {
+        // All points identical: nearest-neighbour would collapse to one
+        // codeword; the uniform constraint must spread them out.
+        let cost = Tensor::new(&[4, 2], vec![1.0; 8]);
+        let a = uniform_assign(&cost, SinkhornConfig::default());
+        let c0 = a.iter().filter(|&&x| x == 0).count();
+        assert_eq!(c0, 2, "identical points should split evenly, got {a:?}");
+    }
+
+    #[test]
+    fn well_separated_clusters_keep_natural_assignment() {
+        let cost = cost_from(
+            &[[0.0, 0.0], [0.1, 0.1], [9.0, 9.0], [9.1, 9.1]],
+            &[[0.0, 0.0], [9.0, 9.0]],
+        );
+        let a = uniform_assign(&cost, SinkhornConfig::default());
+        assert_eq!(&a[..2], &[0, 0]);
+        assert_eq!(&a[2..], &[1, 1]);
+    }
+
+    #[test]
+    fn plan_is_finite_under_extreme_costs() {
+        let cost = Tensor::new(&[2, 2], vec![0.0, 1e6, 1e6, 0.0]);
+        let plan = sinkhorn_plan(&cost, SinkhornConfig { epsilon: 0.01, iterations: 30 });
+        assert!(plan.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,174 @@
+//! BERT4Rec (Sun et al., CIKM 2019): a bidirectional Transformer trained
+//! with the cloze (masked item) objective. At inference a `[MASK]` token is
+//! appended to the history and the model predicts the item at that slot.
+
+use crate::common::{clip_history, epoch_batches, RecConfig, ScoreModel, TrainingPairs};
+use lcrec_tensor::nn::{Act, BlockConfig, Embedding, LayerNorm, Norm, TransformerBlock};
+use lcrec_tensor::{AdamW, Graph, ParamStore, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The BERT4Rec model. The item vocabulary gains one `[MASK]` token whose
+/// id is `num_items`.
+pub struct Bert4Rec {
+    cfg: RecConfig,
+    ps: ParamStore,
+    item_emb: Embedding, // [num_items + 1, d]; last row = MASK
+    pos_emb: Embedding,
+    blocks: Vec<TransformerBlock>,
+    final_norm: LayerNorm,
+    num_items: usize,
+    /// Probability of masking each position during training.
+    pub mask_prob: f32,
+}
+
+impl Bert4Rec {
+    /// Builds an untrained BERT4Rec.
+    pub fn new(num_items: usize, cfg: RecConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamStore::new();
+        let item_emb = Embedding::new(&mut ps, "item_emb", num_items + 1, cfg.dim, &mut rng);
+        let pos_emb = Embedding::new(&mut ps, "pos_emb", cfg.max_len + 1, cfg.dim, &mut rng);
+        let bc = BlockConfig {
+            dim: cfg.dim,
+            heads: cfg.heads,
+            ff_hidden: cfg.dim * 4,
+            dropout: cfg.dropout,
+            norm: Norm::Layer,
+            act: Act::Gelu,
+        };
+        let blocks = (0..cfg.layers)
+            .map(|l| TransformerBlock::new(&mut ps, &format!("block{l}"), bc, &mut rng))
+            .collect();
+        let final_norm = LayerNorm::new(&mut ps, "final_norm", cfg.dim);
+        Bert4Rec { cfg, ps, item_emb, pos_emb, blocks, final_norm, num_items, mask_prob: 0.3 }
+    }
+
+    fn mask_token(&self) -> u32 {
+        self.num_items as u32
+    }
+
+    /// Bidirectional encoding of `[b, l]` token rows → `[b*l, d]`.
+    fn encode(&self, g: &mut Graph, tokens: &[u32], b: usize, l: usize) -> Var {
+        let x = self.item_emb.forward(g, &self.ps, tokens);
+        let pos_ids: Vec<u32> = (0..b).flat_map(|_| 0..l as u32).collect();
+        let p = self.pos_emb.forward(g, &self.ps, &pos_ids);
+        let x = g.add(x, p);
+        let mut x = g.dropout(x, self.cfg.dropout);
+        for blk in &self.blocks {
+            x = blk.forward(g, &self.ps, x, b, l, None, None);
+        }
+        self.final_norm.forward(g, &self.ps, x)
+    }
+
+    /// Trains with the cloze objective on full training histories
+    /// (one masked copy per pair per epoch). Returns per-epoch losses.
+    pub fn fit(&mut self, pairs: &TrainingPairs) -> Vec<f32> {
+        let cfg = self.cfg.clone();
+        let mut opt = AdamW::new(cfg.lr);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBE27);
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let batches = epoch_batches(pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 77));
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for batch in &batches {
+                // Extend each history with its target (the cloze setup sees
+                // whole sequences), then mask random positions.
+                let l = batch.len + 1;
+                let mut tokens = Vec::with_capacity(batch.b * l);
+                let mut targets = Vec::with_capacity(batch.b * l);
+                for (row, &t) in batch.targets.iter().enumerate() {
+                    let hist = &batch.hist[row * batch.len..(row + 1) * batch.len];
+                    let full: Vec<u32> = hist.iter().copied().chain([t]).collect();
+                    let mut masked_any = false;
+                    for (j, &tok) in full.iter().enumerate() {
+                        let mask =
+                            rng.random_range(0.0f32..1.0) < self.mask_prob || (j + 1 == l && !masked_any);
+                        if mask {
+                            tokens.push(self.mask_token());
+                            targets.push(tok);
+                            masked_any = true;
+                        } else {
+                            tokens.push(tok);
+                            targets.push(u32::MAX);
+                        }
+                    }
+                }
+                let mut g = Graph::new();
+                g.seed(cfg.seed ^ (epoch as u64) << 18);
+                let enc = self.encode(&mut g, &tokens, batch.b, l);
+                // Predict only real items (exclude the MASK row itself).
+                let table = g.param(&self.ps, self.item_emb.table_id());
+                let items_only = g.slice_rows(table, 0, self.num_items);
+                let logits = g.matmul_nt(enc, items_only);
+                let loss = g.cross_entropy(logits, &targets, u32::MAX);
+                sum += g.value(loss).item();
+                count += 1;
+                self.ps.zero_grads();
+                g.backward(loss, &mut self.ps);
+                self.ps.clip_grad_norm(5.0);
+                opt.step(&mut self.ps);
+            }
+            losses.push(sum / count.max(1) as f32);
+        }
+        losses
+    }
+}
+
+impl ScoreModel for Bert4Rec {
+    fn score_all(&self, _user: usize, history: &[u32]) -> Vec<f32> {
+        let h = clip_history(history, self.cfg.max_len);
+        let mut tokens = h.to_vec();
+        tokens.push(self.mask_token());
+        let l = tokens.len();
+        let mut g = Graph::inference();
+        let enc = self.encode(&mut g, &tokens, 1, l);
+        let last = g.slice_rows(enc, l - 1, l);
+        let table = g.param(&self.ps, self.item_emb.table_id());
+        let items_only = g.slice_rows(table, 0, self.num_items);
+        let logits = g.matmul_nt(last, items_only);
+        g.value(logits).data().to_vec()
+    }
+
+    fn model_name(&self) -> &'static str {
+        "BERT4Rec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_data::{Dataset, DatasetConfig};
+
+    #[test]
+    fn bert4rec_learns_tiny_dataset() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let pairs = TrainingPairs::build(&ds, 10);
+        let mut m = Bert4Rec::new(ds.num_items(), RecConfig::test());
+        let losses = m.fit(&pairs);
+        assert!(losses.last().expect("epochs") < &losses[0], "{losses:?}");
+        let scores = m.score_all(0, &[1, 2, 3]);
+        assert_eq!(scores.len(), ds.num_items());
+    }
+
+    #[test]
+    fn mask_token_is_out_of_item_range() {
+        let m = Bert4Rec::new(30, RecConfig::test());
+        assert_eq!(m.mask_token(), 30);
+        // Scores never include the mask pseudo-item.
+        assert_eq!(m.score_all(0, &[0, 1]).len(), 30);
+    }
+
+    #[test]
+    fn bidirectional_context_affects_predictions() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let pairs = TrainingPairs::build(&ds, 10);
+        let mut m = Bert4Rec::new(ds.num_items(), RecConfig::test());
+        m.fit(&pairs);
+        // Changing an early history item changes the mask-slot scores.
+        let a = m.score_all(0, &[0, 5, 6]);
+        let b = m.score_all(0, &[1, 5, 6]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Caser (Tang & Wang, WSDM 2018): treats the last `L` item embeddings as an
+//! `L × d` image and applies horizontal convolutions (union-level patterns,
+//! max-pooled over time) and vertical convolutions (weighted sums over time),
+//! concatenated with a user embedding into the prediction layer.
+
+use crate::common::{clip_history, epoch_batches, Batch, RecConfig, ScoreModel, TrainingPairs};
+use lcrec_data::Dataset;
+use lcrec_tensor::nn::{Embedding, Linear};
+use lcrec_tensor::{AdamW, Graph, ParamStore, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The Caser model. Uses a fixed window of the `window` most recent items,
+/// left-padded with a dedicated padding embedding row.
+pub struct Caser {
+    cfg: RecConfig,
+    ps: ParamStore,
+    item_emb: Embedding, // [num_items + 1, d]; last row = padding
+    user_emb: Embedding,
+    /// One horizontal filter bank per height: `[h*d, filters]`.
+    h_filters: Vec<(usize, Linear)>,
+    /// Vertical filters `[n_v, window]` applied as a constant-group matmul
+    /// is not possible (they are learned), so they are a Linear over time.
+    v_filters: Linear,
+    fc: Linear,
+    window: usize,
+    #[allow(dead_code)] // retained for diagnostics / future scoring filters
+    n_h: usize,
+    n_v: usize,
+    num_items: usize,
+}
+
+impl Caser {
+    /// Builds an untrained Caser for `num_items` items and `num_users` users.
+    pub fn new(num_items: usize, num_users: usize, cfg: RecConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamStore::new();
+        let window = 5usize.min(cfg.max_len);
+        let n_h = 8; // filters per height
+        let n_v = 4;
+        let item_emb = Embedding::new(&mut ps, "item_emb", num_items + 1, cfg.dim, &mut rng);
+        let user_emb = Embedding::new(&mut ps, "user_emb", num_users.max(1), cfg.dim, &mut rng);
+        let heights = [2usize, 3, 4];
+        let h_filters = heights
+            .iter()
+            .filter(|&&h| h <= window)
+            .map(|&h| {
+                (h, Linear::new(&mut ps, &format!("hconv{h}"), h * cfg.dim, n_h, &mut rng))
+            })
+            .collect::<Vec<_>>();
+        let v_filters = Linear::with_bias(&mut ps, "vconv", window, n_v, false, &mut rng);
+        let conv_out = h_filters.len() * n_h + n_v * cfg.dim;
+        let fc = Linear::new(&mut ps, "fc", conv_out + cfg.dim, cfg.dim, &mut rng);
+        Caser { cfg, ps, item_emb, user_emb, h_filters, v_filters, fc, window, n_h, n_v, num_items }
+    }
+
+    fn pad_token(&self) -> u32 {
+        self.num_items as u32
+    }
+
+    /// Fixed-window tokens for a history: the last `window` items,
+    /// left-padded.
+    fn window_tokens(&self, history: &[u32]) -> Vec<u32> {
+        let h = clip_history(history, self.window);
+        let mut out = vec![self.pad_token(); self.window - h.len()];
+        out.extend_from_slice(h);
+        out
+    }
+
+    fn rep(&self, g: &mut Graph, tokens: &[u32], users: &[u32], b: usize) -> Var {
+        let l = self.window;
+        let d = self.cfg.dim;
+        let e = self.item_emb.forward(g, &self.ps, tokens); // [b*l, d]
+        let e = g.dropout(e, self.cfg.dropout);
+        let mut feats: Vec<Var> = Vec::new();
+        // Horizontal convolutions: windows of h rows → Linear → ReLU →
+        // max over time.
+        for (h, filt) in &self.h_filters {
+            let n_pos = l - h + 1;
+            let mut ids = Vec::with_capacity(b * n_pos * h);
+            for bi in 0..b {
+                for p in 0..n_pos {
+                    for o in 0..*h {
+                        ids.push((bi * l + p + o) as u32);
+                    }
+                }
+            }
+            let windows = g.gather_rows(e, &ids); // [b*n_pos*h, d]
+            let flat = g.reshape(windows, &[b * n_pos, h * d]);
+            let conv = filt.forward(g, &self.ps, flat); // [b*n_pos, n_h]
+            let act = g.relu(conv);
+            feats.push(g.max_pool_rows(act, n_pos)); // [b, n_h]
+        }
+        // Vertical convolution: learned weighted sums over the time axis.
+        // e viewed per sequence is [l, d]; v_filters maps time → n_v, i.e.
+        // out = (V e) with V [n_v, l]. Implemented by transposing each
+        // sequence block via reshape tricks: gather columns of time.
+        // Build [b*d, l] by gathering (bi, :, dim j) — instead reshape:
+        // use per-time gathers to assemble [b, l] slices per dim is costly;
+        // simpler: treat V as Linear over the time axis applied to e^T.
+        let vt = {
+            // e: [b*l, d] → per sequence transpose to [d, l] stacked → [b*d, l]
+            let mut ids = Vec::with_capacity(b * d * l);
+            for bi in 0..b {
+                for _dj in 0..d {
+                    for t in 0..l {
+                        ids.push((bi * l + t) as u32);
+                    }
+                }
+            }
+            // gather gives [b*d*l, d]; that duplicates — instead use
+            // reshape+transpose per batch: cheaper path below.
+            let _ = ids;
+            // Per-batch transpose via slice + transpose + concat.
+            let mut parts = Vec::with_capacity(b);
+            for bi in 0..b {
+                let block = g.slice_rows(e, bi * l, (bi + 1) * l); // [l, d]
+                parts.push(g.transpose(block)); // [d, l]
+            }
+            g.concat_rows(&parts) // [b*d, l]
+        };
+        let v_out = self.v_filters.forward(g, &self.ps, vt); // [b*d, n_v]
+        let v_flat = g.reshape(v_out, &[b, d * self.n_v]);
+        feats.push(v_flat);
+        let u = self.user_emb.forward(g, &self.ps, users); // [b, d]
+        feats.push(u);
+        let cat = g.concat_cols(&feats);
+        let cat = g.dropout(cat, self.cfg.dropout);
+        let z = self.fc.forward(g, &self.ps, cat);
+        g.relu(z)
+    }
+
+    /// Trains Caser; needs the dataset to recover the user of each pair,
+    /// so it builds its own (user, window, target) triples.
+    pub fn fit(&mut self, ds: &Dataset) -> Vec<f32> {
+        let cfg = self.cfg.clone();
+        // Build pairs annotated with user ids.
+        let mut pairs = TrainingPairs { pairs: Vec::new(), num_items: ds.num_items() };
+        let mut users = Vec::new();
+        for u in 0..ds.num_users() {
+            let seq = ds.train_seq(u);
+            for end in 1..seq.len() {
+                let start = end.saturating_sub(self.window);
+                pairs.pairs.push((seq[start..end].to_vec(), seq[end]));
+                users.push(u as u32);
+            }
+        }
+        // Window tokens have fixed length, so plain chunking suffices; reuse
+        // epoch_batches for shuffling by passing the fixed-size windows.
+        let mut opt = AdamW::new(cfg.lr);
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let order = epoch_batches(&pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 5));
+            let mut sum = 0.0;
+            let mut nb = 0;
+            for batch in &order {
+                // Reconstruct users by matching targets is ambiguous; instead
+                // recompute windows directly from the batch histories and use
+                // user 0 — Caser's user term is most useful at paper scale;
+                // at small scale we retain it but train it from per-pair
+                // users below.
+                let mut tokens = Vec::with_capacity(batch.b * self.window);
+                for row in 0..batch.b {
+                    let hist = &batch.hist[row * batch.len..(row + 1) * batch.len];
+                    tokens.extend(self.window_tokens(hist));
+                }
+                let user_ids: Vec<u32> = find_users(&pairs, &users, batch);
+                let mut g = Graph::new();
+                g.seed(cfg.seed ^ (epoch as u64) << 16);
+                let rep = self.rep(&mut g, &tokens, &user_ids, batch.b);
+                let table = g.param(&self.ps, self.item_emb.table_id());
+                let items_only = g.slice_rows(table, 0, self.num_items);
+                let logits = g.matmul_nt(rep, items_only);
+                let loss = g.cross_entropy(logits, &batch.targets, u32::MAX);
+                sum += g.value(loss).item();
+                nb += 1;
+                self.ps.zero_grads();
+                g.backward(loss, &mut self.ps);
+                self.ps.clip_grad_norm(5.0);
+                opt.step(&mut self.ps);
+            }
+            losses.push(sum / nb.max(1) as f32);
+        }
+        losses
+    }
+}
+
+/// Recovers the user id of each batch row by matching (history, target)
+/// back to the augmented pair list. Pairs are unique per (u, end) but the
+/// same (hist, target) can occur for two users; any owner is equally valid
+/// as supervision for the user embedding.
+fn find_users(pairs: &TrainingPairs, users: &[u32], batch: &Batch) -> Vec<u32> {
+    use std::collections::HashMap;
+    let mut index: HashMap<(&[u32], u32), u32> = HashMap::new();
+    for (i, (h, t)) in pairs.pairs.iter().enumerate() {
+        index.entry((h.as_slice(), *t)).or_insert(users[i]);
+    }
+    (0..batch.b)
+        .map(|row| {
+            let h = &batch.hist[row * batch.len..(row + 1) * batch.len];
+            index.get(&(h, batch.targets[row])).copied().unwrap_or(0)
+        })
+        .collect()
+}
+
+impl ScoreModel for Caser {
+    fn score_all(&self, user: usize, history: &[u32]) -> Vec<f32> {
+        let tokens = self.window_tokens(history);
+        let mut g = Graph::inference();
+        let rep = self.rep(&mut g, &tokens, &[user as u32], 1);
+        let table = g.param(&self.ps, self.item_emb.table_id());
+        let items_only = g.slice_rows(table, 0, self.num_items);
+        let logits = g.matmul_nt(rep, items_only);
+        g.value(logits).data().to_vec()
+    }
+
+    fn model_name(&self) -> &'static str {
+        "Caser"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_data::DatasetConfig;
+
+    #[test]
+    fn caser_learns_tiny_dataset() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let mut m = Caser::new(ds.num_items(), ds.num_users(), RecConfig::test());
+        let losses = m.fit(&ds);
+        assert!(losses.last().expect("epochs") < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    fn window_tokens_pad_short_histories() {
+        let m = Caser::new(10, 5, RecConfig::test());
+        let t = m.window_tokens(&[7, 8]);
+        assert_eq!(t.len(), m.window);
+        assert_eq!(&t[m.window - 2..], &[7, 8]);
+        assert!(t[..m.window - 2].iter().all(|&x| x == 10));
+    }
+
+    #[test]
+    fn scores_have_item_cardinality() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let m = Caser::new(ds.num_items(), ds.num_users(), RecConfig::test());
+        assert_eq!(m.score_all(0, &[1, 2, 3]).len(), ds.num_items());
+    }
+}

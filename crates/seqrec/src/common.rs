@@ -1,0 +1,300 @@
+//! Shared infrastructure for the classic sequential-recommendation
+//! baselines: training-pair construction with prefix augmentation,
+//! length-bucketed batching (which keeps attention masks per-batch uniform
+//! and avoids padding contamination entirely), training configuration, and
+//! the score-based `Ranker` bridge into the evaluation harness.
+
+use lcrec_data::Dataset;
+use lcrec_eval::{top_k, Ranker};
+use lcrec_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters shared by the neural baselines.
+#[derive(Clone, Debug)]
+pub struct RecConfig {
+    /// Embedding / model width.
+    pub dim: usize,
+    /// Transformer layers (where applicable).
+    pub layers: usize,
+    /// Attention heads (where applicable).
+    pub heads: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Maximum history length (the paper uses 20).
+    pub max_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RecConfig {
+    /// Defaults sized for the small dataset presets on one CPU.
+    pub fn small() -> Self {
+        RecConfig {
+            dim: 32,
+            layers: 2,
+            heads: 2,
+            lr: 1e-3,
+            epochs: 12,
+            batch: 64,
+            dropout: 0.2,
+            max_len: 20,
+            seed: 42,
+        }
+    }
+
+    /// A micro config for unit tests.
+    pub fn test() -> Self {
+        RecConfig { dim: 16, layers: 1, heads: 2, lr: 3e-3, epochs: 4, batch: 32, dropout: 0.0, max_len: 10, seed: 7 }
+    }
+}
+
+/// (history, target) supervision pairs with prefix augmentation: every
+/// prefix of every training sequence contributes one pair.
+pub struct TrainingPairs {
+    /// All pairs; histories are truncated to `max_len` most-recent items.
+    pub pairs: Vec<(Vec<u32>, u32)>,
+    /// Number of items (vocabulary for targets).
+    pub num_items: usize,
+}
+
+impl TrainingPairs {
+    /// Builds augmented pairs from the training split of `ds`.
+    pub fn build(ds: &Dataset, max_len: usize) -> TrainingPairs {
+        let mut pairs = Vec::new();
+        for u in 0..ds.num_users() {
+            let seq = ds.train_seq(u);
+            for end in 1..seq.len() {
+                let start = end.saturating_sub(max_len);
+                pairs.push((seq[start..end].to_vec(), seq[end]));
+            }
+        }
+        TrainingPairs { pairs, num_items: ds.num_items() }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// One length-uniform minibatch.
+pub struct Batch {
+    /// Flattened histories, row-major `[b, len]`.
+    pub hist: Vec<u32>,
+    /// Batch size.
+    pub b: usize,
+    /// History length shared by the whole batch.
+    pub len: usize,
+    /// Target item per sequence.
+    pub targets: Vec<u32>,
+}
+
+/// Produces length-bucketed, shuffled batches for one epoch. Sequences of
+/// equal length are grouped so every batch is a dense `[b, len]` block.
+pub fn epoch_batches(pairs: &TrainingPairs, batch_size: usize, seed: u64) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_len: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, (h, _)) in pairs.pairs.iter().enumerate() {
+        by_len.entry(h.len()).or_default().push(i);
+    }
+    let mut batches = Vec::new();
+    for (len, mut idxs) in by_len {
+        for i in (1..idxs.len()).rev() {
+            idxs.swap(i, rng.random_range(0..=i));
+        }
+        for chunk in idxs.chunks(batch_size) {
+            let mut hist = Vec::with_capacity(chunk.len() * len);
+            let mut targets = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                hist.extend_from_slice(&pairs.pairs[i].0);
+                targets.push(pairs.pairs[i].1);
+            }
+            batches.push(Batch { hist, b: chunk.len(), len, targets });
+        }
+    }
+    // Shuffle batch order so lengths interleave.
+    for i in (1..batches.len()).rev() {
+        batches.swap(i, rng.random_range(0..=i));
+    }
+    batches
+}
+
+/// A causal additive attention mask `[t, t]`: position `i` may attend to
+/// `j <= i`.
+pub fn causal_mask(t: usize) -> Tensor {
+    let mut m = Tensor::zeros(&[t, t]);
+    for i in 0..t {
+        for j in (i + 1)..t {
+            m.data_mut()[i * t + j] = -1e9;
+        }
+    }
+    m
+}
+
+/// A model that scores every item for a user context — all the classic
+/// baselines implement this.
+pub trait ScoreModel {
+    /// Scores for all items (higher = better).
+    fn score_all(&self, user: usize, history: &[u32]) -> Vec<f32>;
+
+    /// Display name (Table III row label).
+    fn model_name(&self) -> &'static str;
+
+    /// Trained item embeddings `[num_items, d]`, when the architecture has
+    /// a single canonical item matrix (used for Table V's collaborative
+    /// negatives).
+    fn item_embeddings(&self) -> Option<Tensor> {
+        None
+    }
+}
+
+/// Bridges any [`ScoreModel`] into the evaluation harness.
+pub struct ScoreRanker<'a, M: ScoreModel>(pub &'a M);
+
+impl<M: ScoreModel> Ranker for ScoreRanker<'_, M> {
+    fn rank(&self, user: usize, history: &[u32], k: usize) -> Vec<u32> {
+        let scores = self.0.score_all(user, history);
+        top_k(&scores, k)
+    }
+
+    fn name(&self) -> String {
+        self.0.model_name().to_string()
+    }
+}
+
+/// A model trained by full-softmax cross-entropy over next-item targets —
+/// the shared training scheme of the score-based baselines.
+pub trait NextItemModel {
+    /// Builds logits `[b, num_items]` for a batch of histories.
+    fn forward_logits(&self, g: &mut lcrec_tensor::Graph, batch: &Batch) -> lcrec_tensor::Var;
+
+    /// The parameter store (mutable, for optimization).
+    fn store_mut(&mut self) -> &mut lcrec_tensor::ParamStore;
+
+    /// Model hyperparameters.
+    fn config(&self) -> &RecConfig;
+}
+
+/// Runs the standard cross-entropy training loop; returns per-epoch mean
+/// losses. Deterministic under the model's configured seed.
+pub fn train_next_item<M: NextItemModel>(model: &mut M, pairs: &TrainingPairs) -> Vec<f32> {
+    let cfg = model.config().clone();
+    let mut opt = lcrec_tensor::AdamW::new(cfg.lr);
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let batches = epoch_batches(pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 1));
+        let mut sum = 0.0;
+        for batch in &batches {
+            let mut g = lcrec_tensor::Graph::new();
+            g.seed(cfg.seed ^ (epoch as u64) << 20);
+            let logits = model.forward_logits(&mut g, batch);
+            let loss = g.cross_entropy(logits, &batch.targets, u32::MAX);
+            sum += g.value(loss).item();
+            let ps = model.store_mut();
+            ps.zero_grads();
+            g.backward(loss, ps);
+            ps.clip_grad_norm(5.0);
+            opt.step(ps);
+        }
+        losses.push(sum / batches.len().max(1) as f32);
+    }
+    losses
+}
+
+/// Scores every item for a single history using `forward_logits` with a
+/// batch of one (inference mode, dropout off).
+pub fn score_single<M: NextItemModel>(model: &M, history: &[u32]) -> Vec<f32> {
+    let cfg = model.config();
+    let h = clip_history(history, cfg.max_len);
+    let batch = Batch { hist: h.to_vec(), b: 1, len: h.len(), targets: vec![0] };
+    let mut g = lcrec_tensor::Graph::inference();
+    let logits = model.forward_logits(&mut g, &batch);
+    g.value(logits).data().to_vec()
+}
+
+/// Truncates a history to its `max_len` most recent items.
+pub fn clip_history(history: &[u32], max_len: usize) -> &[u32] {
+    if history.len() > max_len {
+        &history[history.len() - max_len..]
+    } else {
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_data::DatasetConfig;
+
+    #[test]
+    fn pairs_cover_all_prefixes() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let pairs = TrainingPairs::build(&ds, 10);
+        let expected: usize =
+            (0..ds.num_users()).map(|u| ds.train_seq(u).len() - 1).sum();
+        assert_eq!(pairs.len(), expected);
+        for (h, t) in &pairs.pairs {
+            assert!(!h.is_empty() && h.len() <= 10);
+            assert!((*t as usize) < ds.num_items());
+        }
+    }
+
+    #[test]
+    fn batches_are_length_uniform_and_complete() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let pairs = TrainingPairs::build(&ds, 10);
+        let batches = epoch_batches(&pairs, 16, 3);
+        let total: usize = batches.iter().map(|b| b.b).sum();
+        assert_eq!(total, pairs.len());
+        for b in &batches {
+            assert_eq!(b.hist.len(), b.b * b.len);
+            assert_eq!(b.targets.len(), b.b);
+            assert!(b.b <= 16);
+        }
+    }
+
+    #[test]
+    fn epoch_batches_differ_by_seed() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let pairs = TrainingPairs::build(&ds, 10);
+        let a = epoch_batches(&pairs, 16, 1);
+        let b = epoch_batches(&pairs, 16, 2);
+        let fa: Vec<usize> = a.iter().map(|x| x.len).collect();
+        let fb: Vec<usize> = b.iter().map(|x| x.len).collect();
+        assert!(fa != fb || a[0].targets != b[0].targets);
+    }
+
+    #[test]
+    fn causal_mask_is_lower_triangular() {
+        let m = causal_mask(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = m.at(i, j);
+                if j <= i {
+                    assert_eq!(v, 0.0);
+                } else {
+                    assert!(v < -1e8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clip_history_keeps_most_recent() {
+        let h = [1u32, 2, 3, 4, 5];
+        assert_eq!(clip_history(&h, 3), &[3, 4, 5]);
+        assert_eq!(clip_history(&h, 10), &h[..]);
+    }
+}

@@ -1,0 +1,157 @@
+//! FDSA (Zhang et al., IJCAI 2019): feature-level deeper self-attention —
+//! two parallel self-attention streams, one over item embeddings, one over
+//! item **feature** embeddings (here: the item's category), whose final
+//! states are concatenated and projected for prediction.
+
+use crate::common::{
+    causal_mask, score_single, train_next_item, Batch, NextItemModel, RecConfig, ScoreModel,
+    TrainingPairs,
+};
+use lcrec_data::Dataset;
+use lcrec_tensor::nn::{Act, BlockConfig, Embedding, LayerNorm, Linear, Norm, TransformerBlock};
+use lcrec_tensor::{Graph, ParamStore, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The FDSA model. Holds an item → feature (flattened sub-category) map.
+pub struct Fdsa {
+    cfg: RecConfig,
+    ps: ParamStore,
+    item_emb: Embedding,
+    feat_emb: Embedding,
+    pos_emb: Embedding,
+    item_blocks: Vec<TransformerBlock>,
+    feat_blocks: Vec<TransformerBlock>,
+    item_norm: LayerNorm,
+    feat_norm: LayerNorm,
+    proj: Linear,
+    features: Vec<u16>,
+    #[allow(dead_code)] // retained for diagnostics / future scoring filters
+    num_items: usize,
+}
+
+impl Fdsa {
+    /// Builds an untrained FDSA over the dataset's category features.
+    pub fn new(ds: &Dataset, cfg: RecConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamStore::new();
+        let num_items = ds.num_items();
+        let num_feats = ds.catalog.taxonomy.num_subs();
+        let features: Vec<u16> = (0..num_items as u32).map(|i| ds.catalog.sub_of(i) as u16).collect();
+        let bc = BlockConfig {
+            dim: cfg.dim,
+            heads: cfg.heads,
+            ff_hidden: cfg.dim * 4,
+            dropout: cfg.dropout,
+            norm: Norm::Layer,
+            act: Act::Relu,
+        };
+        let item_blocks =
+            (0..cfg.layers).map(|l| TransformerBlock::new(&mut ps, &format!("ib{l}"), bc, &mut rng)).collect();
+        let feat_blocks =
+            (0..cfg.layers).map(|l| TransformerBlock::new(&mut ps, &format!("fb{l}"), bc, &mut rng)).collect();
+        Fdsa {
+            item_emb: Embedding::new(&mut ps, "item_emb", num_items, cfg.dim, &mut rng),
+            feat_emb: Embedding::new(&mut ps, "feat_emb", num_feats, cfg.dim, &mut rng),
+            pos_emb: Embedding::new(&mut ps, "pos_emb", cfg.max_len, cfg.dim, &mut rng),
+            item_blocks,
+            feat_blocks,
+            item_norm: LayerNorm::new(&mut ps, "item_norm", cfg.dim),
+            feat_norm: LayerNorm::new(&mut ps, "feat_norm", cfg.dim),
+            proj: Linear::new(&mut ps, "proj", cfg.dim * 2, cfg.dim, &mut rng),
+            cfg,
+            ps,
+            features,
+            num_items,
+        }
+    }
+
+    /// Trains on next-item prediction.
+    pub fn fit(&mut self, pairs: &TrainingPairs) -> Vec<f32> {
+        train_next_item(self, pairs)
+    }
+
+    fn rep(&self, g: &mut Graph, batch: &Batch) -> Var {
+        let (b, l) = (batch.b, batch.len);
+        let pos_ids: Vec<u32> = (0..b).flat_map(|_| 0..l as u32).collect();
+        let mask = causal_mask(l);
+        let last: Vec<u32> = (0..b as u32).map(|i| i * l as u32 + (l as u32 - 1)).collect();
+
+        // Item stream.
+        let xi = self.item_emb.forward(g, &self.ps, &batch.hist);
+        let p = self.pos_emb.forward(g, &self.ps, &pos_ids);
+        let xi = g.add(xi, p);
+        let mut xi = g.dropout(xi, self.cfg.dropout);
+        for blk in &self.item_blocks {
+            xi = blk.forward(g, &self.ps, xi, b, l, Some(&mask), None);
+        }
+        let xi = self.item_norm.forward(g, &self.ps, xi);
+        let item_last = g.gather_rows(xi, &last);
+
+        // Feature stream.
+        let feat_ids: Vec<u32> =
+            batch.hist.iter().map(|&i| self.features[i as usize] as u32).collect();
+        let xf = self.feat_emb.forward(g, &self.ps, &feat_ids);
+        let p2 = self.pos_emb.forward(g, &self.ps, &pos_ids);
+        let xf = g.add(xf, p2);
+        let mut xf = g.dropout(xf, self.cfg.dropout);
+        for blk in &self.feat_blocks {
+            xf = blk.forward(g, &self.ps, xf, b, l, Some(&mask), None);
+        }
+        let xf = self.feat_norm.forward(g, &self.ps, xf);
+        let feat_last = g.gather_rows(xf, &last);
+
+        let cat = g.concat_cols(&[item_last, feat_last]);
+        self.proj.forward(g, &self.ps, cat)
+    }
+}
+
+impl NextItemModel for Fdsa {
+    fn forward_logits(&self, g: &mut Graph, batch: &Batch) -> Var {
+        let rep = self.rep(g, batch);
+        let table = g.param(&self.ps, self.item_emb.table_id());
+        g.matmul_nt(rep, table)
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn config(&self) -> &RecConfig {
+        &self.cfg
+    }
+}
+
+impl ScoreModel for Fdsa {
+    fn score_all(&self, _user: usize, history: &[u32]) -> Vec<f32> {
+        score_single(self, history)
+    }
+
+    fn model_name(&self) -> &'static str {
+        "FDSA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_data::DatasetConfig;
+
+    #[test]
+    fn fdsa_learns_tiny_dataset() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let pairs = TrainingPairs::build(&ds, 10);
+        let mut m = Fdsa::new(&ds, RecConfig::test());
+        let losses = m.fit(&pairs);
+        assert!(losses.last().expect("epochs") < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    fn features_cover_all_items() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let m = Fdsa::new(&ds, RecConfig::test());
+        assert_eq!(m.features.len(), ds.num_items());
+        let nsubs = ds.catalog.taxonomy.num_subs() as u16;
+        assert!(m.features.iter().all(|&f| f < nsubs));
+    }
+}

@@ -1,0 +1,214 @@
+//! FMLP-Rec (Zhou et al., WWW 2022): an all-MLP model whose mixing layer is
+//! a learnable filter in the frequency domain — FFT along time, elementwise
+//! complex multiplication with learned filters, inverse FFT — followed by a
+//! position-wise FFN, both with residual connections and LayerNorm.
+//!
+//! The DFT/IDFT are exact (matrix form, see
+//! [`lcrec_tensor::linalg::rdft_matrices`]) and enter autograd as constant
+//! linear maps.
+
+use crate::common::{
+    score_single, train_next_item, Batch, NextItemModel, RecConfig, ScoreModel, TrainingPairs,
+};
+use lcrec_tensor::nn::{Embedding, FeedForward, LayerNorm, Act};
+use lcrec_tensor::{linalg::rdft_matrices, Graph, ParamId, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct FilterLayer {
+    /// Real filter weights `[nf, d]` for a given sequence length bucket.
+    real: ParamId,
+    /// Imaginary filter weights `[nf, d]`.
+    imag: ParamId,
+    norm1: LayerNorm,
+    ffn: FeedForward,
+    norm2: LayerNorm,
+}
+
+/// The FMLP-Rec model. Because batches are length-bucketed, the model keeps
+/// one filter per possible sequence length (1..=max_len); filters are tiny
+/// (`nf × d`) so this costs little and keeps the DFT exact per length.
+pub struct FmlpRec {
+    cfg: RecConfig,
+    ps: ParamStore,
+    item_emb: Embedding,
+    pos_emb: Embedding,
+    /// `layers[len-1]` holds the blocks for sequence length `len`.
+    layers_by_len: Vec<Vec<FilterLayer>>,
+    /// Cached (cos, sin, inv_cos, inv_sin) DFT matrices per length.
+    dft: Vec<(Tensor, Tensor, Tensor, Tensor)>,
+    #[allow(dead_code)] // retained for diagnostics / future scoring filters
+    num_items: usize,
+}
+
+impl FmlpRec {
+    /// Builds an untrained FMLP-Rec.
+    pub fn new(num_items: usize, cfg: RecConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamStore::new();
+        let item_emb = Embedding::new(&mut ps, "item_emb", num_items, cfg.dim, &mut rng);
+        let pos_emb = Embedding::new(&mut ps, "pos_emb", cfg.max_len, cfg.dim, &mut rng);
+        let mut layers_by_len = Vec::with_capacity(cfg.max_len);
+        let mut dft = Vec::with_capacity(cfg.max_len);
+        for len in 1..=cfg.max_len {
+            let nf = len / 2 + 1;
+            let mut blocks = Vec::with_capacity(cfg.layers);
+            for l in 0..cfg.layers {
+                blocks.push(FilterLayer {
+                    real: ps.add(
+                        &format!("filt_r_{len}_{l}"),
+                        Tensor::full(&[nf, cfg.dim], 1.0), // identity-ish start
+                    ),
+                    imag: ps.add(&format!("filt_i_{len}_{l}"), Tensor::zeros(&[nf, cfg.dim])),
+                    norm1: LayerNorm::new(&mut ps, &format!("n1_{len}_{l}"), cfg.dim),
+                    ffn: FeedForward::new(
+                        &mut ps,
+                        &format!("ffn_{len}_{l}"),
+                        cfg.dim,
+                        cfg.dim * 4,
+                        Act::Gelu,
+                        &mut rng,
+                    ),
+                    norm2: LayerNorm::new(&mut ps, &format!("n2_{len}_{l}"), cfg.dim),
+                });
+            }
+            layers_by_len.push(blocks);
+            if len >= 2 {
+                let (fc, fs, inv) = rdft_matrices(len);
+                let inv_c = slice_cols(&inv, 0, nf);
+                let inv_s = slice_cols(&inv, nf, 2 * nf);
+                dft.push((fc, fs, inv_c, inv_s));
+            } else {
+                // len == 1: DFT is the identity on one sample.
+                dft.push((
+                    Tensor::full(&[1, 1], 1.0),
+                    Tensor::zeros(&[1, 1]),
+                    Tensor::full(&[1, 1], 1.0),
+                    Tensor::zeros(&[1, 1]),
+                ));
+            }
+        }
+        FmlpRec { cfg, ps, item_emb, pos_emb, layers_by_len, dft, num_items }
+    }
+
+    /// Trains on next-item prediction.
+    pub fn fit(&mut self, pairs: &TrainingPairs) -> Vec<f32> {
+        train_next_item(self, pairs)
+    }
+
+    fn rep(&self, g: &mut Graph, batch: &Batch) -> Var {
+        let (b, l) = (batch.b, batch.len);
+        let x = self.item_emb.forward(g, &self.ps, &batch.hist);
+        let pos_ids: Vec<u32> = (0..b).flat_map(|_| 0..l as u32).collect();
+        let p = self.pos_emb.forward(g, &self.ps, &pos_ids);
+        let x = g.add(x, p);
+        let mut x = g.dropout(x, self.cfg.dropout);
+        let (fc, fs, inv_c, inv_s) = &self.dft[l - 1];
+        for layer in &self.layers_by_len[l - 1] {
+            // Frequency-domain filtering with residual + LayerNorm.
+            let xr = g.group_matmul_const(fc, x); // [b*nf, d]
+            let xi = g.group_matmul_const(fs, x);
+            let wr = g.param(&self.ps, layer.real);
+            let wi = g.param(&self.ps, layer.imag);
+            // (xr + i·xi)(wr + i·wi) = (xr·wr − xi·wi) + i(xr·wi + xi·wr)
+            let rr = g.mul_cycle(xr, wr);
+            let ii = g.mul_cycle(xi, wi);
+            let yr = g.sub(rr, ii);
+            let ri = g.mul_cycle(xr, wi);
+            let ir = g.mul_cycle(xi, wr);
+            let yi = g.add(ri, ir);
+            let rec_r = g.group_matmul_const(inv_c, yr); // [b*l, d]
+            let rec_i = g.group_matmul_const(inv_s, yi);
+            let filtered = g.add(rec_r, rec_i);
+            let filtered = g.dropout(filtered, self.cfg.dropout);
+            let res = g.add(x, filtered);
+            let normed = layer.norm1.forward(g, &self.ps, res);
+            // FFN with residual + LayerNorm.
+            let ff = layer.ffn.forward(g, &self.ps, normed);
+            let ff = g.dropout(ff, self.cfg.dropout);
+            let res2 = g.add(normed, ff);
+            x = layer.norm2.forward(g, &self.ps, res2);
+        }
+        let last: Vec<u32> = (0..b as u32).map(|i| i * l as u32 + (l as u32 - 1)).collect();
+        g.gather_rows(x, &last)
+    }
+}
+
+fn slice_cols(t: &Tensor, start: usize, end: usize) -> Tensor {
+    let cols = t.cols();
+    let mut out = Vec::with_capacity(t.rows() * (end - start));
+    for r in 0..t.rows() {
+        out.extend_from_slice(&t.data()[r * cols + start..r * cols + end]);
+    }
+    Tensor::new(&[t.rows(), end - start], out)
+}
+
+impl NextItemModel for FmlpRec {
+    fn forward_logits(&self, g: &mut Graph, batch: &Batch) -> Var {
+        let rep = self.rep(g, batch);
+        let table = g.param(&self.ps, self.item_emb.table_id());
+        g.matmul_nt(rep, table)
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn config(&self) -> &RecConfig {
+        &self.cfg
+    }
+}
+
+impl ScoreModel for FmlpRec {
+    fn score_all(&self, _user: usize, history: &[u32]) -> Vec<f32> {
+        score_single(self, history)
+    }
+
+    fn model_name(&self) -> &'static str {
+        "FMLP-Rec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_data::{Dataset, DatasetConfig};
+
+    #[test]
+    fn fmlp_learns_tiny_dataset() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let pairs = TrainingPairs::build(&ds, 10);
+        let mut m = FmlpRec::new(ds.num_items(), RecConfig::test());
+        let losses = m.fit(&pairs);
+        assert!(losses.last().expect("epochs") < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    fn identity_filters_pass_signal_through() {
+        // With real=1, imag=0 (the initialization), the filter layer's
+        // frequency path is an exact identity: DFT → ×1 → IDFT.
+        let m = FmlpRec::new(20, RecConfig::test());
+        let l = 6;
+        let (fc, fs, inv_c, inv_s) = &m.dft[l - 1];
+        let x = lcrec_tensor::init::normal(&[l, 4], 1.0, &mut StdRng::seed_from_u64(1));
+        let mut g = Graph::inference();
+        let xv = g.constant(x.clone());
+        let xr = g.group_matmul_const(fc, xv);
+        let xi = g.group_matmul_const(fs, xv);
+        let rc = g.group_matmul_const(inv_c, xr);
+        let ri = g.group_matmul_const(inv_s, xi);
+        let rec = g.add(rc, ri);
+        for (a, b) in x.data().iter().zip(g.value(rec).data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn handles_length_one_histories() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let m = FmlpRec::new(ds.num_items(), RecConfig::test());
+        let scores = m.score_all(0, &[3]);
+        assert_eq!(scores.len(), ds.num_items());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,165 @@
+//! HGN (Ma et al., KDD 2019): hierarchical gating — a feature gate modulates
+//! embedding dimensions, an instance gate weights sequence positions — plus
+//! an item-item product term, aggregated with the user embedding.
+
+use crate::common::{clip_history, epoch_batches, RecConfig, ScoreModel, TrainingPairs};
+use lcrec_data::Dataset;
+use lcrec_tensor::nn::{Embedding, Linear};
+use lcrec_tensor::{AdamW, Graph, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The HGN model.
+pub struct Hgn {
+    cfg: RecConfig,
+    ps: ParamStore,
+    item_emb: Embedding,
+    user_emb: Embedding,
+    /// Feature gate: `σ(E W1 + u W2)`.
+    w1: Linear,
+    w2: Linear,
+    /// Instance gate: `σ(E' w3 + u w4)` → one weight per position.
+    w3: Linear,
+    w4: Linear,
+    #[allow(dead_code)] // retained for diagnostics / future scoring filters
+    num_items: usize,
+}
+
+impl Hgn {
+    /// Builds an untrained HGN.
+    pub fn new(num_items: usize, num_users: usize, cfg: RecConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamStore::new();
+        let d = cfg.dim;
+        Hgn {
+            item_emb: Embedding::new(&mut ps, "item_emb", num_items, d, &mut rng),
+            user_emb: Embedding::new(&mut ps, "user_emb", num_users.max(1), d, &mut rng),
+            w1: Linear::with_bias(&mut ps, "w1", d, d, true, &mut rng),
+            w2: Linear::with_bias(&mut ps, "w2", d, d, false, &mut rng),
+            w3: Linear::with_bias(&mut ps, "w3", d, 1, true, &mut rng),
+            w4: Linear::with_bias(&mut ps, "w4", d, 1, false, &mut rng),
+            cfg,
+            ps,
+            num_items,
+        }
+    }
+
+    fn rep(&self, g: &mut Graph, hist: &[u32], users: &[u32], b: usize, l: usize) -> Var {
+        let e = self.item_emb.forward(g, &self.ps, hist); // [b*l, d]
+        let e = g.dropout(e, self.cfg.dropout);
+        let u = self.user_emb.forward(g, &self.ps, users); // [b, d]
+        // Tile user rows per position: [b*l, d].
+        let tile_ids: Vec<u32> = (0..b as u32).flat_map(|i| std::iter::repeat_n(i, l)).collect();
+        let u_tiled = g.gather_rows(u, &tile_ids);
+        // Feature gating.
+        let ew = self.w1.forward(g, &self.ps, e);
+        let uw = self.w2.forward(g, &self.ps, u_tiled);
+        let gate_in = g.add(ew, uw);
+        let fgate = g.sigmoid(gate_in);
+        let ef = g.mul(e, fgate);
+        // Instance gating: per-position scalar.
+        let iw = self.w3.forward(g, &self.ps, ef); // [b*l, 1]
+        let uw2 = self.w4.forward(g, &self.ps, u_tiled); // [b*l, 1]
+        let gsum = g.add(iw, uw2);
+        let igate = g.sigmoid(gsum); // [b*l, 1]
+        // Broadcast the scalar across d columns: igate @ ones[1, d].
+        let ones = g.constant(Tensor::full(&[1, self.cfg.dim], 1.0));
+        let igate_d = g.matmul(igate, ones);
+        let egated = g.mul(ef, igate_d);
+        // Aggregate: instance-gated average + user + item-item (avg of raw
+        // embeddings, equivalent to Σ e_j · e_target under the tied head).
+        let avg_gated = g.mean_pool_rows(egated, l); // [b, d]
+        let avg_raw = g.mean_pool_rows(e, l);
+        let s = g.add(avg_gated, u);
+        g.add(s, avg_raw)
+    }
+
+    /// Trains HGN (needs user ids, hence the dataset).
+    pub fn fit(&mut self, ds: &Dataset) -> Vec<f32> {
+        let cfg = self.cfg.clone();
+        let mut pairs = TrainingPairs { pairs: Vec::new(), num_items: ds.num_items() };
+        let mut owners = Vec::new();
+        for u in 0..ds.num_users() {
+            let seq = ds.train_seq(u);
+            for end in 1..seq.len() {
+                let start = end.saturating_sub(cfg.max_len);
+                pairs.pairs.push((seq[start..end].to_vec(), seq[end]));
+                owners.push(u as u32);
+            }
+        }
+        let mut index = std::collections::HashMap::new();
+        for (i, (h, t)) in pairs.pairs.iter().enumerate() {
+            index.entry((h.clone(), *t)).or_insert(owners[i]);
+        }
+        let mut opt = AdamW::new(cfg.lr);
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let batches = epoch_batches(&pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 9));
+            let mut sum = 0.0;
+            for batch in &batches {
+                let users: Vec<u32> = (0..batch.b)
+                    .map(|row| {
+                        let h = batch.hist[row * batch.len..(row + 1) * batch.len].to_vec();
+                        index.get(&(h, batch.targets[row])).copied().unwrap_or(0)
+                    })
+                    .collect();
+                let mut g = Graph::new();
+                g.seed(cfg.seed ^ (epoch as u64) << 14);
+                let rep = self.rep(&mut g, &batch.hist, &users, batch.b, batch.len);
+                let table = g.param(&self.ps, self.item_emb.table_id());
+                let logits = g.matmul_nt(rep, table);
+                let loss = g.cross_entropy(logits, &batch.targets, u32::MAX);
+                sum += g.value(loss).item();
+                self.ps.zero_grads();
+                g.backward(loss, &mut self.ps);
+                self.ps.clip_grad_norm(5.0);
+                opt.step(&mut self.ps);
+            }
+            losses.push(sum / batches.len().max(1) as f32);
+        }
+        losses
+    }
+}
+
+impl ScoreModel for Hgn {
+    fn score_all(&self, user: usize, history: &[u32]) -> Vec<f32> {
+        let h = clip_history(history, self.cfg.max_len);
+        let mut g = Graph::inference();
+        let rep = self.rep(&mut g, h, &[user as u32], 1, h.len());
+        let table = g.param(&self.ps, self.item_emb.table_id());
+        let logits = g.matmul_nt(rep, table);
+        g.value(logits).data().to_vec()
+    }
+
+    fn model_name(&self) -> &'static str {
+        "HGN"
+    }
+
+    fn item_embeddings(&self) -> Option<Tensor> {
+        Some(self.item_emb.table(&self.ps).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_data::DatasetConfig;
+
+    #[test]
+    fn hgn_learns_tiny_dataset() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let mut m = Hgn::new(ds.num_items(), ds.num_users(), RecConfig::test());
+        let losses = m.fit(&ds);
+        assert!(losses.last().expect("epochs") < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    fn different_users_get_different_scores() {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let mut m = Hgn::new(ds.num_items(), ds.num_users(), RecConfig::test());
+        m.fit(&ds);
+        let a = m.score_all(0, &[1, 2]);
+        let b = m.score_all(1, &[1, 2]);
+        assert_ne!(a, b, "the user embedding must personalize scores");
+    }
+}

@@ -1,0 +1,31 @@
+//! # lcrec-seqrec
+//!
+//! The classic sequential-recommendation baselines of the paper's Table III
+//! (Caser, HGN, GRU4Rec, BERT4Rec, SASRec, FMLP-Rec, FDSA, S³-Rec) plus the
+//! DSSM retrieval baseline of Figure 3 — all implemented from scratch on
+//! the `lcrec-tensor` autograd engine with a shared training/evaluation
+//! interface.
+
+#![warn(missing_docs)]
+
+pub mod bert4rec;
+pub mod caser;
+pub mod common;
+pub mod dssm;
+pub mod fdsa;
+pub mod fmlp;
+pub mod gru4rec;
+pub mod hgn;
+pub mod s3rec;
+pub mod sasrec;
+
+pub use bert4rec::Bert4Rec;
+pub use caser::Caser;
+pub use common::{RecConfig, ScoreModel, ScoreRanker, TrainingPairs};
+pub use dssm::{Dssm, DssmConfig};
+pub use fdsa::Fdsa;
+pub use fmlp::FmlpRec;
+pub use gru4rec::Gru4Rec;
+pub use hgn::Hgn;
+pub use s3rec::S3Rec;
+pub use sasrec::SasRec;

@@ -1,0 +1,1471 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation of one forward pass as a node holding
+//! its output [`Tensor`] plus a backward closure. Calling [`Graph::backward`]
+//! walks the tape in reverse, accumulates gradients, and deposits parameter
+//! gradients into the [`ParamStore`]. A fresh graph is built per training
+//! step (define-by-run), which keeps lifetimes trivial and makes control flow
+//! (loops over timesteps, per-head attention, etc.) plain Rust.
+//!
+//! Inference paths that need to be fast (beam search with a KV cache) bypass
+//! the graph entirely and use the raw kernels in [`crate::tensor`].
+
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::{
+    gelu, gelu_grad, log_softmax_rows, matmul_acc, matmul_nt_acc, matmul_tn_acc, sigmoid,
+    softmax_rows, Tensor,
+};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// The node index inside its graph (mainly useful for debugging).
+    pub fn id(self) -> usize {
+        self.0
+    }
+}
+
+type BackFn = Box<dyn Fn(&Graph, &Tensor, &mut [Option<Tensor>])>;
+
+struct NodeMeta {
+    param: Option<ParamId>,
+    needs_grad: bool,
+}
+
+/// A single forward pass recorded as a differentiation tape.
+pub struct Graph {
+    values: Vec<Tensor>,
+    meta: Vec<NodeMeta>,
+    backward_fns: Vec<Option<BackFn>>,
+    train: bool,
+    rng: u64,
+}
+
+impl Graph {
+    /// Creates a graph in training mode (dropout active).
+    pub fn new() -> Self {
+        Self::with_mode(true)
+    }
+
+    /// Creates a graph in inference mode (dropout disabled).
+    pub fn inference() -> Self {
+        Self::with_mode(false)
+    }
+
+    fn with_mode(train: bool) -> Self {
+        Graph {
+            values: Vec::with_capacity(256),
+            meta: Vec::with_capacity(256),
+            backward_fns: Vec::with_capacity(256),
+            train,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Whether dropout and other train-only behaviour is active.
+    pub fn is_train(&self) -> bool {
+        self.train
+    }
+
+    /// Seeds the internal RNG used for dropout masks, for reproducibility.
+    pub fn seed(&mut self, seed: u64) {
+        self.rng = seed | 1;
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of a node.
+    #[inline]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.0]
+    }
+
+    /// The shape of a node's value.
+    #[inline]
+    pub fn shape(&self, v: Var) -> &[usize] {
+        self.values[v.0].shape()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*; quality is ample for dropout masks.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    fn push(&mut self, value: Tensor, needs_grad: bool, back: Option<BackFn>) -> Var {
+        self.values.push(value);
+        self.meta.push(NodeMeta { param: None, needs_grad });
+        self.backward_fns.push(back);
+        Var(self.values.len() - 1)
+    }
+
+    #[inline]
+    fn needs(&self, v: Var) -> bool {
+        self.meta[v.0].needs_grad
+    }
+
+    /// Inserts a constant leaf (no gradient flows into it).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, false, None)
+    }
+
+    /// Inserts a parameter leaf whose gradient will be accumulated into
+    /// `store` by [`Graph::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.value(id).clone(), true, None);
+        self.meta[v.0].param = Some(id);
+        v
+    }
+
+    // -- elementwise binary ------------------------------------------------
+
+    /// Elementwise `a + b` (shapes must match).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
+        let mut out = ta.clone();
+        out.add_assign(tb);
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| {
+                    acc(grads, a.0, g.clone());
+                    acc(grads, b.0, g.clone());
+                })
+            }),
+        )
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ta.shape(), tb.shape(), "sub shape mismatch");
+        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x - y).collect();
+        let out = Tensor::new(ta.shape(), data);
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| {
+                    acc(grads, a.0, g.clone());
+                    let mut ng = g.clone();
+                    ng.scale_assign(-1.0);
+                    acc(grads, b.0, ng);
+                })
+            }),
+        )
+    }
+
+    /// Elementwise (Hadamard) product `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
+        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x * y).collect();
+        let out = Tensor::new(ta.shape(), data);
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tb = g_.values[b.0].data();
+                    let ta = g_.values[a.0].data();
+                    let ga =
+                        Tensor::new(g.shape(), g.data().iter().zip(tb).map(|(x, y)| x * y).collect());
+                    let gb =
+                        Tensor::new(g.shape(), g.data().iter().zip(ta).map(|(x, y)| x * y).collect());
+                    acc(grads, a.0, ga);
+                    acc(grads, b.0, gb);
+                })
+            }),
+        )
+    }
+
+    /// Adds a broadcast row vector `b` (shape `[cols]`) to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let (tx, tb) = (&self.values[x.0], &self.values[b.0]);
+        let cols = tx.cols();
+        assert_eq!(tb.numel(), cols, "bias length {} vs cols {}", tb.numel(), cols);
+        let bd = tb.data();
+        let data = tx
+            .data()
+            .chunks_exact(cols)
+            .flat_map(|row| row.iter().zip(bd).map(|(v, w)| v + w))
+            .collect();
+        let out = Tensor::new(tx.shape(), data);
+        let needs = self.needs(x) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    acc(grads, x.0, g.clone());
+                    let cols = g_.values[b.0].numel();
+                    let mut gb = vec![0.0; cols];
+                    for row in g.data().chunks_exact(cols) {
+                        for (s, v) in gb.iter_mut().zip(row) {
+                            *s += v;
+                        }
+                    }
+                    acc(grads, b.0, Tensor::new(&[cols], gb));
+                })
+            }),
+        )
+    }
+
+    /// Multiplies `x` (R·n rows) elementwise by `w` (n rows), cycling `w`
+    /// over the leading dimension. Used e.g. for FMLP's learnable frequency
+    /// filters shared across a batch, and positional-embedding-style adds.
+    pub fn mul_cycle(&mut self, x: Var, w: Var) -> Var {
+        let (tx, tw) = (&self.values[x.0], &self.values[w.0]);
+        assert_eq!(tx.cols(), tw.cols(), "mul_cycle col mismatch");
+        let (xr, wr) = (tx.rows(), tw.rows());
+        assert!(wr > 0 && xr % wr == 0, "mul_cycle rows {xr} not multiple of {wr}");
+        let cols = tx.cols();
+        let mut data = Vec::with_capacity(tx.numel());
+        for (i, row) in tx.data().chunks_exact(cols).enumerate() {
+            let wrow = &tw.data()[(i % wr) * cols..(i % wr + 1) * cols];
+            data.extend(row.iter().zip(wrow).map(|(a, b)| a * b));
+        }
+        let out = Tensor::new(tx.shape(), data);
+        let needs = self.needs(x) || self.needs(w);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let tw = &g_.values[w.0];
+                    let cols = tx.cols();
+                    let wr = tw.rows();
+                    let mut gx = Vec::with_capacity(tx.numel());
+                    let mut gw = vec![0.0; tw.numel()];
+                    for (i, (grow, xrow)) in
+                        g.data().chunks_exact(cols).zip(tx.data().chunks_exact(cols)).enumerate()
+                    {
+                        let wi = (i % wr) * cols;
+                        let wrow = &tw.data()[wi..wi + cols];
+                        gx.extend(grow.iter().zip(wrow).map(|(a, b)| a * b));
+                        for (j, (gv, xv)) in grow.iter().zip(xrow).enumerate() {
+                            gw[wi + j] += gv * xv;
+                        }
+                    }
+                    acc(grads, x.0, Tensor::new(tx.shape(), gx));
+                    acc(grads, w.0, Tensor::new(tw.shape(), gw));
+                })
+            }),
+        )
+    }
+
+    /// Adds a constant tensor to `x`, cycling the constant over leading rows.
+    /// The constant is not differentiated — this is the additive-mask
+    /// primitive for attention (`0` keep / `-1e9` drop entries).
+    pub fn add_cycle_const(&mut self, x: Var, m: &Tensor) -> Var {
+        let tx = &self.values[x.0];
+        assert_eq!(tx.cols(), m.cols(), "add_cycle_const col mismatch");
+        let (xr, mr) = (tx.rows(), m.rows());
+        assert!(mr > 0 && xr % mr == 0, "mask rows {mr} must divide {xr}");
+        let cols = tx.cols();
+        let mut data = Vec::with_capacity(tx.numel());
+        for (i, row) in tx.data().chunks_exact(cols).enumerate() {
+            let mrow = &m.data()[(i % mr) * cols..(i % mr + 1) * cols];
+            data.extend(row.iter().zip(mrow).map(|(a, b)| a + b));
+        }
+        let out = Tensor::new(tx.shape(), data);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| acc(grads, x.0, g.clone()))
+            }),
+        )
+    }
+
+    // -- scalar ops ----------------------------------------------------------
+
+    /// `x * s` for a compile-time constant `s`.
+    pub fn scale(&mut self, x: Var, s: f32) -> Var {
+        let out = self.values[x.0].map(|v| v * s);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| {
+                    let mut gx = g.clone();
+                    gx.scale_assign(s);
+                    acc(grads, x.0, gx);
+                })
+            }),
+        )
+    }
+
+    /// `x + c` elementwise for a constant `c`.
+    pub fn add_scalar(&mut self, x: Var, c: f32) -> Var {
+        let out = self.values[x.0].map(|v| v + c);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| acc(grads, x.0, g.clone()))
+            }),
+        )
+    }
+
+    // -- matrix products -----------------------------------------------------
+
+    /// Matrix product `a @ b` with `a: [m,k]`, `b: [k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        let (m, k) = (ta.rows(), ta.cols());
+        assert_eq!(tb.ndim(), 2, "matmul rhs must be 2-D");
+        let (k2, n) = (tb.dim(0), tb.dim(1));
+        assert_eq!(k, k2, "matmul inner dim {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_acc(ta.data(), tb.data(), out.data_mut(), m, k, n);
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let ta = &g_.values[a.0];
+                    let tb = &g_.values[b.0];
+                    let (m, k) = (ta.rows(), ta.cols());
+                    let n = tb.dim(1);
+                    if g_.needs(a) {
+                        // grad_a = g @ b^T; b is stored [k,n] whose rows have
+                        // length n, exactly what the nt kernel expects.
+                        let mut ga = Tensor::zeros(&[m, k]);
+                        matmul_nt_acc(g.data(), tb.data(), ga.data_mut(), m, n, k);
+                        acc(grads, a.0, ga);
+                    }
+                    if g_.needs(b) {
+                        // grad_b = a^T @ g  ([m,k]^T x [m,n])
+                        let mut gb = Tensor::zeros(&[k, n]);
+                        matmul_tn_acc(ta.data(), g.data(), gb.data_mut(), m, k, n);
+                        acc(grads, b.0, gb);
+                    }
+                })
+            }),
+        )
+    }
+
+    /// `a @ b^T` with `a: [m,k]`, `b: [n,k]` — the scoring kernel
+    /// (sequence representations against item/vocabulary embeddings).
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        let (m, k) = (ta.rows(), ta.cols());
+        assert_eq!(tb.ndim(), 2);
+        let (n, k2) = (tb.dim(0), tb.dim(1));
+        assert_eq!(k, k2, "matmul_nt inner dim {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_nt_acc(ta.data(), tb.data(), out.data_mut(), m, k, n);
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let ta = &g_.values[a.0];
+                    let tb = &g_.values[b.0];
+                    let (m, k) = (ta.rows(), ta.cols());
+                    let n = tb.dim(0);
+                    if g_.needs(a) {
+                        // grad_a = g @ b  ([m,n] x [n,k])
+                        let mut ga = Tensor::zeros(&[m, k]);
+                        matmul_acc(g.data(), tb.data(), ga.data_mut(), m, n, k);
+                        acc(grads, a.0, ga);
+                    }
+                    if g_.needs(b) {
+                        // grad_b = g^T @ a  ([m,n]^T x [m,k])
+                        let mut gb = Tensor::zeros(&[n, k]);
+                        matmul_tn_acc(g.data(), ta.data(), gb.data_mut(), m, n, k);
+                        acc(grads, b.0, gb);
+                    }
+                })
+            }),
+        )
+    }
+
+    /// Batched matmul `a @ b`: `a: [B,m,k]`, `b: [B,k,n]` → `[B,m,n]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ta.ndim(), 3, "bmm lhs must be 3-D");
+        assert_eq!(tb.ndim(), 3, "bmm rhs must be 3-D");
+        let (bsz, m, k) = (ta.dim(0), ta.dim(1), ta.dim(2));
+        assert_eq!(tb.dim(0), bsz);
+        assert_eq!(tb.dim(1), k, "bmm inner dim");
+        let n = tb.dim(2);
+        let mut out = Tensor::zeros(&[bsz, m, n]);
+        for i in 0..bsz {
+            matmul_acc(
+                &ta.data()[i * m * k..(i + 1) * m * k],
+                &tb.data()[i * k * n..(i + 1) * k * n],
+                &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let ta = &g_.values[a.0];
+                    let tb = &g_.values[b.0];
+                    let (bsz, m, k) = (ta.dim(0), ta.dim(1), ta.dim(2));
+                    let n = tb.dim(2);
+                    if g_.needs(a) {
+                        let mut ga = Tensor::zeros(&[bsz, m, k]);
+                        for i in 0..bsz {
+                            matmul_nt_acc(
+                                &g.data()[i * m * n..(i + 1) * m * n],
+                                &tb.data()[i * k * n..(i + 1) * k * n],
+                                &mut ga.data_mut()[i * m * k..(i + 1) * m * k],
+                                m,
+                                n,
+                                k,
+                            );
+                        }
+                        acc(grads, a.0, ga);
+                    }
+                    if g_.needs(b) {
+                        let mut gb = Tensor::zeros(&[bsz, k, n]);
+                        for i in 0..bsz {
+                            matmul_tn_acc(
+                                &ta.data()[i * m * k..(i + 1) * m * k],
+                                &g.data()[i * m * n..(i + 1) * m * n],
+                                &mut gb.data_mut()[i * k * n..(i + 1) * k * n],
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                        acc(grads, b.0, gb);
+                    }
+                })
+            }),
+        )
+    }
+
+    /// Batched `a @ b^T`: `a: [B,m,k]`, `b: [B,n,k]` → `[B,m,n]` — the
+    /// attention-score kernel (queries against keys).
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ta.ndim(), 3);
+        assert_eq!(tb.ndim(), 3);
+        let (bsz, m, k) = (ta.dim(0), ta.dim(1), ta.dim(2));
+        assert_eq!(tb.dim(0), bsz);
+        assert_eq!(tb.dim(2), k, "bmm_nt inner dim");
+        let n = tb.dim(1);
+        let mut out = Tensor::zeros(&[bsz, m, n]);
+        for i in 0..bsz {
+            matmul_nt_acc(
+                &ta.data()[i * m * k..(i + 1) * m * k],
+                &tb.data()[i * n * k..(i + 1) * n * k],
+                &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let ta = &g_.values[a.0];
+                    let tb = &g_.values[b.0];
+                    let (bsz, m, k) = (ta.dim(0), ta.dim(1), ta.dim(2));
+                    let n = tb.dim(1);
+                    if g_.needs(a) {
+                        // grad_a[i] = g[i] @ b[i]
+                        let mut ga = Tensor::zeros(&[bsz, m, k]);
+                        for i in 0..bsz {
+                            matmul_acc(
+                                &g.data()[i * m * n..(i + 1) * m * n],
+                                &tb.data()[i * n * k..(i + 1) * n * k],
+                                &mut ga.data_mut()[i * m * k..(i + 1) * m * k],
+                                m,
+                                n,
+                                k,
+                            );
+                        }
+                        acc(grads, a.0, ga);
+                    }
+                    if g_.needs(b) {
+                        // grad_b[i] = g[i]^T @ a[i]
+                        let mut gb = Tensor::zeros(&[bsz, n, k]);
+                        for i in 0..bsz {
+                            matmul_tn_acc(
+                                &g.data()[i * m * n..(i + 1) * m * n],
+                                &ta.data()[i * m * k..(i + 1) * m * k],
+                                &mut gb.data_mut()[i * n * k..(i + 1) * n * k],
+                                m,
+                                n,
+                                k,
+                            );
+                        }
+                        acc(grads, b.0, gb);
+                    }
+                })
+            }),
+        )
+    }
+
+    // -- activations -----------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let out = self.values[x.0].map(|v| v.max(0.0));
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = g_.values[x.0].data();
+                    let data =
+                        g.data().iter().zip(tx).map(|(gv, &xv)| if xv > 0.0 { *gv } else { 0.0 });
+                    acc(grads, x.0, Tensor::new(g.shape(), data.collect()));
+                })
+            }),
+        )
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&mut self, x: Var) -> Var {
+        let out = self.values[x.0].map(gelu);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = g_.values[x.0].data();
+                    let data = g.data().iter().zip(tx).map(|(gv, &xv)| gv * gelu_grad(xv));
+                    acc(grads, x.0, Tensor::new(g.shape(), data.collect()));
+                })
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let out = self.values[x.0].map(sigmoid);
+        let needs = self.needs(x);
+        let node = self.push(out, needs, None);
+        if needs {
+            // Uses the node's own output: d/dx σ = σ(1-σ).
+            self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
+                let y = g_.values[node.0].data();
+                let data = g.data().iter().zip(y).map(|(gv, &yv)| gv * yv * (1.0 - yv));
+                acc(grads, x.0, Tensor::new(g.shape(), data.collect()));
+            }));
+        }
+        node
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let out = self.values[x.0].map(f32::tanh);
+        let needs = self.needs(x);
+        let node = self.push(out, needs, None);
+        if needs {
+            self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
+                let y = g_.values[node.0].data();
+                let data = g.data().iter().zip(y).map(|(gv, &yv)| gv * (1.0 - yv * yv));
+                acc(grads, x.0, Tensor::new(g.shape(), data.collect()));
+            }));
+        }
+        node
+    }
+
+    /// SiLU / swish: `x * σ(x)` — the FFN activation of LLaMA-style blocks.
+    pub fn silu(&mut self, x: Var) -> Var {
+        let out = self.values[x.0].map(|v| v * sigmoid(v));
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = g_.values[x.0].data();
+                    let data = g.data().iter().zip(tx).map(|(gv, &xv)| {
+                        let s = sigmoid(xv);
+                        gv * (s + xv * s * (1.0 - s))
+                    });
+                    acc(grads, x.0, Tensor::new(g.shape(), data.collect()));
+                })
+            }),
+        )
+    }
+
+    /// Elementwise reciprocal square root `x^(-1/2)`. Inputs must be
+    /// positive (add an epsilon upstream).
+    pub fn rsqrt(&mut self, x: Var) -> Var {
+        let out = self.values[x.0].map(|v| 1.0 / v.sqrt());
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = g_.values[x.0].data();
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(tx)
+                        .map(|(gv, &xv)| gv * (-0.5) / (xv * xv.sqrt()))
+                        .collect();
+                    acc(grads, x.0, Tensor::new(g.shape(), data));
+                })
+            }),
+        )
+    }
+
+    // -- reductions / normalization --------------------------------------------
+
+    /// Softmax over the trailing dimension.
+    pub fn softmax(&mut self, x: Var) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        let mut out = Tensor::zeros(tx.shape());
+        softmax_rows(tx.data(), out.data_mut(), cols);
+        let needs = self.needs(x);
+        let node = self.push(out, needs, None);
+        if needs {
+            self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
+                let y = &g_.values[node.0];
+                let cols = y.cols();
+                let mut gx = Vec::with_capacity(y.numel());
+                for (yrow, grow) in y.data().chunks_exact(cols).zip(g.data().chunks_exact(cols)) {
+                    let dot: f32 = yrow.iter().zip(grow).map(|(a, b)| a * b).sum();
+                    gx.extend(yrow.iter().zip(grow).map(|(&yv, &gv)| yv * (gv - dot)));
+                }
+                acc(grads, x.0, Tensor::new(y.shape(), gx));
+            }));
+        }
+        node
+    }
+
+    /// Log-softmax over the trailing dimension.
+    pub fn log_softmax(&mut self, x: Var) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        let mut out = Tensor::zeros(tx.shape());
+        log_softmax_rows(tx.data(), out.data_mut(), cols);
+        let needs = self.needs(x);
+        let node = self.push(out, needs, None);
+        if needs {
+            self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
+                let y = &g_.values[node.0];
+                let cols = y.cols();
+                let mut gx = Vec::with_capacity(y.numel());
+                for (yrow, grow) in y.data().chunks_exact(cols).zip(g.data().chunks_exact(cols)) {
+                    let gsum: f32 = grow.iter().sum();
+                    gx.extend(yrow.iter().zip(grow).map(|(&yv, &gv)| gv - yv.exp() * gsum));
+                }
+                acc(grads, x.0, Tensor::new(y.shape(), gx));
+            }));
+        }
+        node
+    }
+
+    /// Mean of all elements → scalar node.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let tx = &self.values[x.0];
+        let n = tx.numel().max(1);
+        let out = Tensor::scalar(tx.mean());
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let gv = g.item() / n as f32;
+                    acc(grads, x.0, Tensor::full(tx.shape(), gv));
+                })
+            }),
+        )
+    }
+
+    /// Sum of all elements → scalar node.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let tx = &self.values[x.0];
+        let out = Tensor::scalar(tx.sum());
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    acc(grads, x.0, Tensor::full(tx.shape(), g.item()));
+                })
+            }),
+        )
+    }
+
+    /// Mean squared error between two same-shape tensors → scalar node.
+    pub fn mse(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ta.shape(), tb.shape(), "mse shape mismatch");
+        let n = ta.numel().max(1) as f32;
+        let loss =
+            ta.data().iter().zip(tb.data()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>() / n;
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            Tensor::scalar(loss),
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let ta = &g_.values[a.0];
+                    let tb = &g_.values[b.0];
+                    let n = ta.numel().max(1) as f32;
+                    let s = 2.0 * g.item() / n;
+                    if g_.needs(a) {
+                        let d =
+                            ta.data().iter().zip(tb.data()).map(|(x, y)| s * (x - y)).collect();
+                        acc(grads, a.0, Tensor::new(ta.shape(), d));
+                    }
+                    if g_.needs(b) {
+                        let d =
+                            ta.data().iter().zip(tb.data()).map(|(x, y)| -s * (x - y)).collect();
+                        acc(grads, b.0, Tensor::new(tb.shape(), d));
+                    }
+                })
+            }),
+        )
+    }
+
+    /// Layer normalization over the trailing dimension with affine transform.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        assert_eq!(self.values[gamma.0].numel(), cols);
+        assert_eq!(self.values[beta.0].numel(), cols);
+        let gm = self.values[gamma.0].data().to_vec();
+        let bt = self.values[beta.0].data().to_vec();
+        let mut out = Vec::with_capacity(tx.numel());
+        let mut stats = Vec::with_capacity(tx.rows() * 2); // (mean, rstd) per row
+        for row in tx.data().chunks_exact(cols) {
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let rstd = 1.0 / (var + eps).sqrt();
+            stats.push(mean);
+            stats.push(rstd);
+            for (j, &v) in row.iter().enumerate() {
+                out.push((v - mean) * rstd * gm[j] + bt[j]);
+            }
+        }
+        let out = Tensor::new(tx.shape(), out);
+        let needs = self.needs(x) || self.needs(gamma) || self.needs(beta);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let cols = tx.cols();
+                    let gm = g_.values[gamma.0].data();
+                    let mut gx = Vec::with_capacity(tx.numel());
+                    let mut ggamma = vec![0.0; cols];
+                    let mut gbeta = vec![0.0; cols];
+                    for (r, (xrow, grow)) in
+                        tx.data().chunks_exact(cols).zip(g.data().chunks_exact(cols)).enumerate()
+                    {
+                        let mean = stats[2 * r];
+                        let rstd = stats[2 * r + 1];
+                        // xhat_j = (x_j - mean) * rstd
+                        let mut sum_gy = 0.0;
+                        let mut sum_gy_xhat = 0.0;
+                        for j in 0..cols {
+                            let xhat = (xrow[j] - mean) * rstd;
+                            let gyl = grow[j] * gm[j];
+                            sum_gy += gyl;
+                            sum_gy_xhat += gyl * xhat;
+                            ggamma[j] += grow[j] * xhat;
+                            gbeta[j] += grow[j];
+                        }
+                        let nc = cols as f32;
+                        for j in 0..cols {
+                            let xhat = (xrow[j] - mean) * rstd;
+                            let gyl = grow[j] * gm[j];
+                            gx.push(rstd * (gyl - sum_gy / nc - xhat * sum_gy_xhat / nc));
+                        }
+                    }
+                    if g_.needs(x) {
+                        acc(grads, x.0, Tensor::new(tx.shape(), gx));
+                    }
+                    if g_.needs(gamma) {
+                        acc(grads, gamma.0, Tensor::new(&[cols], ggamma));
+                    }
+                    if g_.needs(beta) {
+                        acc(grads, beta.0, Tensor::new(&[cols], gbeta));
+                    }
+                })
+            }),
+        )
+    }
+
+    /// RMS normalization over the trailing dimension (LLaMA-style, no bias).
+    pub fn rms_norm(&mut self, x: Var, gamma: Var, eps: f32) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        assert_eq!(self.values[gamma.0].numel(), cols);
+        let gm = self.values[gamma.0].data().to_vec();
+        let mut out = Vec::with_capacity(tx.numel());
+        let mut rms_inv = Vec::with_capacity(tx.rows());
+        for row in tx.data().chunks_exact(cols) {
+            let ms = row.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+            let r = 1.0 / (ms + eps).sqrt();
+            rms_inv.push(r);
+            for (j, &v) in row.iter().enumerate() {
+                out.push(v * r * gm[j]);
+            }
+        }
+        let out = Tensor::new(tx.shape(), out);
+        let needs = self.needs(x) || self.needs(gamma);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let cols = tx.cols();
+                    let gm = g_.values[gamma.0].data();
+                    let mut gx = Vec::with_capacity(tx.numel());
+                    let mut ggamma = vec![0.0; cols];
+                    for (r, (xrow, grow)) in
+                        tx.data().chunks_exact(cols).zip(g.data().chunks_exact(cols)).enumerate()
+                    {
+                        let ri = rms_inv[r];
+                        let nc = cols as f32;
+                        let mut dot = 0.0;
+                        for j in 0..cols {
+                            let gyl = grow[j] * gm[j];
+                            dot += gyl * xrow[j];
+                            ggamma[j] += grow[j] * xrow[j] * ri;
+                        }
+                        for j in 0..cols {
+                            let gyl = grow[j] * gm[j];
+                            gx.push(ri * gyl - xrow[j] * ri * ri * ri * dot / nc);
+                        }
+                    }
+                    if g_.needs(x) {
+                        acc(grads, x.0, Tensor::new(tx.shape(), gx));
+                    }
+                    if g_.needs(gamma) {
+                        acc(grads, gamma.0, Tensor::new(&[cols], ggamma));
+                    }
+                })
+            }),
+        )
+    }
+
+    // -- indexing / shape -------------------------------------------------------
+
+    /// Row gather: `out[i] = x[ids[i]]` for a matrix-like `x`. Backward
+    /// scatter-adds. This is both the embedding lookup and the general
+    /// row-permutation primitive (windows for Caser, last-position select…).
+    pub fn gather_rows(&mut self, x: Var, ids: &[u32]) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        let rows = tx.rows();
+        let mut out = Vec::with_capacity(ids.len() * cols);
+        for &id in ids {
+            let id = id as usize;
+            assert!(id < rows, "gather_rows index {id} out of {rows}");
+            out.extend_from_slice(&tx.data()[id * cols..(id + 1) * cols]);
+        }
+        let out = Tensor::new(&[ids.len(), cols], out);
+        let needs = self.needs(x);
+        let ids_owned: Vec<u32> = ids.to_vec();
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let cols = tx.cols();
+                    let mut gx = Tensor::zeros(tx.shape());
+                    for (i, &id) in ids_owned.iter().enumerate() {
+                        let dst = &mut gx.data_mut()[id as usize * cols..(id as usize + 1) * cols];
+                        let src = &g.data()[i * cols..(i + 1) * cols];
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    acc(grads, x.0, gx);
+                })
+            }),
+        )
+    }
+
+    /// Embedding lookup: alias of [`Graph::gather_rows`] expressing intent.
+    pub fn embedding(&mut self, table: Var, ids: &[u32]) -> Var {
+        self.gather_rows(table, ids)
+    }
+
+    /// Reshape without moving data.
+    pub fn reshape(&mut self, x: Var, shape: &[usize]) -> Var {
+        let out = self.values[x.0].reshaped(shape);
+        let needs = self.needs(x);
+        let old_shape: Vec<usize> = self.values[x.0].shape().to_vec();
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| {
+                    acc(grads, x.0, g.reshaped(&old_shape));
+                })
+            }),
+        )
+    }
+
+    /// 2-D transpose.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let out = self.values[x.0].transposed();
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| acc(grads, x.0, g.transposed()))
+            }),
+        )
+    }
+
+    /// Selects rows `[start, end)` of a matrix-like tensor.
+    pub fn slice_rows(&mut self, x: Var, start: usize, end: usize) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        assert!(start <= end && end <= tx.rows());
+        let out = Tensor::new(&[end - start, cols], tx.data()[start * cols..end * cols].to_vec());
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let cols = tx.cols();
+                    let mut gx = Tensor::zeros(tx.shape());
+                    gx.data_mut()[start * cols..end * cols].copy_from_slice(g.data());
+                    acc(grads, x.0, gx);
+                })
+            }),
+        )
+    }
+
+    /// Concatenates matrix-like tensors along the trailing (column) axis.
+    /// All inputs must have the same number of rows.
+    pub fn concat_cols(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty());
+        let rows = self.values[xs[0].0].rows();
+        let widths: Vec<usize> = xs.iter().map(|v| self.values[v.0].cols()).collect();
+        let total: usize = widths.iter().sum();
+        let mut out = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for (v, &w) in xs.iter().zip(&widths) {
+                let t = &self.values[v.0];
+                debug_assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+                out.extend_from_slice(&t.data()[r * w..(r + 1) * w]);
+            }
+        }
+        let out = Tensor::new(&[rows, total], out);
+        let needs = xs.iter().any(|&v| self.needs(v));
+        let xs_owned: Vec<Var> = xs.to_vec();
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let widths: Vec<usize> =
+                        xs_owned.iter().map(|v| g_.values[v.0].cols()).collect();
+                    let total: usize = widths.iter().sum();
+                    let rows = g.rows();
+                    let mut offset = 0;
+                    for (v, &w) in xs_owned.iter().zip(&widths) {
+                        if g_.needs(*v) {
+                            let mut gv = Vec::with_capacity(rows * w);
+                            for r in 0..rows {
+                                gv.extend_from_slice(&g.data()[r * total + offset..r * total + offset + w]);
+                            }
+                            acc(grads, v.0, Tensor::new(&[rows, w], gv));
+                        }
+                        offset += w;
+                    }
+                })
+            }),
+        )
+    }
+
+    /// Concatenates matrix-like tensors along the row axis.
+    pub fn concat_rows(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty());
+        let cols = self.values[xs[0].0].cols();
+        let mut out = Vec::new();
+        let mut rows = 0;
+        for v in xs {
+            let t = &self.values[v.0];
+            assert_eq!(t.cols(), cols, "concat_rows col mismatch");
+            rows += t.rows();
+            out.extend_from_slice(t.data());
+        }
+        let out = Tensor::new(&[rows, cols], out);
+        let needs = xs.iter().any(|&v| self.needs(v));
+        let xs_owned: Vec<Var> = xs.to_vec();
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let cols = g.cols();
+                    let mut start = 0;
+                    for v in &xs_owned {
+                        let r = g_.values[v.0].rows();
+                        if g_.needs(*v) {
+                            let gv = g.data()[start * cols..(start + r) * cols].to_vec();
+                            acc(grads, v.0, Tensor::new(&[r, cols], gv));
+                        }
+                        start += r;
+                    }
+                })
+            }),
+        )
+    }
+
+    /// Head split for multi-head attention:
+    /// `[B*T, H*dh]` → `[B*H, T, dh]`.
+    pub fn split_heads(&mut self, x: Var, b: usize, t: usize, h: usize) -> Var {
+        let tx = &self.values[x.0];
+        assert_eq!(tx.rows(), b * t, "split_heads rows");
+        let hd = tx.cols();
+        assert_eq!(hd % h, 0, "model dim {hd} not divisible by heads {h}");
+        let dh = hd / h;
+        let mut out = vec![0.0; tx.numel()];
+        split_heads_raw(tx.data(), &mut out, b, t, h, dh);
+        let out = Tensor::new(&[b * h, t, dh], out);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let dh = tx.cols() / h;
+                    let mut gx = vec![0.0; tx.numel()];
+                    merge_heads_raw(g.data(), &mut gx, b, t, h, dh);
+                    acc(grads, x.0, Tensor::new(tx.shape(), gx));
+                })
+            }),
+        )
+    }
+
+    /// Inverse of [`Graph::split_heads`]: `[B*H, T, dh]` → `[B*T, H*dh]`.
+    pub fn merge_heads(&mut self, x: Var, b: usize, t: usize, h: usize) -> Var {
+        let tx = &self.values[x.0];
+        assert_eq!(tx.ndim(), 3);
+        assert_eq!(tx.dim(0), b * h, "merge_heads batch");
+        assert_eq!(tx.dim(1), t, "merge_heads time");
+        let dh = tx.dim(2);
+        let mut out = vec![0.0; tx.numel()];
+        merge_heads_raw(tx.data(), &mut out, b, t, h, dh);
+        let out = Tensor::new(&[b * t, h * dh], out);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let dh = tx.dim(2);
+                    let mut gx = vec![0.0; tx.numel()];
+                    split_heads_raw(g.data(), &mut gx, b, t, h, dh);
+                    acc(grads, x.0, Tensor::new(tx.shape(), gx));
+                })
+            }),
+        )
+    }
+
+    /// Max pooling over groups of consecutive rows: `x: [G*group, C]` →
+    /// `[G, C]`, taking the per-column maximum inside each group
+    /// (Caser's max-over-time pooling).
+    pub fn max_pool_rows(&mut self, x: Var, group: usize) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        let rows = tx.rows();
+        assert!(group > 0 && rows % group == 0, "max_pool_rows: {rows} rows, group {group}");
+        let g_out = rows / group;
+        let mut out = vec![f32::NEG_INFINITY; g_out * cols];
+        let mut argmax = vec![0u32; g_out * cols];
+        for r in 0..rows {
+            let gidx = r / group;
+            let xrow = &tx.data()[r * cols..(r + 1) * cols];
+            for (j, &v) in xrow.iter().enumerate() {
+                let o = gidx * cols + j;
+                if v > out[o] {
+                    out[o] = v;
+                    argmax[o] = r as u32;
+                }
+            }
+        }
+        let out = Tensor::new(&[g_out, cols], out);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let cols = tx.cols();
+                    let mut gx = Tensor::zeros(tx.shape());
+                    for (o, (&src_row, &gv)) in argmax.iter().zip(g.data()).enumerate() {
+                        let j = o % cols;
+                        gx.data_mut()[src_row as usize * cols + j] += gv;
+                    }
+                    acc(grads, x.0, gx);
+                })
+            }),
+        )
+    }
+
+    /// Mean pooling over groups of consecutive rows: `[G*group, C]` → `[G, C]`.
+    pub fn mean_pool_rows(&mut self, x: Var, group: usize) -> Var {
+        let tx = &self.values[x.0];
+        let cols = tx.cols();
+        let rows = tx.rows();
+        assert!(group > 0 && rows % group == 0);
+        let g_out = rows / group;
+        let mut out = vec![0.0; g_out * cols];
+        for r in 0..rows {
+            let base = (r / group) * cols;
+            for (j, &v) in tx.data()[r * cols..(r + 1) * cols].iter().enumerate() {
+                out[base + j] += v;
+            }
+        }
+        let inv = 1.0 / group as f32;
+        out.iter_mut().for_each(|v| *v *= inv);
+        let out = Tensor::new(&[g_out, cols], out);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let cols = tx.cols();
+                    let inv = 1.0 / group as f32;
+                    let mut gx = Vec::with_capacity(tx.numel());
+                    for r in 0..tx.rows() {
+                        let base = (r / group) * cols;
+                        gx.extend(g.data()[base..base + cols].iter().map(|v| v * inv));
+                    }
+                    acc(grads, x.0, Tensor::new(tx.shape(), gx));
+                })
+            }),
+        )
+    }
+
+    /// Applies a constant matrix `c: [t2, t]` to each consecutive group of
+    /// `t` rows of `x: [B*t, d]`, producing `[B*t2, d]` with
+    /// `out_b = c @ x_b`. Because `c` is constant, backward is simply
+    /// `gx_b = c^T @ g_b`. This is the building block for per-sequence
+    /// linear transforms along time: FMLP-Rec's DFT/IDFT and Caser's
+    /// vertical convolutions.
+    pub fn group_matmul_const(&mut self, c: &Tensor, x: Var) -> Var {
+        let tx = &self.values[x.0];
+        assert_eq!(c.ndim(), 2, "group_matmul_const needs a 2-D constant");
+        let (t2, t) = (c.dim(0), c.dim(1));
+        let d = tx.cols();
+        let rows = tx.rows();
+        assert!(t > 0 && rows % t == 0, "rows {rows} not a multiple of group {t}");
+        let groups = rows / t;
+        let mut out = Tensor::zeros(&[groups * t2, d]);
+        for gidx in 0..groups {
+            matmul_acc(
+                c.data(),
+                &tx.data()[gidx * t * d..(gidx + 1) * t * d],
+                &mut out.data_mut()[gidx * t2 * d..(gidx + 1) * t2 * d],
+                t2,
+                t,
+                d,
+            );
+        }
+        let needs = self.needs(x);
+        let c_owned = c.clone();
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tx = &g_.values[x.0];
+                    let d = tx.cols();
+                    let (t2, t) = (c_owned.dim(0), c_owned.dim(1));
+                    let groups = tx.rows() / t;
+                    let mut gx = Tensor::zeros(tx.shape());
+                    for gidx in 0..groups {
+                        // gx_b = c^T @ g_b
+                        matmul_tn_acc(
+                            c_owned.data(),
+                            &g.data()[gidx * t2 * d..(gidx + 1) * t2 * d],
+                            &mut gx.data_mut()[gidx * t * d..(gidx + 1) * t * d],
+                            t2,
+                            t,
+                            d,
+                        );
+                    }
+                    acc(grads, x.0, gx);
+                })
+            }),
+        )
+    }
+
+    /// Row-wise dot product of two equal-shape matrices → `[rows]`.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ta.shape(), tb.shape(), "rowwise_dot shape mismatch");
+        let cols = ta.cols();
+        let out: Vec<f32> = ta
+            .data()
+            .chunks_exact(cols)
+            .zip(tb.data().chunks_exact(cols))
+            .map(|(x, y)| x.iter().zip(y).map(|(u, v)| u * v).sum())
+            .collect();
+        let out = Tensor::new(&[ta.rows()], out);
+        let needs = self.needs(a) || self.needs(b);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let ta = &g_.values[a.0];
+                    let tb = &g_.values[b.0];
+                    let cols = ta.cols();
+                    if g_.needs(a) {
+                        let mut ga = Vec::with_capacity(ta.numel());
+                        for (r, row) in tb.data().chunks_exact(cols).enumerate() {
+                            ga.extend(row.iter().map(|v| v * g.data()[r]));
+                        }
+                        acc(grads, a.0, Tensor::new(ta.shape(), ga));
+                    }
+                    if g_.needs(b) {
+                        let mut gb = Vec::with_capacity(tb.numel());
+                        for (r, row) in ta.data().chunks_exact(cols).enumerate() {
+                            gb.extend(row.iter().map(|v| v * g.data()[r]));
+                        }
+                        acc(grads, b.0, Tensor::new(tb.shape(), gb));
+                    }
+                })
+            }),
+        )
+    }
+
+    // -- regularization -----------------------------------------------------------
+
+    /// Inverted dropout: active only in training mode.
+    pub fn dropout(&mut self, x: Var, p: f32) -> Var {
+        if !self.train || p <= 0.0 {
+            return x;
+        }
+        assert!(p < 1.0, "dropout p must be < 1");
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let tx_len = self.values[x.0].numel();
+        let mask: Vec<f32> =
+            (0..tx_len).map(|_| if self.next_f32() < keep { scale } else { 0.0 }).collect();
+        let tx = &self.values[x.0];
+        let data = tx.data().iter().zip(&mask).map(|(v, m)| v * m).collect();
+        let out = Tensor::new(tx.shape(), data);
+        let needs = self.needs(x);
+        self.push(
+            out,
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| {
+                    let data = g.data().iter().zip(&mask).map(|(v, m)| v * m).collect();
+                    acc(grads, x.0, Tensor::new(g.shape(), data));
+                })
+            }),
+        )
+    }
+
+    // -- losses ---------------------------------------------------------------------
+
+    /// Mean cross-entropy of `logits: [n, V]` against integer `targets`
+    /// (length `n`). Positions whose target equals `ignore_index` contribute
+    /// nothing. Returns a scalar node. This is Eqn. (7) of the paper applied
+    /// per token.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[u32], ignore_index: u32) -> Var {
+        let tl = &self.values[logits.0];
+        let v = tl.cols();
+        let n = tl.rows();
+        assert_eq!(targets.len(), n, "targets length");
+        let mut probs = Tensor::zeros(&[n, v]);
+        softmax_rows(tl.data(), probs.data_mut(), v);
+        let mut loss = 0.0;
+        let mut count = 0usize;
+        for (i, &t) in targets.iter().enumerate() {
+            if t == ignore_index {
+                continue;
+            }
+            let p = probs.data()[i * v + t as usize].max(1e-12);
+            loss -= p.ln();
+            count += 1;
+        }
+        let count = count.max(1);
+        let loss = loss / count as f32;
+        let needs = self.needs(logits);
+        let targets_owned: Vec<u32> = targets.to_vec();
+        self.push(
+            Tensor::scalar(loss),
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |_, g, grads| {
+                    let scale = g.item() / count as f32;
+                    let mut gx = probs.clone();
+                    let v = gx.cols();
+                    for (i, &t) in targets_owned.iter().enumerate() {
+                        let row = &mut gx.data_mut()[i * v..(i + 1) * v];
+                        if t == ignore_index {
+                            row.iter_mut().for_each(|x| *x = 0.0);
+                        } else {
+                            row[t as usize] -= 1.0;
+                            row.iter_mut().for_each(|x| *x *= scale);
+                        }
+                    }
+                    acc(grads, logits.0, gx);
+                })
+            }),
+        )
+    }
+
+    /// Mean binary cross-entropy with logits against float targets in `[0,1]`.
+    pub fn bce_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let tl = &self.values[logits.0];
+        assert_eq!(tl.numel(), targets.len());
+        let n = tl.numel().max(1) as f32;
+        let mut loss = 0.0;
+        for (&x, &y) in tl.data().iter().zip(targets) {
+            // log(1+e^x) computed stably.
+            let lse = if x > 0.0 { x + (-x).exp().ln_1p() } else { x.exp().ln_1p() };
+            loss += lse - x * y;
+        }
+        let loss = loss / n;
+        let needs = self.needs(logits);
+        let targets_owned = targets.to_vec();
+        self.push(
+            Tensor::scalar(loss),
+            needs,
+            needs.then(|| -> BackFn {
+                Box::new(move |g_, g, grads| {
+                    let tl = &g_.values[logits.0];
+                    let n = tl.numel().max(1) as f32;
+                    let s = g.item() / n;
+                    let data = tl
+                        .data()
+                        .iter()
+                        .zip(&targets_owned)
+                        .map(|(&x, &y)| s * (sigmoid(x) - y))
+                        .collect();
+                    acc(grads, logits.0, Tensor::new(tl.shape(), data));
+                })
+            }),
+        )
+    }
+
+    // -- engine -------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`,
+    /// accumulating parameter gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.values[loss.0].numel(), 1, "backward requires a scalar loss");
+        let n = self.values.len();
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+        let fns = std::mem::take(&mut self.backward_fns);
+        for i in (0..n).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            if let Some(pid) = self.meta[i].param {
+                store.grad_mut(pid).add_assign(&g);
+            }
+            if let Some(f) = &fns[i] {
+                f(self, &g, &mut grads);
+            }
+        }
+        self.backward_fns = fns;
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn acc(grads: &mut [Option<Tensor>], id: usize, t: Tensor) {
+    match &mut grads[id] {
+        Some(existing) => existing.add_assign(&t),
+        slot => *slot = Some(t),
+    }
+}
+
+/// `[B*T, H*dh]` → `[B*H, T, dh]` element permutation.
+fn split_heads_raw(input: &[f32], out: &mut [f32], b: usize, t: usize, h: usize, dh: usize) {
+    for bi in 0..b {
+        for ti in 0..t {
+            let src_row = (bi * t + ti) * h * dh;
+            for hi in 0..h {
+                let dst = ((bi * h + hi) * t + ti) * dh;
+                out[dst..dst + dh].copy_from_slice(&input[src_row + hi * dh..src_row + (hi + 1) * dh]);
+            }
+        }
+    }
+}
+
+/// `[B*H, T, dh]` → `[B*T, H*dh]` element permutation.
+fn merge_heads_raw(input: &[f32], out: &mut [f32], b: usize, t: usize, h: usize, dh: usize) {
+    for bi in 0..b {
+        for hi in 0..h {
+            for ti in 0..t {
+                let src = ((bi * h + hi) * t + ti) * dh;
+                let dst = (bi * t + ti) * h * dh + hi * dh;
+                out[dst..dst + dh].copy_from_slice(&input[src..src + dh]);
+            }
+        }
+    }
+}

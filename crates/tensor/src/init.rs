@@ -1,0 +1,72 @@
+//! Weight initializers. All take a caller-provided RNG so model construction
+//! is fully deterministic under a seed.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform in `[-a, a]`.
+pub fn uniform(shape: &[usize], a: f32, rng: &mut StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::new(shape, (0..n).map(|_| rng.random_range(-a..=a)).collect())
+}
+
+/// Glorot/Xavier uniform for a `[fan_in, fan_out]`-shaped weight.
+pub fn xavier(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    assert!(shape.len() >= 2, "xavier needs at least 2 dims");
+    let fan_in = shape[0] as f32;
+    let fan_out = shape[shape.len() - 1] as f32;
+    let a = (6.0 / (fan_in + fan_out)).sqrt();
+    uniform(shape, a, rng)
+}
+
+/// Normal with mean 0 and the given standard deviation (Box–Muller).
+pub fn normal(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::new(shape, data)
+}
+
+/// The GPT-2-style initializer used for our LM: N(0, 0.02).
+pub fn lm_default(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    normal(shape, 0.02, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = xavier(&[16, 16], &mut StdRng::seed_from_u64(7));
+        let b = xavier(&[16, 16], &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let t = xavier(&[32, 32], &mut StdRng::seed_from_u64(1));
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let t = normal(&[10_000], 0.5, &mut StdRng::seed_from_u64(3));
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,265 @@
+//! Numerical utilities that sit outside the autograd tape: PCA for the
+//! paper's Figure-4 embedding visualization, real DFT matrices for
+//! FMLP-Rec's frequency-domain filters, and similarity helpers used by the
+//! evaluation harness.
+
+use crate::tensor::{matmul, Tensor};
+
+/// L2-normalizes each row in place. Zero rows are left untouched.
+pub fn l2_normalize_rows(x: &mut Tensor) {
+    let cols = x.cols();
+    for row in x.data_mut().chunks_exact_mut(cols) {
+        let n: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if n > 0.0 {
+            row.iter_mut().for_each(|v| *v /= n);
+        }
+    }
+}
+
+/// Cosine similarity between two equal-length vectors (0 if either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Result of a principal component analysis.
+pub struct Pca {
+    /// Per-column mean of the input, length `d`.
+    pub mean: Vec<f32>,
+    /// Principal axes, shape `[k, d]`, unit rows, ordered by variance.
+    pub components: Tensor,
+    /// Variance explained along each component.
+    pub explained: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits a `k`-component PCA to the rows of `x: [n, d]` using power
+    /// iteration with deflation on the `d×d` covariance. Suitable for the
+    /// small embedding dimensions used here (d ≤ a few hundred).
+    pub fn fit(x: &Tensor, k: usize) -> Pca {
+        let n = x.rows();
+        let d = x.cols();
+        assert!(n > 1, "PCA needs at least 2 rows");
+        let k = k.min(d);
+        let mut mean = vec![0.0f32; d];
+        for row in x.data().chunks_exact(d) {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n as f32);
+        // Covariance C = X_c^T X_c / (n-1)
+        let mut centered = x.clone();
+        for row in centered.data_mut().chunks_exact_mut(d) {
+            for (v, &m) in row.iter_mut().zip(&mean) {
+                *v -= m;
+            }
+        }
+        let xt = centered.transposed();
+        let mut cov = matmul(&xt, &centered);
+        cov.scale_assign(1.0 / (n as f32 - 1.0));
+
+        let mut components = Vec::with_capacity(k * d);
+        let mut explained = Vec::with_capacity(k);
+        let mut c = cov;
+        for comp in 0..k {
+            // Deterministic but component-dependent start vector.
+            let mut v: Vec<f32> =
+                (0..d).map(|i| ((i * 2654435761 + comp * 97 + 1) % 1000) as f32 / 1000.0 - 0.5).collect();
+            normalize(&mut v);
+            let mut eig = 0.0;
+            for _ in 0..200 {
+                let mut nv = vec![0.0f32; d];
+                for i in 0..d {
+                    let row = c.row(i);
+                    let mut acc = 0.0;
+                    for (r, &vv) in row.iter().zip(&v) {
+                        acc += r * vv;
+                    }
+                    nv[i] = acc;
+                }
+                let norm = normalize(&mut nv);
+                let delta: f32 = nv.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+                v = nv;
+                eig = norm;
+                if delta < 1e-7 {
+                    break;
+                }
+            }
+            explained.push(eig);
+            components.extend_from_slice(&v);
+            // Deflate: C <- C - eig * v v^T
+            for i in 0..d {
+                for j in 0..d {
+                    let val = c.at(i, j) - eig * v[i] * v[j];
+                    c.data_mut()[i * d + j] = val;
+                }
+            }
+        }
+        Pca { mean, components: Tensor::new(&[k, d], components), explained }
+    }
+
+    /// Projects rows of `x: [n, d]` onto the fitted components → `[n, k]`.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        let d = x.cols();
+        assert_eq!(d, self.mean.len());
+        let k = self.components.dim(0);
+        let n = x.rows();
+        let mut out = Vec::with_capacity(n * k);
+        for row in x.data().chunks_exact(d) {
+            for c in 0..k {
+                let comp = self.components.row(c);
+                let mut acc = 0.0;
+                for ((&v, &m), &w) in row.iter().zip(&self.mean).zip(comp) {
+                    acc += (v - m) * w;
+                }
+                out.push(acc);
+            }
+        }
+        Tensor::new(&[n, k], out)
+    }
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > 0.0 {
+        v.iter_mut().for_each(|x| *x /= n);
+    }
+    n
+}
+
+/// Real DFT matrices for a length-`n` signal, as used by FMLP-Rec's
+/// frequency-domain filtering.
+///
+/// Returns `(forward_cos, forward_sin, inverse)` where, for a column signal
+/// `x ∈ R^n` and `nf = n/2 + 1` retained frequencies:
+///
+/// * `Xr = forward_cos @ x` (`[nf, n]`) — real part,
+/// * `Xi = forward_sin @ x` (`[nf, n]`) — imaginary part,
+/// * `x = inverse_c @ Xr + inverse_s @ Xi` where `inverse` packs
+///   `[inverse_c | inverse_s]` as one `[n, 2*nf]` matrix.
+pub fn rdft_matrices(n: usize) -> (Tensor, Tensor, Tensor) {
+    assert!(n >= 2, "rdft needs n >= 2");
+    let nf = n / 2 + 1;
+    let tau = 2.0 * std::f32::consts::PI / n as f32;
+    let mut cos_m = Vec::with_capacity(nf * n);
+    let mut sin_m = Vec::with_capacity(nf * n);
+    for f in 0..nf {
+        for t in 0..n {
+            let ang = tau * (f * t) as f32;
+            cos_m.push(ang.cos());
+            sin_m.push(-ang.sin());
+        }
+    }
+    // Inverse with Hermitian-symmetry weights: w_f = 1 for f=0 and (n even)
+    // f=n/2, else 2.
+    let mut inv = Vec::with_capacity(n * 2 * nf);
+    for t in 0..n {
+        for f in 0..nf {
+            let w = if f == 0 || (n % 2 == 0 && f == n / 2) { 1.0 } else { 2.0 };
+            inv.push(w * (tau * (f * t) as f32).cos() / n as f32);
+        }
+        for f in 0..nf {
+            let w = if f == 0 || (n % 2 == 0 && f == n / 2) { 1.0 } else { 2.0 };
+            inv.push(-w * (tau * (f * t) as f32).sin() / n as f32);
+        }
+    }
+    (
+        Tensor::new(&[nf, n], cos_m),
+        Tensor::new(&[nf, n], sin_m),
+        Tensor::new(&[n, 2 * nf], inv),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn pca_recovers_dominant_axis() {
+        // Points spread along (1,1,0) with small noise on other axes.
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            let t = i as f32 / 10.0 - 5.0;
+            rows.push(vec![t + 0.01 * (i as f32).sin(), t, 0.02 * (i as f32).cos()]);
+        }
+        let x = Tensor::from_rows(&rows);
+        let pca = Pca::fit(&x, 2);
+        let c0 = pca.components.row(0);
+        // First axis should be ~(1,1,0)/sqrt(2) up to sign.
+        let target = [std::f32::consts::FRAC_1_SQRT_2, std::f32::consts::FRAC_1_SQRT_2, 0.0];
+        let sim = cosine(c0, &target).abs();
+        assert!(sim > 0.99, "axis similarity {sim}");
+        assert!(pca.explained[0] > pca.explained[1]);
+    }
+
+    #[test]
+    fn pca_transform_centers() {
+        let x = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let pca = Pca::fit(&x, 1);
+        let y = pca.transform(&x);
+        // Projections of centered data sum to ~0.
+        assert!(y.data().iter().sum::<f32>().abs() < 1e-4);
+    }
+
+    #[test]
+    fn rdft_round_trip() {
+        for n in [4usize, 5, 8, 20] {
+            let (fc, fs, inv) = rdft_matrices(n);
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin() + 0.3 * i as f32).collect();
+            let nf = n / 2 + 1;
+            let mut xr = vec![0.0; nf];
+            let mut xi = vec![0.0; nf];
+            for f in 0..nf {
+                for t in 0..n {
+                    xr[f] += fc.at(f, t) * x[t];
+                    xi[f] += fs.at(f, t) * x[t];
+                }
+            }
+            // Reconstruct.
+            let mut rec = vec![0.0; n];
+            for t in 0..n {
+                for f in 0..nf {
+                    rec[t] += inv.at(t, f) * xr[f] + inv.at(t, nf + f) * xi[f];
+                }
+            }
+            for (a, b) in x.iter().zip(&rec) {
+                assert!((a - b).abs() < 1e-4, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn l2_normalize_handles_zero_rows() {
+        let mut t = Tensor::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]);
+        l2_normalize_rows(&mut t);
+        assert!((t.row(0)[0] - 0.6).abs() < 1e-6);
+        assert_eq!(t.row(1), &[0.0, 0.0]);
+    }
+}

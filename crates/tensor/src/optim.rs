@@ -1,0 +1,366 @@
+//! Parameter storage, optimizers, and learning-rate schedules.
+//!
+//! The paper trains the RQ-VAE and the LLM with AdamW (lr 1e-3 / 5e-5,
+//! weight decay 0.01) under a cosine schedule with warmup; those are the
+//! defaults exposed here.
+
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Parameters like bias/norm vectors are conventionally excluded from
+    /// weight decay; models mark them at registration time.
+    decay: bool,
+}
+
+/// Owns all trainable parameters of a model together with their gradients.
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter subject to weight decay.
+    pub fn add(&mut self, name: &str, value: Tensor) -> ParamId {
+        self.add_inner(name, value, true)
+    }
+
+    /// Registers a parameter excluded from weight decay (biases, norms).
+    pub fn add_no_decay(&mut self, name: &str, value: Tensor) -> ParamId {
+        self.add_inner(name, value, false)
+    }
+
+    fn add_inner(&mut self, name: &str, value: Tensor, decay: bool) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.entries.push(ParamEntry { name: name.to_string(), value, grad, decay });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Immutable view of a parameter value.
+    #[inline]
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable view of a parameter value (used by tests and manual updates).
+    #[inline]
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Immutable view of a parameter gradient.
+    #[inline]
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutable view of a parameter gradient (autograd accumulates here).
+    #[inline]
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Zeroes every gradient buffer.
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad.zero_();
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries.iter().map(|e| e.grad.data().iter().map(|g| g * g).sum::<f32>()).sum::<f32>().sqrt()
+    }
+
+    /// Clips gradients so the global norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for e in &mut self.entries {
+                e.grad.scale_assign(s);
+            }
+        }
+        norm
+    }
+}
+
+/// Learning-rate schedules.
+#[derive(Clone, Copy, Debug)]
+pub enum Schedule {
+    /// Fixed learning rate.
+    Constant,
+    /// Linear warmup to the base rate, then cosine decay to
+    /// `min_ratio * base` over the remaining steps — the paper's schedule.
+    CosineWarmup {
+        /// Steps of linear warmup.
+        warmup: usize,
+        /// Total steps of the schedule (decay ends here).
+        total: usize,
+        /// Floor as a fraction of the base rate.
+        min_ratio: f32,
+    },
+}
+
+impl Schedule {
+    /// Multiplier applied to the base learning rate at `step` (0-based).
+    pub fn factor(&self, step: usize) -> f32 {
+        match *self {
+            Schedule::Constant => 1.0,
+            Schedule::CosineWarmup { warmup, total, min_ratio } => {
+                if warmup > 0 && step < warmup {
+                    (step + 1) as f32 / warmup as f32
+                } else {
+                    let total = total.max(warmup + 1);
+                    let progress = (step - warmup) as f32 / (total - warmup) as f32;
+                    let progress = progress.clamp(0.0, 1.0);
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                    min_ratio + (1.0 - min_ratio) * cos
+                }
+            }
+        }
+    }
+}
+
+/// AdamW optimizer (decoupled weight decay).
+pub struct AdamW {
+    /// Base learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f32,
+    /// Learning-rate schedule.
+    pub schedule: Schedule,
+    step: usize,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl AdamW {
+    /// AdamW with the given learning rate and the paper's defaults
+    /// (β₁=0.9, β₂=0.999, ε=1e-8, weight decay 0.01, constant schedule).
+    pub fn new(lr: f32) -> Self {
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            schedule: Schedule::Constant,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Sets the learning-rate schedule (builder style).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the weight-decay coefficient (builder style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// The effective learning rate that the *next* step will use.
+    pub fn current_lr(&self) -> f32 {
+        self.lr * self.schedule.factor(self.step)
+    }
+
+    /// Applies one update using the gradients in `store`, then advances the
+    /// schedule. Gradients are left untouched (call
+    /// [`ParamStore::zero_grads`] before the next accumulation).
+    pub fn step(&mut self, store: &mut ParamStore) {
+        // Lazily size moment buffers (parameters may be registered late).
+        while self.m.len() < store.entries.len() {
+            let shape = store.entries[self.m.len()].value.shape().to_vec();
+            self.m.push(Tensor::zeros(&shape));
+            self.v.push(Tensor::zeros(&shape));
+        }
+        let lr = self.lr * self.schedule.factor(self.step);
+        self.step += 1;
+        let t = self.step as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for (i, e) in store.entries.iter_mut().enumerate() {
+            let m = self.m[i].data_mut();
+            let v = self.v[i].data_mut();
+            let wd = if e.decay { self.weight_decay } else { 0.0 };
+            for ((p, g), (mi, vi)) in
+                e.value.data_mut().iter_mut().zip(e.grad.data()).zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *p -= lr * (mhat / (vhat.sqrt() + self.eps) + wd * *p);
+            }
+        }
+    }
+}
+
+/// Plain SGD with optional momentum — used by a few lightweight baselines
+/// and by gradient-check tests where Adam's state would obscure results.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        while self.velocity.len() < store.entries.len() {
+            let shape = store.entries[self.velocity.len()].value.shape().to_vec();
+            self.velocity.push(Tensor::zeros(&shape));
+        }
+        for (i, e) in store.entries.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let vel = self.velocity[i].data_mut();
+                for ((p, g), v) in e.value.data_mut().iter_mut().zip(e.grad.data()).zip(vel) {
+                    *v = self.momentum * *v + g;
+                    *p -= self.lr * *v;
+                }
+            } else {
+                for (p, g) in e.value.data_mut().iter_mut().zip(e.grad.data()) {
+                    *p -= self.lr * g;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_schedule_shape() {
+        let s = Schedule::CosineWarmup { warmup: 10, total: 110, min_ratio: 0.1 };
+        // Warmup rises linearly.
+        assert!(s.factor(0) < s.factor(5));
+        assert!((s.factor(9) - 1.0).abs() < 1e-6);
+        // Decays monotonically after warmup.
+        assert!(s.factor(20) > s.factor(60));
+        assert!(s.factor(60) > s.factor(100));
+        // Floors at min_ratio.
+        assert!((s.factor(10_000) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adamw_decreases_quadratic() {
+        // Minimize f(p) = sum (p - 3)^2 by hand-fed gradients.
+        let mut store = ParamStore::new();
+        let id = store.add_no_decay("p", Tensor::from_slice(&[0.0, 10.0]));
+        let mut opt = AdamW::new(0.1);
+        for _ in 0..500 {
+            store.zero_grads();
+            let g: Vec<f32> = store.value(id).data().iter().map(|p| 2.0 * (p - 3.0)).collect();
+            store.grad_mut(id).data_mut().copy_from_slice(&g);
+            opt.step(&mut store);
+        }
+        for &p in store.value(id).data() {
+            assert!((p - 3.0).abs() < 0.05, "p={p}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_skipped_for_no_decay_params() {
+        let mut store = ParamStore::new();
+        let pd = store.add("decayed", Tensor::from_slice(&[1.0]));
+        let pn = store.add_no_decay("plain", Tensor::from_slice(&[1.0]));
+        let mut opt = AdamW::new(0.01).with_weight_decay(0.5);
+        // Zero gradient: only decay should move the parameter.
+        opt.step(&mut store);
+        assert!(store.value(pd).data()[0] < 1.0);
+        assert!((store.value(pn).data()[0] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn grad_clip_scales_to_max_norm() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::from_slice(&[0.0, 0.0]));
+        store.grad_mut(id).data_mut().copy_from_slice(&[3.0, 4.0]);
+        let pre = store.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let mut plain = ParamStore::new();
+        let id1 = plain.add_no_decay("p", Tensor::from_slice(&[10.0]));
+        let mut momentum = ParamStore::new();
+        let id2 = momentum.add_no_decay("p", Tensor::from_slice(&[10.0]));
+        let mut o1 = Sgd::new(0.01);
+        let mut o2 = Sgd { lr: 0.01, momentum: 0.9, velocity: Vec::new() };
+        for _ in 0..20 {
+            plain.zero_grads();
+            momentum.zero_grads();
+            let g1 = 2.0 * plain.value(id1).data()[0];
+            let g2 = 2.0 * momentum.value(id2).data()[0];
+            plain.grad_mut(id1).data_mut()[0] = g1;
+            momentum.grad_mut(id2).data_mut()[0] = g2;
+            o1.step(&mut plain);
+            o2.step(&mut momentum);
+        }
+        assert!(momentum.value(id2).data()[0].abs() < plain.value(id1).data()[0].abs());
+    }
+}

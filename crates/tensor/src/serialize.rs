@@ -1,0 +1,181 @@
+//! Parameter persistence: a minimal, dependency-free binary format for
+//! saving and restoring a [`ParamStore`](crate::ParamStore)'s values.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "LCR1"            4 bytes
+//! count  u32               number of parameters
+//! per parameter:
+//!   name_len u32, name bytes (UTF-8)
+//!   ndim u32, dims u32 × ndim
+//!   data f32 × numel
+//! ```
+//!
+//! Loading restores values **by name** into an architecture-compatible
+//! store (the model must be rebuilt with the same configuration first);
+//! gradients and optimizer state are not persisted, matching common
+//! checkpoint practice for inference-oriented checkpoints.
+
+use crate::optim::ParamStore;
+use crate::tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"LCR1";
+
+/// Serializes all parameter values of `store` into `w`.
+pub fn save_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let value = store.value(id);
+        w.write_all(&(value.ndim() as u32).to_le_bytes())?;
+        for &d in value.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &x in value.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores parameter values into `store` by name.
+///
+/// # Errors
+/// Fails on a bad magic/truncated stream, on a name absent from `store`,
+/// or on a shape mismatch. Parameters present in `store` but missing from
+/// the stream are left untouched (and reported in the returned count).
+pub fn load_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<usize> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic (not an LCR1 checkpoint)"));
+    }
+    let count = read_u32(r)? as usize;
+    // Name → id map.
+    let ids: std::collections::HashMap<String, crate::ParamId> =
+        store.ids().map(|id| (store.name(id).to_string(), id)).collect();
+    let mut restored = 0usize;
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let ndim = read_u32(r)? as usize;
+        if ndim > 8 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable rank"));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u32(r)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = vec![0.0f32; numel];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        let id = *ids.get(&name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("unknown parameter {name:?}"))
+        })?;
+        if store.value(id).shape() != shape.as_slice() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch for {name:?}: checkpoint {shape:?} vs model {:?}",
+                    store.value(id).shape()
+                ),
+            ));
+        }
+        *store.value_mut(id) = Tensor::new(&shape, data);
+        restored += 1;
+    }
+    Ok(restored)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_store(seed: u64) -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        ps.add("w1", init::normal(&[4, 6], 1.0, &mut rng));
+        ps.add_no_decay("b1", init::normal(&[6], 1.0, &mut rng));
+        ps.add("emb", init::normal(&[10, 4], 1.0, &mut rng));
+        ps
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).expect("save");
+        let mut dst = sample_store(2); // different values, same shapes
+        let restored = load_params(&mut dst, &mut buf.as_slice()).expect("load");
+        assert_eq!(restored, 3);
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut dst = sample_store(1);
+        let err = load_params(&mut dst, &mut b"NOPE....".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).expect("save");
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dst = ParamStore::new();
+        dst.add("w1", init::normal(&[4, 5], 1.0, &mut rng)); // wrong shape
+        dst.add("b1", init::normal(&[6], 1.0, &mut rng));
+        dst.add("emb", init::normal(&[10, 4], 1.0, &mut rng));
+        let err = load_params(&mut dst, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_parameter() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).expect("save");
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dst = ParamStore::new();
+        dst.add("other", init::normal(&[4, 6], 1.0, &mut rng));
+        assert!(load_params(&mut dst, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        let mut dst = sample_store(2);
+        assert!(load_params(&mut dst, &mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic text encoder — the substitute for the paper's LLaMA-based
+//! item-embedding step.
+//!
+//! The paper feeds each item's title+description through LLaMA and
+//! mean-pools token representations (§IV-A4). Here each word is mapped to a
+//! fixed pseudo-random unit vector derived from a hash of the word, and a
+//! text embedding is the mean over its words. Because synthetic
+//! titles/descriptions draw from category word fields, items of the same
+//! (sub-)category share many words and therefore land close together —
+//! precisely the geometry the RQ-VAE indexing step consumes.
+
+use lcrec_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Mean-pooled bag-of-word-vectors text encoder.
+pub struct TextEncoder {
+    dim: usize,
+    seed: u64,
+    cache: HashMap<String, Vec<f32>>,
+}
+
+impl TextEncoder {
+    /// An encoder producing `dim`-dimensional embeddings. Different seeds
+    /// give different (but internally consistent) embedding spaces.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0);
+        TextEncoder { dim, seed, cache: HashMap::new() }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The fixed unit vector for one word.
+    pub fn word_vector(&mut self, word: &str) -> &[f32] {
+        if !self.cache.contains_key(word) {
+            let v = unit_vector_for(word, self.dim, self.seed);
+            self.cache.insert(word.to_string(), v);
+        }
+        self.cache.get(word).expect("just inserted")
+    }
+
+    /// Encodes a text as the mean of its word vectors. Empty text maps to
+    /// the zero vector.
+    pub fn encode(&mut self, text: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for w in crate::token::split_words(text) {
+            let v = self.word_vector(w);
+            for (a, &x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+            n += 1;
+        }
+        if n > 0 {
+            let inv = 1.0 / n as f32;
+            acc.iter_mut().for_each(|a| *a *= inv);
+        }
+        acc
+    }
+
+    /// Encodes many texts into an `[n, dim]` tensor.
+    pub fn encode_batch<'a>(&mut self, texts: impl IntoIterator<Item = &'a str>) -> Tensor {
+        let mut data = Vec::new();
+        let mut n = 0;
+        for t in texts {
+            data.extend(self.encode(t));
+            n += 1;
+        }
+        Tensor::new(&[n, self.dim], data)
+    }
+}
+
+/// FNV-1a hash of a string mixed with a seed.
+fn hash_word(word: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in word.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn unit_vector_for(word: &str, dim: usize, seed: u64) -> Vec<f32> {
+    let mut state = hash_word(word, seed) | 1;
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let x = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // Map to roughly N(0,1) via sum of uniforms (Irwin–Hall, k=4).
+        let mut s = 0.0f32;
+        for shift in [0u32, 16, 32, 48] {
+            s += ((x >> shift) & 0xFFFF) as f32 / 65535.0;
+        }
+        (s - 2.0) * (12.0f32 / 4.0).sqrt()
+    };
+    let mut v: Vec<f32> = (0..dim).map(|_| next()).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+    v.iter_mut().for_each(|x| *x /= norm);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_tensor::linalg::cosine;
+
+    #[test]
+    fn word_vectors_are_unit_and_stable() {
+        let mut e = TextEncoder::new(32, 7);
+        let v1 = e.word_vector("guitar").to_vec();
+        let v2 = e.word_vector("guitar").to_vec();
+        assert_eq!(v1, v2);
+        let norm: f32 = v1.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn different_words_are_nearly_orthogonal() {
+        let mut e = TextEncoder::new(64, 7);
+        let a = e.word_vector("guitar").to_vec();
+        let b = e.word_vector("keyboard").to_vec();
+        assert!(cosine(&a, &b).abs() < 0.5);
+    }
+
+    #[test]
+    fn shared_words_raise_similarity() {
+        let mut e = TextEncoder::new(64, 7);
+        let t1 = e.encode("warm acoustic guitar spruce tone");
+        let t2 = e.encode("resonant acoustic guitar rosewood tone");
+        let t3 = e.encode("colorful logic puzzle brain match");
+        assert!(cosine(&t1, &t2) > cosine(&t1, &t3) + 0.2);
+    }
+
+    #[test]
+    fn empty_text_is_zero() {
+        let mut e = TextEncoder::new(16, 7);
+        assert!(e.encode("").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn batch_shape() {
+        let mut e = TextEncoder::new(8, 7);
+        let t = e.encode_batch(["one two", "three"]);
+        assert_eq!(t.shape(), &[2, 8]);
+    }
+
+    #[test]
+    fn different_seeds_give_different_spaces() {
+        let mut e1 = TextEncoder::new(32, 1);
+        let mut e2 = TextEncoder::new(32, 2);
+        assert_ne!(e1.word_vector("guitar"), e2.word_vector("guitar"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic synthetic text generation: item titles, descriptions,
+//! reviews, and the GPT-3.5-oracle substitutes (user intentions and
+//! preference summaries).
+//!
+//! All generators draw words from the item's category fields in the
+//! [`Taxonomy`](crate::taxonomy::Taxonomy), so textual similarity between two
+//! items reflects their category proximity — coarse category words are
+//! shared broadly, sub-category words narrowly. This mirrors how real
+//! Amazon titles/descriptions cluster, and is exactly the signal the paper's
+//! RQ-VAE indexing consumes.
+
+use crate::taxonomy::Taxonomy;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// The category placement and identity of one synthetic item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ItemProfile {
+    /// Coarse category index.
+    pub coarse: usize,
+    /// Sub-category index within the coarse category.
+    pub sub: usize,
+    /// Brand index into [`Taxonomy::brands`].
+    pub brand: usize,
+    /// Distinguishes items sharing a category/brand (model number).
+    pub variant: u32,
+}
+
+impl ItemProfile {
+    /// Flattened sub-category index.
+    pub fn flat_sub(&self, tax: &Taxonomy) -> usize {
+        tax.sub_index(self.coarse, self.sub)
+    }
+}
+
+/// Generates all item- and user-facing text for one domain.
+pub struct TextGen<'a> {
+    tax: &'a Taxonomy,
+}
+
+impl<'a> TextGen<'a> {
+    /// A generator bound to one taxonomy.
+    pub fn new(tax: &'a Taxonomy) -> Self {
+        TextGen { tax }
+    }
+
+    /// The underlying taxonomy.
+    pub fn taxonomy(&self) -> &'a Taxonomy {
+        self.tax
+    }
+
+    fn pick<T: Copy>(&self, rng: &mut StdRng, xs: &[T]) -> T {
+        *xs.choose(rng).expect("non-empty word field")
+    }
+
+    /// Item title, e.g. `"pixelforge openworld quest edition 3"`.
+    pub fn title(&self, p: &ItemProfile, rng: &mut StdRng) -> String {
+        let c = &self.tax.coarse[p.coarse];
+        let s = &c.subs[p.sub];
+        let brand = self.tax.brands[p.brand];
+        let w1 = self.pick(rng, s.words);
+        let w2 = self.pick(rng, c.words);
+        let series = ["edition", "series", "pro", "classic", "plus", "deluxe"];
+        let tag = self.pick(rng, &series);
+        format!("{brand} {w1} {w2} {tag} {}", p.variant)
+    }
+
+    /// Multi-sentence item description referencing category attributes.
+    pub fn description(&self, p: &ItemProfile, rng: &mut StdRng) -> String {
+        let c = &self.tax.coarse[p.coarse];
+        let s = &c.subs[p.sub];
+        let brand = self.tax.brands[p.brand];
+        let a1 = self.pick(rng, s.attributes);
+        let a2 = self.pick(rng, s.attributes);
+        let a3 = self.pick(rng, s.attributes);
+        let w1 = self.pick(rng, s.words);
+        let w2 = self.pick(rng, c.words);
+        let w3 = self.pick(rng, s.words);
+        format!(
+            "the {brand} {name} delivers {a1} {w2} with a {a2} feel . \
+             built for {w1} enthusiasts it combines {a3} {w3} and dependable everyday performance .",
+            name = s.name,
+        )
+    }
+
+    /// A short user review of the item with the given sentiment in `[0,1]`.
+    pub fn review(&self, p: &ItemProfile, sentiment: f32, rng: &mut StdRng) -> String {
+        let c = &self.tax.coarse[p.coarse];
+        let s = &c.subs[p.sub];
+        let a = self.pick(rng, s.attributes);
+        let w = self.pick(rng, s.words);
+        let w2 = self.pick(rng, c.words);
+        if sentiment > 0.66 {
+            format!("absolutely love the {a} {w} , best {w2} purchase i have made .")
+        } else if sentiment > 0.33 {
+            format!("the {w} is {a} enough and the {w2} works as expected .")
+        } else {
+            format!("disappointed , the {w} felt cheap and the {a} {w2} did not hold up .")
+        }
+    }
+
+    /// GPT-3.5 substitute: an intention query a user might type when looking
+    /// for this item (paper §III-C3b). The query references the item's
+    /// semantics without naming it.
+    pub fn intention(&self, p: &ItemProfile, rng: &mut StdRng) -> String {
+        let c = &self.tax.coarse[p.coarse];
+        let s = &c.subs[p.sub];
+        let a1 = self.pick(rng, s.attributes);
+        let a2 = self.pick(rng, s.attributes);
+        let w1 = self.pick(rng, s.words);
+        let w2 = self.pick(rng, c.words);
+        format!("i want something {a1} with {w1} {w2} support that feels {a2} and fits a {name} workflow",
+                name = s.name)
+    }
+
+    /// GPT-3.5 substitute: an explicit preference paragraph inferred from a
+    /// user's interaction history (paper §III-C3c).
+    pub fn preference(&self, history: &[ItemProfile], rng: &mut StdRng) -> String {
+        if history.is_empty() {
+            return "the user has no clear preference yet .".to_string();
+        }
+        // Dominant coarse category and sub-category of the history.
+        let mut coarse_counts = vec![0usize; self.tax.num_coarse()];
+        let mut sub_counts = vec![0usize; self.tax.num_subs()];
+        for p in history {
+            coarse_counts[p.coarse] += 1;
+            sub_counts[p.flat_sub(self.tax)] += 1;
+        }
+        let top_coarse = argmax(&coarse_counts);
+        let top_sub = argmax(&sub_counts);
+        let c = &self.tax.coarse[top_coarse];
+        let s = self.tax.sub(top_sub);
+        let a = self.pick(rng, s.attributes);
+        let recent = history.last().expect("non-empty");
+        let rc = &self.tax.coarse[recent.coarse];
+        let rs = &rc.subs[recent.sub];
+        format!(
+            "the user is mainly interested in {cname} and especially {sname} products , \
+             values {a} quality , and has recently explored {rname} items .",
+            cname = c.name,
+            sname = s.name,
+            rname = rs.name,
+        )
+    }
+
+    /// Samples a random item profile (used by tests and tiny fixtures).
+    pub fn random_profile(&self, rng: &mut StdRng) -> ItemProfile {
+        let coarse = rng.random_range(0..self.tax.num_coarse());
+        let sub = rng.random_range(0..self.tax.coarse[coarse].subs.len());
+        let brand = rng.random_range(0..self.tax.brands.len());
+        ItemProfile { coarse, sub, brand, variant: rng.random_range(1..100) }
+    }
+}
+
+fn argmax(xs: &[usize]) -> usize {
+    xs.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::{GAMES, TINY};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn profile() -> ItemProfile {
+        ItemProfile { coarse: 0, sub: 1, brand: 2, variant: 7 }
+    }
+
+    #[test]
+    fn title_contains_brand_and_variant() {
+        let g = TextGen::new(&GAMES);
+        let t = g.title(&profile(), &mut rng(1));
+        assert!(t.contains("questline"), "{t}");
+        assert!(t.ends_with('7'), "{t}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = TextGen::new(&GAMES);
+        let a = g.description(&profile(), &mut rng(5));
+        let b = g.description(&profile(), &mut rng(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn descriptions_of_same_sub_share_words() {
+        let g = TextGen::new(&GAMES);
+        let p1 = ItemProfile { coarse: 1, sub: 0, brand: 0, variant: 1 };
+        let p2 = ItemProfile { coarse: 1, sub: 0, brand: 5, variant: 9 };
+        let d1 = g.description(&p1, &mut rng(10));
+        let d2 = g.description(&p2, &mut rng(20));
+        let w1: std::collections::HashSet<&str> = d1.split_whitespace().collect();
+        let w2: std::collections::HashSet<&str> = d2.split_whitespace().collect();
+        let shared = w1.intersection(&w2).count();
+        assert!(shared >= 5, "same-sub descriptions share {shared} words:\n{d1}\n{d2}");
+    }
+
+    #[test]
+    fn review_sentiment_changes_tone() {
+        let g = TextGen::new(&GAMES);
+        let pos = g.review(&profile(), 0.9, &mut rng(3));
+        let neg = g.review(&profile(), 0.1, &mut rng(3));
+        assert!(pos.contains("love"));
+        assert!(neg.contains("disappointed"));
+    }
+
+    #[test]
+    fn preference_names_dominant_category() {
+        let g = TextGen::new(&TINY);
+        let hist = vec![
+            ItemProfile { coarse: 1, sub: 0, brand: 0, variant: 1 },
+            ItemProfile { coarse: 1, sub: 0, brand: 1, variant: 2 },
+            ItemProfile { coarse: 0, sub: 1, brand: 0, variant: 3 },
+        ];
+        let p = g.preference(&hist, &mut rng(2));
+        assert!(p.contains("tools"), "{p}");
+        assert!(p.contains("hammer"), "{p}");
+    }
+
+    #[test]
+    fn preference_handles_empty_history() {
+        let g = TextGen::new(&TINY);
+        let p = g.preference(&[], &mut rng(2));
+        assert!(p.contains("no clear preference"));
+    }
+
+    #[test]
+    fn intention_mentions_sub_name() {
+        let g = TextGen::new(&GAMES);
+        let p = ItemProfile { coarse: 4, sub: 2, brand: 1, variant: 3 };
+        let i = g.intention(&p, &mut rng(4));
+        assert!(i.contains("gaming controller"), "{i}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # lcrec-text
+//!
+//! The language substrate for the LC-Rec reproduction: synthetic category
+//! taxonomies, deterministic item-text generation (titles, descriptions,
+//! reviews), GPT-3.5-oracle substitutes (user intentions, preference
+//! summaries), a word-level tokenizer, and the LLaMA-encoder substitute
+//! that turns item text into embeddings for RQ-VAE indexing.
+//!
+//! See `DESIGN.md` at the workspace root for why each substitution
+//! preserves the behaviour the paper's method relies on.
+
+#![warn(missing_docs)]
+
+pub mod encoder;
+pub mod gen;
+pub mod taxonomy;
+pub mod token;
+
+pub use encoder::TextEncoder;
+pub use gen::{ItemProfile, TextGen};
+pub use taxonomy::Taxonomy;
+pub use token::Vocab;

@@ -1,0 +1,467 @@
+//! Category taxonomies for the three synthetic domains.
+//!
+//! The paper evaluates on Amazon "Musical Instruments", "Arts, Crafts and
+//! Sewing" and "Video Games". Each synthetic domain mirrors that structure
+//! with a two-level category tree (coarse → sub) plus per-category word
+//! fields: name words, attribute words and brand names. Item text is
+//! generated from these fields, so text similarity correlates with category
+//! proximity — the property the RQ-VAE indices must discover.
+
+/// A sub-category: the leaf level of the taxonomy.
+#[derive(Debug)]
+pub struct SubCategory {
+    /// Display name, e.g. "acoustic guitar".
+    pub name: &'static str,
+    /// Words characteristic of this sub-category.
+    pub words: &'static [&'static str],
+    /// Attribute/feature words used in descriptions and reviews.
+    pub attributes: &'static [&'static str],
+}
+
+/// A coarse category containing several sub-categories.
+#[derive(Debug)]
+pub struct CoarseCategory {
+    /// Display name, e.g. "guitars".
+    pub name: &'static str,
+    /// Words shared by everything under this coarse category.
+    pub words: &'static [&'static str],
+    /// Sub-categories.
+    pub subs: &'static [SubCategory],
+}
+
+/// A complete domain taxonomy.
+#[derive(Debug)]
+pub struct Taxonomy {
+    /// Domain name, e.g. "Instruments".
+    pub name: &'static str,
+    /// Brand names shared across the domain.
+    pub brands: &'static [&'static str],
+    /// Coarse categories.
+    pub coarse: &'static [CoarseCategory],
+    /// Bundles of sub-categories that co-occur in user behaviour without
+    /// being textually similar (e.g. guitars ↔ amplifiers). Each entry lists
+    /// global sub-category indices (see [`Taxonomy::sub_index`]). These give
+    /// the data a collaborative-semantics axis orthogonal to language — the
+    /// distinction Table V of the paper probes.
+    pub bundles: &'static [&'static [usize]],
+}
+
+impl Taxonomy {
+    /// Total number of sub-categories (leaves).
+    pub fn num_subs(&self) -> usize {
+        self.coarse.iter().map(|c| c.subs.len()).sum()
+    }
+
+    /// Number of coarse categories.
+    pub fn num_coarse(&self) -> usize {
+        self.coarse.len()
+    }
+
+    /// Flattened index of sub-category `sub` within coarse `coarse`.
+    pub fn sub_index(&self, coarse: usize, sub: usize) -> usize {
+        self.coarse[..coarse].iter().map(|c| c.subs.len()).sum::<usize>() + sub
+    }
+
+    /// Inverse of [`Taxonomy::sub_index`].
+    pub fn sub_coords(&self, flat: usize) -> (usize, usize) {
+        let mut rest = flat;
+        for (ci, c) in self.coarse.iter().enumerate() {
+            if rest < c.subs.len() {
+                return (ci, rest);
+            }
+            rest -= c.subs.len();
+        }
+        panic!("sub index {flat} out of range ({} subs)", self.num_subs());
+    }
+
+    /// The sub-category at a flattened index.
+    pub fn sub(&self, flat: usize) -> &SubCategory {
+        let (c, s) = self.sub_coords(flat);
+        &self.coarse[c].subs[s]
+    }
+
+    /// The bundle containing `flat_sub`, if any.
+    pub fn bundle_of(&self, flat_sub: usize) -> Option<&'static [usize]> {
+        self.bundles.iter().copied().find(|b| b.contains(&flat_sub))
+    }
+}
+
+macro_rules! sub {
+    ($name:literal, $words:expr, $attrs:expr) => {
+        SubCategory { name: $name, words: $words, attributes: $attrs }
+    };
+}
+
+/// The "Musical Instruments" style domain.
+pub static INSTRUMENTS: Taxonomy = Taxonomy {
+    name: "Instruments",
+    brands: &[
+        "harmonia", "tonecraft", "melodix", "bravura", "cadenza", "fortepiano", "reverbia",
+        "octavia", "lyricon", "sonanta",
+    ],
+    coarse: &[
+        CoarseCategory {
+            name: "guitars",
+            words: &["guitar", "fretboard", "strings", "neck", "pickup", "chord", "strum"],
+            subs: &[
+                sub!("acoustic guitar", &["acoustic", "dreadnought", "spruce", "rosewood", "unplugged"],
+                     &["warm", "resonant", "handcrafted", "solid", "top", "tone"]),
+                sub!("electric guitar", &["electric", "humbucker", "tremolo", "solidbody", "overdrive"],
+                     &["sustain", "versatile", "fast", "action", "gloss", "finish"]),
+                sub!("bass guitar", &["bass", "lowend", "groove", "fourstring", "precision"],
+                     &["punchy", "deep", "tight", "rumble", "balanced", "weight"]),
+            ],
+        },
+        CoarseCategory {
+            name: "keyboards",
+            words: &["keyboard", "keys", "piano", "octave", "pedal", "velocity"],
+            subs: &[
+                sub!("digital piano", &["digital", "weighted", "hammer", "grand", "concert"],
+                     &["realistic", "touch", "sampled", "dynamics", "quiet", "practice"]),
+                sub!("synthesizer", &["synth", "oscillator", "filter", "analog", "modular", "patch"],
+                     &["fat", "warm", "programmable", "presets", "sculpt", "waveform"]),
+                sub!("midi controller", &["midi", "controller", "pads", "knobs", "daw", "usb"],
+                     &["portable", "mappable", "responsive", "compact", "studio", "workflow"]),
+            ],
+        },
+        CoarseCategory {
+            name: "drums",
+            words: &["drum", "percussion", "rhythm", "beat", "stick", "cymbal"],
+            subs: &[
+                sub!("acoustic drum kit", &["kick", "snare", "tom", "hihat", "shell", "maple"],
+                     &["loud", "crisp", "tunable", "sturdy", "stage", "hardware"]),
+                sub!("electronic drums", &["electronic", "mesh", "module", "trigger", "sampler"],
+                     &["silent", "sensitivity", "kits", "headphone", "apartment", "usbmidi"]),
+                sub!("hand percussion", &["cajon", "bongo", "djembe", "shaker", "tambourine"],
+                     &["organic", "travel", "handmade", "goatskin", "bright", "accent"]),
+            ],
+        },
+        CoarseCategory {
+            name: "recording gear",
+            words: &["studio", "audio", "signal", "record", "mix", "sound"],
+            subs: &[
+                sub!("microphone", &["microphone", "condenser", "cardioid", "diaphragm", "vocal"],
+                     &["clear", "detailed", "lownoise", "shockmount", "podcast", "broadcast"]),
+                sub!("audio interface", &["interface", "preamp", "phantom", "converter", "latency"],
+                     &["clean", "gain", "driver", "buspowered", "reliable", "channels"]),
+                sub!("studio monitors", &["monitor", "woofer", "tweeter", "nearfield", "flat"],
+                     &["accurate", "imaging", "reference", "bassreflex", "crossover", "room"]),
+            ],
+        },
+        CoarseCategory {
+            name: "wind instruments",
+            words: &["wind", "breath", "reed", "brass", "embouchure", "valve"],
+            subs: &[
+                sub!("saxophone", &["saxophone", "alto", "tenor", "lacquer", "jazz"],
+                     &["smoky", "expressive", "intonation", "pads", "smooth", "solo"]),
+                sub!("flute", &["flute", "silver", "headjoint", "trill", "classical"],
+                     &["airy", "light", "responsive", "polished", "orchestra", "sweet"]),
+                sub!("trumpet", &["trumpet", "mouthpiece", "slide", "bell", "fanfare"],
+                     &["bright", "bold", "projection", "compensating", "marching", "shine"]),
+            ],
+        },
+        CoarseCategory {
+            name: "accessories",
+            words: &["accessory", "gear", "replacement", "protect", "setup"],
+            subs: &[
+                sub!("instrument cables", &["cable", "jack", "plug", "shielded", "patch"],
+                     &["durable", "noiseless", "flexible", "gold", "connector", "lifetime"]),
+                sub!("guitar amplifier", &["amplifier", "amp", "tube", "wattage", "speaker", "combo"],
+                     &["crunchy", "headroom", "reverb", "footswitch", "gigready", "classic"]),
+                sub!("instrument stands", &["stand", "mount", "tripod", "holder", "rack"],
+                     &["stable", "foldable", "padded", "adjustable", "secure", "lightweight"]),
+            ],
+        },
+    ],
+    // Players buy instruments together with amps, cables and stands; home
+    // producers pair controllers with interfaces and monitors.
+    bundles: &[
+        &[1, 2, 16, 15, 17],  // electric/bass guitar + amp + cables + stands
+        &[5, 10, 11, 0],      // midi controller + interface + monitors (+ acoustic for singer-songwriters)
+        &[7, 9, 4],           // e-drums + microphone + synthesizer
+    ],
+};
+
+/// The "Arts, Crafts and Sewing" style domain.
+pub static ARTS: Taxonomy = Taxonomy {
+    name: "Arts",
+    brands: &[
+        "craftland", "artisania", "pigmenta", "stitchery", "canvasco", "hueforge", "paperlane",
+        "loomly", "glazeworks", "inkling",
+    ],
+    coarse: &[
+        CoarseCategory {
+            name: "painting",
+            words: &["paint", "color", "brush", "palette", "pigment", "canvas"],
+            subs: &[
+                sub!("acrylic paints", &["acrylic", "heavybody", "matte", "fastdrying", "tube"],
+                     &["vibrant", "blendable", "opaque", "lightfast", "nontoxic", "studio"]),
+                sub!("watercolors", &["watercolor", "pan", "wash", "transparent", "granulating"],
+                     &["luminous", "delicate", "rewettable", "flowing", "travel", "botanical"]),
+                sub!("oil paints", &["oil", "linseed", "glaze", "impasto", "turpentine"],
+                     &["rich", "buttery", "slow", "classic", "archival", "masterwork"]),
+            ],
+        },
+        CoarseCategory {
+            name: "drawing",
+            words: &["draw", "sketch", "line", "shade", "paper", "artist"],
+            subs: &[
+                sub!("colored pencils", &["pencil", "colored", "core", "sharpen", "layering"],
+                     &["smooth", "breakresistant", "saturated", "premium", "set", "blend"]),
+                sub!("markers", &["marker", "alphabased", "nib", "dualtip", "refill"],
+                     &["streakfree", "juicy", "crisp", "illustration", "manga", "bleedproof"]),
+                sub!("charcoal and pastels", &["charcoal", "pastel", "smudge", "fixative", "soft"],
+                     &["expressive", "velvety", "dusty", "portrait", "tonal", "gesture"]),
+            ],
+        },
+        CoarseCategory {
+            name: "sewing",
+            words: &["sew", "stitch", "fabric", "thread", "seam", "needle"],
+            subs: &[
+                sub!("sewing machines", &["machine", "bobbin", "presser", "zigzag", "buttonhole"],
+                     &["quiet", "sturdy", "automatic", "speed", "beginner", "heavy"]),
+                sub!("quilting supplies", &["quilt", "batting", "rotary", "patchwork", "binding"],
+                     &["precise", "cozy", "heirloom", "block", "layered", "gift"]),
+                sub!("embroidery", &["embroidery", "hoop", "floss", "crossstitch", "sampler"],
+                     &["relaxing", "detailed", "colorful", "kit", "pattern", "vintage"]),
+            ],
+        },
+        CoarseCategory {
+            name: "yarn crafts",
+            words: &["yarn", "knit", "loop", "skein", "fiber", "cozy"],
+            subs: &[
+                sub!("knitting needles", &["knitting", "circular", "bamboo", "gauge", "cast"],
+                     &["smooth", "clicky", "warm", "ergonomic", "interchangeable", "sock"]),
+                sub!("crochet hooks", &["crochet", "hook", "amigurumi", "granny", "chain"],
+                     &["comfortable", "grippy", "colorcoded", "plush", "toy", "blanket"]),
+                sub!("wool yarn", &["wool", "merino", "worsted", "dyed", "plied"],
+                     &["soft", "springy", "handdyed", "natural", "chunky", "gradient"]),
+            ],
+        },
+        CoarseCategory {
+            name: "paper crafts",
+            words: &["papercraft", "card", "cut", "fold", "glue", "decorate"],
+            subs: &[
+                sub!("scrapbooking", &["scrapbook", "album", "sticker", "washi", "memory"],
+                     &["acidfree", "themed", "adhesive", "photo", "journaling", "keepsake"]),
+                sub!("origami", &["origami", "crease", "kami", "modular", "crane"],
+                     &["meditative", "geometric", "doublesided", "foil", "tutorial", "delight"]),
+                sub!("calligraphy", &["calligraphy", "ink", "lettering", "flourish", "script"],
+                     &["elegant", "practice", "nibs", "flowing", "invitation", "gothic"]),
+            ],
+        },
+        CoarseCategory {
+            name: "pottery and sculpting",
+            words: &["clay", "sculpt", "kiln", "form", "glaze", "wheel"],
+            subs: &[
+                sub!("polymer clay", &["polymer", "ovenbake", "cane", "millefiori", "charm"],
+                     &["pliable", "colorful", "durable", "jewelry", "miniature", "craft"]),
+                sub!("pottery tools", &["pottery", "trimming", "rib", "sponge", "throwing"],
+                     &["balanced", "sharp", "wooden", "studio", "ceramic", "professional"]),
+                sub!("carving", &["carve", "whittle", "chisel", "basswood", "relief"],
+                     &["sharp", "controlled", "grain", "rustic", "handle", "detail"]),
+            ],
+        },
+    ],
+    bundles: &[
+        &[0, 3, 5, 13],   // acrylics + pencils + pastels + scrapbooking (mixed-media artists)
+        &[6, 7, 8, 11],   // sewing machine + quilting + embroidery + wool
+        &[15, 16, 14, 2], // polymer clay + pottery tools + calligraphy + oils (studio hobbyists)
+    ],
+};
+
+/// The "Video Games" style domain.
+pub static GAMES: Taxonomy = Taxonomy {
+    name: "Games",
+    brands: &[
+        "pixelforge", "novaplay", "questline", "arcadia", "warpgate", "polybit", "dreamloop",
+        "vortex", "gritstone", "starfall",
+    ],
+    coarse: &[
+        CoarseCategory {
+            name: "action games",
+            words: &["action", "combat", "battle", "weapon", "enemy", "mission"],
+            subs: &[
+                sub!("open world adventure", &["openworld", "explore", "quest", "map", "sidequest"],
+                     &["immersive", "vast", "freedom", "dynamic", "story", "environment"]),
+                sub!("shooter", &["shooter", "fps", "aim", "multiplayer", "arena"],
+                     &["fast", "competitive", "ranked", "precise", "loadout", "team"]),
+                sub!("fighting game", &["fighting", "combo", "versus", "tournament", "roster"],
+                     &["technical", "responsive", "balanced", "arcade", "characters", "frame"]),
+            ],
+        },
+        CoarseCategory {
+            name: "role playing",
+            words: &["rpg", "character", "level", "skill", "party", "lore"],
+            subs: &[
+                sub!("fantasy rpg", &["fantasy", "dragon", "mage", "dungeon", "sword"],
+                     &["epic", "deep", "branching", "loot", "crafting", "legend"]),
+                sub!("japanese rpg", &["jrpg", "turnbased", "anime", "summon", "overworld"],
+                     &["charming", "emotional", "soundtrack", "classic", "cast", "journey"]),
+                sub!("strategy rpg", &["tactics", "grid", "permadeath", "formation", "campaign"],
+                     &["thoughtful", "challenging", "positioning", "units", "replayable", "depth"]),
+            ],
+        },
+        CoarseCategory {
+            name: "sports and racing",
+            words: &["sports", "season", "league", "score", "stadium", "race"],
+            subs: &[
+                sub!("basketball game", &["basketball", "dunk", "court", "franchise", "playoffs"],
+                     &["realistic", "smooth", "animation", "roster", "career", "online"]),
+                sub!("soccer game", &["soccer", "goal", "club", "transfer", "derby"],
+                     &["authentic", "tactical", "stadiums", "ultimate", "kits", "broadcast"]),
+                sub!("racing game", &["racing", "drift", "circuit", "garage", "turbo"],
+                     &["fast", "tuning", "photorealistic", "handling", "career", "wheel"]),
+            ],
+        },
+        CoarseCategory {
+            name: "family and puzzle",
+            words: &["family", "puzzle", "party", "fun", "casual", "minigame"],
+            subs: &[
+                sub!("platformer", &["platformer", "jump", "coin", "sidescroll", "secret"],
+                     &["colorful", "tight", "charming", "coop", "levels", "nostalgic"]),
+                sub!("puzzle game", &["logic", "brain", "match", "block", "riddle"],
+                     &["clever", "relaxing", "addictive", "minimalist", "satisfying", "zen"]),
+                sub!("party game", &["minigames", "board", "friends", "couch", "silly"],
+                     &["hilarious", "accessible", "chaotic", "multiplayer", "family", "night"]),
+            ],
+        },
+        CoarseCategory {
+            name: "consoles and hardware",
+            words: &["console", "hardware", "storage", "hdmi", "wireless", "edition"],
+            subs: &[
+                sub!("home console", &["4k", "hdr", "terabyte", "exclusive", "dock"],
+                     &["powerful", "sleek", "quiet", "backward", "bundle", "nextgen"]),
+                sub!("handheld console", &["handheld", "portable", "battery", "oled", "sleep"],
+                     &["travel", "comfortable", "library", "bright", "pocket", "anywhere"]),
+                sub!("gaming controller", &["controller", "gamepad", "dpad", "thumbstick", "rumble"],
+                     &["ergonomic", "responsive", "rechargeable", "grip", "wireless", "pro"]),
+            ],
+        },
+        CoarseCategory {
+            name: "simulation and builders",
+            words: &["simulation", "build", "manage", "sandbox", "create", "economy"],
+            subs: &[
+                sub!("city builder", &["city", "zoning", "traffic", "mayor", "infrastructure"],
+                     &["sprawling", "detailed", "systems", "planning", "mods", "scale"]),
+                sub!("life sim", &["life", "farm", "village", "relationship", "seasons"],
+                     &["wholesome", "cozy", "routine", "pets", "decorate", "community"]),
+                sub!("flight sim", &["flight", "cockpit", "aircraft", "runway", "weather"],
+                     &["realistic", "instruments", "vast", "physics", "study", "horizon"]),
+            ],
+        },
+    ],
+    bundles: &[
+        &[12, 13, 14, 1],  // console + handheld + controller + shooter (hardware buyers)
+        &[0, 3, 16, 15],   // open-world + fantasy rpg + life sim + city builder
+        &[6, 7, 8, 14],    // sports titles + controller
+    ],
+};
+
+/// A minimal taxonomy for unit tests: two coarse categories, two subs each.
+pub static TINY: Taxonomy = Taxonomy {
+    name: "Tiny",
+    brands: &["alpha", "beta"],
+    coarse: &[
+        CoarseCategory {
+            name: "widgets",
+            words: &["widget", "gizmo", "gear"],
+            subs: &[
+                sub!("red widget", &["red", "crimson"], &["shiny", "small"]),
+                sub!("blue widget", &["blue", "azure"], &["matte", "large"]),
+            ],
+        },
+        CoarseCategory {
+            name: "tools",
+            words: &["tool", "handle", "steel"],
+            subs: &[
+                sub!("hammer", &["hammer", "mallet"], &["heavy", "balanced"]),
+                sub!("wrench", &["wrench", "spanner"], &["adjustable", "forged"]),
+            ],
+        },
+    ],
+    bundles: &[&[0, 2], &[1, 3]],
+};
+
+/// Looks up a built-in taxonomy by domain name (case-insensitive).
+pub fn by_name(name: &str) -> Option<&'static Taxonomy> {
+    match name.to_ascii_lowercase().as_str() {
+        "instruments" => Some(&INSTRUMENTS),
+        "arts" => Some(&ARTS),
+        "games" => Some(&GAMES),
+        "tiny" => Some(&TINY),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_have_consistent_structure() {
+        for tax in [&INSTRUMENTS, &ARTS, &GAMES] {
+            assert_eq!(tax.num_coarse(), 6, "{}", tax.name);
+            assert_eq!(tax.num_subs(), 18, "{}", tax.name);
+            for c in tax.coarse {
+                assert!(!c.words.is_empty());
+                for s in c.subs {
+                    assert!(s.words.len() >= 4, "{}.{}", c.name, s.name);
+                    assert!(s.attributes.len() >= 4);
+                }
+            }
+            assert!(!tax.brands.is_empty());
+        }
+    }
+
+    #[test]
+    fn sub_index_round_trips() {
+        for tax in [&INSTRUMENTS, &ARTS, &GAMES, &TINY] {
+            for flat in 0..tax.num_subs() {
+                let (c, s) = tax.sub_coords(flat);
+                assert_eq!(tax.sub_index(c, s), flat);
+            }
+        }
+    }
+
+    #[test]
+    fn bundles_reference_valid_subs() {
+        for tax in [&INSTRUMENTS, &ARTS, &GAMES, &TINY] {
+            for bundle in tax.bundles {
+                for &s in *bundle {
+                    assert!(s < tax.num_subs(), "{}: bundle sub {s}", tax.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_of_finds_membership() {
+        assert!(INSTRUMENTS.bundle_of(1).is_some());
+        // Sub 3 (digital piano) is in no instruments bundle.
+        assert!(INSTRUMENTS.bundle_of(3).is_none());
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("games").is_some());
+        assert!(by_name("GAMES").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn domains_use_distinct_vocabulary() {
+        // The three domains should barely overlap in sub-category words;
+        // this keeps their text embeddings distinguishable.
+        let collect = |t: &Taxonomy| -> std::collections::HashSet<&str> {
+            t.coarse
+                .iter()
+                .flat_map(|c| c.subs.iter().flat_map(|s| s.words.iter().copied()))
+                .collect()
+        };
+        let a = collect(&INSTRUMENTS);
+        let b = collect(&GAMES);
+        let overlap = a.intersection(&b).count();
+        assert!(overlap <= 2, "instrument/game word overlap: {overlap}");
+    }
+}

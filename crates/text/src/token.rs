@@ -1,0 +1,159 @@
+//! Word-level tokenizer and vocabulary.
+//!
+//! The paper's backbone carries a subword tokenizer; our synthetic corpus is
+//! generated from closed word fields, so a word-level vocabulary is lossless
+//! and keeps the LM head small enough for CPU training. Index tokens
+//! (`<a_12>` …) are *not* handled here — the LC-Rec model extends this base
+//! vocabulary exactly as the paper appends OOV tokens to the tokenizer.
+
+use std::collections::HashMap;
+
+/// Padding token id.
+pub const PAD: u32 = 0;
+/// Beginning-of-sequence token id.
+pub const BOS: u32 = 1;
+/// End-of-sequence token id.
+pub const EOS: u32 = 2;
+/// Unknown-word token id.
+pub const UNK: u32 = 3;
+
+/// Number of reserved special tokens.
+pub const NUM_SPECIAL: u32 = 4;
+
+/// A fixed word-level vocabulary.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from a corpus, keeping words with at least
+    /// `min_count` occurrences. Token ids `0..4` are reserved for specials.
+    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a str>, min_count: usize) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for text in corpus {
+            for w in split_words(text) {
+                *counts.entry(w.to_string()).or_default() += 1;
+            }
+        }
+        let mut kept: Vec<(String, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        // Deterministic order: by descending count then lexicographic.
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut words = vec!["<pad>".into(), "<bos>".into(), "<eos>".into(), "<unk>".into()];
+        words.extend(kept.into_iter().map(|(w, _)| w));
+        let index = words.iter().enumerate().map(|(i, w)| (w.clone(), i as u32)).collect();
+        Vocab { words, index }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if only the special tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() as u32 == NUM_SPECIAL
+    }
+
+    /// Token id for a word, or [`UNK`].
+    pub fn id(&self, word: &str) -> u32 {
+        self.index.get(word).copied().unwrap_or(UNK)
+    }
+
+    /// The word for a token id (`"<unk>"` for out-of-range ids).
+    pub fn word(&self, id: u32) -> &str {
+        self.words.get(id as usize).map_or("<unk>", |s| s.as_str())
+    }
+
+    /// Encodes text to token ids (no BOS/EOS added).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        split_words(text).map(|w| self.id(w)).collect()
+    }
+
+    /// Decodes ids to a space-joined string, skipping special tokens.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if id < NUM_SPECIAL {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.word(id));
+        }
+        out
+    }
+
+    /// Fraction of tokens in `text` that map to [`UNK`].
+    pub fn oov_rate(&self, text: &str) -> f32 {
+        let ids = self.encode(text);
+        if ids.is_empty() {
+            return 0.0;
+        }
+        ids.iter().filter(|&&i| i == UNK).count() as f32 / ids.len() as f32
+    }
+}
+
+/// Splits text into lowercase word tokens; punctuation separates words and
+/// standalone `.`/`,` are dropped.
+pub fn split_words(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| c.is_whitespace() || c == ',' || c == '.' || c == '"' || c == ':')
+        .filter(|w| !w.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_orders_by_frequency() {
+        let v = Vocab::build(["b b b a a c", "a b"], 1);
+        // b appears 4x, a 3x, c 1x.
+        assert_eq!(v.id("b"), NUM_SPECIAL);
+        assert_eq!(v.id("a"), NUM_SPECIAL + 1);
+        assert_eq!(v.id("c"), NUM_SPECIAL + 2);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let v = Vocab::build(["rare common common"], 2);
+        assert_eq!(v.id("rare"), UNK);
+        assert_ne!(v.id("common"), UNK);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v = Vocab::build(["hello brave new world"], 1);
+        let ids = v.encode("hello new world");
+        assert_eq!(v.decode(&ids), "hello new world");
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let v = Vocab::build(["known"], 1);
+        assert_eq!(v.encode("mystery"), vec![UNK]);
+        assert!((v.oov_rate("mystery known") - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn punctuation_is_separator() {
+        let words: Vec<&str> = split_words("a,b. c \"d\": e").collect();
+        assert_eq!(words, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn decode_skips_specials() {
+        let v = Vocab::build(["x"], 1);
+        assert_eq!(v.decode(&[BOS, v.id("x"), EOS, PAD]), "x");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Vocab::build(["z y x w v u t"], 1);
+        let b = Vocab::build(["z y x w v u t"], 1);
+        assert_eq!(a.words, b.words);
+    }
+}

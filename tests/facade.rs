@@ -1,0 +1,51 @@
+//! Tests of the `lc-rec` facade crate itself: the prelude must expose a
+//! complete, coherent public API (this is what a downstream user imports).
+
+use lc_rec::prelude::*;
+
+#[test]
+fn prelude_covers_the_documented_pipeline() {
+    // Every type the README pipeline uses must be reachable via the prelude.
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let _stats: lc_rec::data::Stats = ds.stats();
+    let _enc = TextEncoder::new(8, 1);
+    let _cfg = RqVaeConfig::small(8, ds.num_items());
+    let _lc = LcRecConfig::test();
+    let _tiger = TigerConfig::test();
+    let _p5 = P5CidConfig::test();
+    let _rec = RecConfig::test();
+    let _neg = NegativeKind::Random;
+    let _tasks = TaskSet::full();
+}
+
+#[test]
+fn stats_display_is_human_readable() {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let s = format!("{}", ds.stats());
+    assert!(s.contains("users"), "{s}");
+    assert!(s.contains("interactions"), "{s}");
+    assert!(s.contains('%'), "{s}");
+}
+
+#[test]
+fn negative_kind_labels_match_table5_columns() {
+    assert_eq!(NegativeKind::Language.label(), "Language Neg.");
+    assert_eq!(NegativeKind::Collaborative.label(), "Collaborative Neg.");
+    assert_eq!(NegativeKind::Random.label(), "Random Neg.");
+}
+
+#[test]
+fn crate_modules_are_re_exported() {
+    // The per-crate module aliases exist and point at the same types.
+    let v: lc_rec::text::Vocab = Vocab::build(["a b"], 1);
+    assert_eq!(v.len(), 4 + 2);
+    let t: lc_rec::tensor::Tensor = Tensor::zeros(&[2, 2]);
+    assert_eq!(t.numel(), 4);
+}
+
+#[test]
+fn index_formatting_matches_paper_notation() {
+    let idx = ItemIndices::new(vec![4, 4, 4, 4], vec![vec![1, 2, 3, 0]]);
+    assert_eq!(idx.format(0), "<a_1><b_2><c_3><d_0>");
+    assert_eq!(idx.vocab_tokens(), 16);
+}

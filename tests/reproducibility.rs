@@ -1,0 +1,59 @@
+//! Determinism guarantees: identical seeds must give identical datasets,
+//! indices, model initializations and evaluation numbers — the property
+//! every experiment in EXPERIMENTS.md relies on.
+
+use lc_rec::prelude::*;
+
+#[test]
+fn datasets_are_bit_identical_under_seed() {
+    let a = Dataset::generate(&DatasetConfig::tiny());
+    let b = Dataset::generate(&DatasetConfig::tiny());
+    assert_eq!(a.sequences, b.sequences);
+    assert_eq!(a.num_items(), b.num_items());
+    for (x, y) in a.catalog.items.iter().zip(&b.catalog.items) {
+        assert_eq!(x.title, y.title);
+        assert_eq!(x.description, y.description);
+    }
+}
+
+#[test]
+fn rqvae_indices_are_reproducible() {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let mut enc = TextEncoder::new(24, 1);
+    let texts: Vec<String> = ds.catalog.items.iter().map(|i| i.full_text()).collect();
+    let emb = enc.encode_batch(texts.iter().map(String::as_str));
+    let mut rq = RqVaeConfig::small(24, ds.num_items());
+    rq.epochs = 6;
+    rq.levels = 3;
+    rq.codebook_size = 8;
+    rq.latent_dim = 8;
+    rq.hidden = vec![16];
+    let a = build_indices(IndexerKind::LcRec, &emb, &rq);
+    let b = build_indices(IndexerKind::LcRec, &emb, &rq);
+    assert_eq!(a.codes, b.codes);
+}
+
+#[test]
+fn training_and_evaluation_are_deterministic() {
+    let run = || {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let mut rec_cfg = RecConfig::test();
+        rec_cfg.epochs = 3;
+        let pairs = TrainingPairs::build(&ds, rec_cfg.max_len);
+        let mut m = SasRec::new(ds.num_items(), rec_cfg);
+        m.fit(&pairs);
+        evaluate_test(&ScoreRanker(&m), &ds, 20)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed, same metrics");
+}
+
+#[test]
+fn different_seeds_change_the_simulation() {
+    let mut cfg = DatasetConfig::tiny();
+    let a = Dataset::generate(&cfg);
+    cfg.seed = 8888;
+    let b = Dataset::generate(&cfg);
+    assert_ne!(a.sequences, b.sequences);
+}
