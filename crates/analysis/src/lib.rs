@@ -1,0 +1,20 @@
+//! # lcrec-analysis
+//!
+//! Correctness tooling for the workspace, deliberately dependency-free so it
+//! can run in the offline build environment:
+//!
+//! * [`parse`] — a small, line-oriented Rust source scanner that extracts
+//!   `pub fn` names. The gradcheck completeness test uses it to diff the
+//!   public autograd ops in `lcrec-tensor`'s `graph.rs` against the table of
+//!   finite-difference cases, so adding an op without a gradient check fails
+//!   the build.
+//! * [`lint`] — a workspace lint pass over the repository's own sources:
+//!   no `unwrap()`/`expect(`/`panic!` on the decoding hot paths, no
+//!   `todo!`/`unimplemented!`/`dbg!` anywhere, and no `unsafe` blocks. Run
+//!   it from the CLI (`cargo run -p lcrec-analysis -- lint`) or from a test
+//!   via [`lint::lint_workspace`].
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod parse;

@@ -1,0 +1,184 @@
+//! The workspace lint pass.
+//!
+//! Three rules, all matched on comment- and string-stripped source so doc
+//! text and panic messages cannot trigger false positives:
+//!
+//! 1. **no-panic-hot-path** — `.unwrap()`, `.expect(` and `panic!` are
+//!    forbidden in the non-test code of the constrained-decoding hot paths
+//!    (`crates/core/src/beam.rs`, `crates/core/src/lm.rs`). Beam search runs
+//!    inside long experiments; recoverable conditions there must be `Option`/
+//!    `Result`, not aborts.
+//! 2. **no-scaffolding** — `todo!`, `unimplemented!` and `dbg!` are forbidden
+//!    everywhere, tests included.
+//! 3. **no-unsafe** — the `unsafe` keyword is forbidden everywhere. The
+//!    workspace also denies `unsafe_code` at the compiler level; the textual
+//!    rule additionally covers code behind `#[allow]` and non-compiled
+//!    cfg branches.
+
+use crate::parse::{find_token, strip_comments_and_strings};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files where rule 1 (no panic paths outside tests) applies, relative to
+/// the workspace root.
+pub const PANIC_FREE_FILES: &[&str] = &["crates/core/src/beam.rs", "crates/core/src/lm.rs"];
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the violation is in, relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.excerpt)
+    }
+}
+
+/// Marks each line of (stripped) source as test code or not: everything from
+/// a `#[cfg(test)]` attribute to the close of the brace block it introduces.
+fn test_code_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0usize; // brace depth inside a cfg(test) item, 0 = outside
+    let mut pending = false; // saw the attribute, waiting for the opening brace
+    for (i, line) in lines.iter().enumerate() {
+        if depth == 0 && !pending && line.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        if pending || depth > 0 {
+            mask[i] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' if pending || depth > 0 => {
+                    depth += 1;
+                    pending = false;
+                }
+                '}' if depth > 0 => {
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// Lints a single file's source. `relative` is the path reported in findings
+/// and used to decide whether the panic-path rule applies.
+pub fn lint_source(relative: &Path, source: &str) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(source);
+    let mask = test_code_mask(&stripped);
+    let rel_str = relative.to_string_lossy().replace('\\', "/");
+    let panic_free = PANIC_FREE_FILES.iter().any(|f| rel_str == *f);
+    let mut findings = Vec::new();
+    for (i, (line, raw)) in stripped.lines().zip(source.lines()).enumerate() {
+        let mut hit = |rule: &'static str| {
+            findings.push(Finding {
+                file: relative.to_path_buf(),
+                line: i + 1,
+                rule,
+                excerpt: raw.trim().to_string(),
+            });
+        };
+        for pat in ["todo!", "unimplemented!", "dbg!"] {
+            // The macro name is an identifier token; `!` follows it.
+            if let Some(at) = line.find(pat) {
+                let before =
+                    line[..at].chars().next_back().map(|c| c.is_alphanumeric() || c == '_');
+                if !before.unwrap_or(false) {
+                    hit("no-scaffolding");
+                }
+            }
+        }
+        if find_token(line, "unsafe").is_some() {
+            hit("no-unsafe");
+        }
+        if panic_free && !mask[i] {
+            if line.contains(".unwrap()") || line.contains(".expect(") || line.contains("panic!")
+            {
+                hit("no-panic-hot-path");
+            }
+        }
+    }
+    findings
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | ".claude") {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every `.rs` file under `root` (excluding `target/` and VCS
+/// directories) and returns all findings, sorted by file and line.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    walk(root, &mut files);
+    let mut findings = Vec::new();
+    for file in files {
+        let Ok(source) = std::fs::read_to_string(&file) else { continue };
+        let relative = file.strip_prefix(root).unwrap_or(&file);
+        findings.extend(lint_source(relative, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaffolding_flagged_anywhere() {
+        let src = "fn f() { todo!() }\n";
+        let f = lint_source(Path::new("crates/x/src/lib.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-scaffolding");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_keyword_flagged_but_not_identifiers() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(lint_source(Path::new("a.rs"), src).is_empty());
+        let src = "fn f() { let p = 0 as *const u8; let _ = p; }\nfn g() { }\n";
+        assert!(lint_source(Path::new("a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_scoped_to_hot_paths_and_non_test_code() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        // Same source: flagged on the hot path, ignored elsewhere.
+        assert_eq!(lint_source(Path::new("crates/core/src/beam.rs"), src).len(), 1);
+        assert!(lint_source(Path::new("crates/core/src/other.rs"), src).is_empty());
+        // Inside #[cfg(test)] the hot-path rule is silent.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source(Path::new("crates/core/src/beam.rs"), test_src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trigger() {
+        let src = "// calls panic! when empty\nfn f() { g(\"never todo!(x)\"); }\n";
+        assert!(lint_source(Path::new("crates/core/src/lm.rs"), src).is_empty());
+    }
+}

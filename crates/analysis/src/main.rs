@@ -1,0 +1,39 @@
+//! CLI entry point: `cargo run -p lcrec-analysis -- lint [ROOT]`.
+//!
+//! Exits non-zero when any lint finding is reported, so the command can gate
+//! CI and `scripts/check.sh`.
+
+use lcrec_analysis::lint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // When run via `cargo run -p lcrec-analysis`, the manifest dir is
+    // crates/analysis; the workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args.get(1).map(PathBuf::from).unwrap_or_else(workspace_root);
+            let findings = lint::lint_workspace(&root);
+            if findings.is_empty() {
+                println!("lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: lcrec-analysis lint [ROOT]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! A minimal, dependency-free Rust source scanner.
+//!
+//! This is not a Rust parser — it is a comment/string-aware tokenizer that
+//! is exactly strong enough for the two jobs the workspace needs: listing
+//! `pub fn` names in a file (gradcheck coverage) and matching forbidden
+//! substrings without false positives from comments, doc text, or string
+//! literals (the lint pass).
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving line structure (every `\n` survives) so findings can report
+/// accurate line numbers. Handles `//` line comments, nested `/* */` block
+/// comments, escapes inside `"…"` strings, `'c'` char literals, and leaves
+/// lifetimes (`'a`) alone.
+pub fn strip_comments_and_strings(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Raw strings (r"…", r#"…"#) are handled by the caller never
+                // needing their contents; detect the r/# prefix already
+                // emitted? Raw strings start with r before the quote — the
+                // prefix chars are harmless to keep. Here we just skip the
+                // quoted body with escape handling; for raw strings the
+                // backslash rule is wrong but the workspace avoids raw
+                // strings with embedded quotes.
+                out.push(' ');
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+                out.push(' ');
+                i += 1;
+            }
+            '\'' => {
+                // Char literal iff it closes within a couple of characters;
+                // otherwise it is a lifetime.
+                let close = if i + 2 < b.len() && b[i + 1] == '\\' {
+                    // '\n', '\'', '\\', '\u{…}'
+                    (i + 2..b.len().min(i + 12)).find(|&j| b[j] == '\'')
+                } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(j) = close {
+                    for _ in i..=j {
+                        out.push(' ');
+                    }
+                    i = j + 1;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Names of every `pub fn` in the source, in declaration order, duplicates
+/// included. Visibility qualifiers like `pub(crate)` are counted as public
+/// to err on the side of requiring coverage.
+pub fn public_fn_names(source: &str) -> Vec<String> {
+    let clean = strip_comments_and_strings(source);
+    let mut names = Vec::new();
+    let text = clean;
+    let mut search_from = 0;
+    while let Some(rel) = text[search_from..].find("pub") {
+        let at = search_from + rel;
+        search_from = at + 3;
+        // Token boundary on both sides of `pub`.
+        let before_ok = !text[..at].chars().next_back().map(is_ident).unwrap_or(false);
+        let after_ok = !text[at + 3..].chars().next().map(is_ident).unwrap_or(true);
+        if !before_ok || !after_ok {
+            continue;
+        }
+        // Skip optional `(crate)` / `(super)` restriction, then expect `fn`.
+        let rest: &str = &text[at + 3..];
+        let rest = rest.trim_start();
+        let rest = if let Some(stripped) = rest.strip_prefix('(') {
+            match stripped.find(')') {
+                Some(p) => stripped[p + 1..].trim_start(),
+                None => continue,
+            }
+        } else {
+            rest
+        };
+        let Some(body) = rest.strip_prefix("fn") else { continue };
+        let body = body.trim_start();
+        let name: String = body.chars().take_while(|&c| is_ident(c)).collect();
+        if !name.is_empty() {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// Finds token occurrences of `needle` (identifier-boundary on both sides)
+/// in an already-stripped line. Returns the byte offset of the first match.
+pub fn find_token(line: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !line[..at].chars().next_back().map(is_ident).unwrap_or(false);
+        let after = line[at + needle.len()..].chars().next();
+        let after_ok = !after.map(is_ident).unwrap_or(false);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = "let a = 1; // unwrap()\n/* panic! */ let b = 2;\n";
+        let clean = strip_comments_and_strings(s);
+        assert!(!clean.contains("unwrap"));
+        assert!(!clean.contains("panic"));
+        assert!(clean.contains("let b = 2;"));
+        assert_eq!(clean.matches('\n').count(), 2, "line structure preserved");
+    }
+
+    #[test]
+    fn strips_strings_but_not_lifetimes() {
+        let s = "fn f<'a>(x: &'a str) { g(\"panic! inside\"); let c = 'x'; }";
+        let clean = strip_comments_and_strings(s);
+        assert!(!clean.contains("panic"));
+        assert!(clean.contains("<'a>"));
+    }
+
+    #[test]
+    fn extracts_public_fn_names() {
+        let s = r#"
+            impl Foo {
+                pub fn alpha(&self) {}
+                fn private_one() {}
+                pub(crate) fn beta() {}
+            }
+            pub fn gamma() {}
+            // pub fn commented_out() {}
+        "#;
+        assert_eq!(public_fn_names(s), vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(find_token("forbid(unsafe_code)", "unsafe").is_none());
+        assert!(find_token("unsafe { }", "unsafe").is_some());
+        assert!(find_token("let my_unsafe = 1;", "unsafe").is_none());
+    }
+}

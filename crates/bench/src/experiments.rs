@@ -22,6 +22,7 @@ use lcrec_seqrec::{
 use lcrec_tensor::Tensor;
 
 /// A rendered experiment: markdown plus optional CSV artifacts.
+#[derive(Debug)]
 pub struct ExpOutput {
     /// Markdown report section.
     pub markdown: String,

@@ -74,6 +74,7 @@ impl LcRecConfig {
 }
 
 /// A trained (or trainable) LC-Rec model.
+#[derive(Debug)]
 pub struct LcRec {
     cfg: LcRecConfig,
     lm: CausalLm,
@@ -262,6 +263,7 @@ impl LcRec {
 }
 
 /// Bridges LC-Rec into the evaluation harness with a chosen SEQ template.
+#[derive(Debug)]
 pub struct LcRecRanker<'a> {
     /// The trained model.
     pub model: &'a LcRec,

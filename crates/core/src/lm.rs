@@ -51,6 +51,7 @@ impl LmConfig {
     }
 }
 
+#[derive(Debug)]
 struct Block {
     norm1: ParamId,
     wq: ParamId,
@@ -64,6 +65,7 @@ struct Block {
 }
 
 /// The causal LM.
+#[derive(Debug)]
 pub struct CausalLm {
     cfg: LmConfig,
     ps: ParamStore,
@@ -75,6 +77,7 @@ pub struct CausalLm {
 
 /// Per-sequence attention cache: keys/values for every layer and head.
 #[derive(Clone)]
+#[derive(Debug)]
 pub struct KvCache {
     /// `k[layer]` is `[len, dim]` flattened (head-major within a row).
     k: Vec<Vec<f32>>,
@@ -453,7 +456,8 @@ pub fn train_lm_epochs(
         let mut sum = 0.0;
         let mut nb = 0usize;
         for chunk in order.chunks(cfg.batch) {
-            let t = chunk.iter().map(|&i| examples[i].0.len()).max().expect("non-empty").min(max_seq);
+            // chunks() never yields an empty slice, so the max exists.
+            let t = chunk.iter().map(|&i| examples[i].0.len()).max().unwrap_or(1).min(max_seq);
             let b = chunk.len();
             let mut tokens = vec![pad; b * t];
             let mut targets = vec![u32::MAX; b * t];

@@ -164,6 +164,7 @@ impl P5CidConfig {
 }
 
 /// The P5-CID model.
+#[derive(Debug)]
 pub struct P5Cid {
     cfg: P5CidConfig,
     lm: CausalLm,

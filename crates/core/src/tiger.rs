@@ -50,6 +50,7 @@ impl TigerConfig {
 }
 
 /// The TIGER model. Vocabulary: `[PAD, BOS] ++ index tokens`.
+#[derive(Debug)]
 pub struct Tiger {
     cfg: TigerConfig,
     ps: ParamStore,

@@ -9,6 +9,7 @@ use lcrec_text::token::{BOS, EOS, PAD};
 use lcrec_text::Vocab;
 
 /// Word vocabulary + index-token block.
+#[derive(Debug)]
 pub struct ExtendedVocab {
     base: Vocab,
     indices: ItemIndices,

@@ -18,6 +18,7 @@ use lcrec_tensor::Tensor;
 use lcrec_text::TextEncoder;
 
 /// A language-semantics-only pairwise scorer.
+#[derive(Debug)]
 pub struct TextSimilarityScorer {
     label: String,
     /// `[num_items, d]` item text embeddings.
@@ -33,7 +34,9 @@ pub struct TextSimilarityScorer {
 impl TextSimilarityScorer {
     /// Builds a scorer over the dataset's item texts.
     pub fn new(label: &str, ds: &Dataset, noise: f32, seed: u64) -> Self {
-        let mut enc = TextEncoder::new(48, 11);
+        // 128 dims: below ~64 the random word vectors are too correlated
+        // (cosine noise ~1/sqrt(dim)) and the text-similarity signal drowns.
+        let mut enc = TextEncoder::new(128, 11);
         let texts: Vec<String> = ds.catalog.items.iter().map(|i| i.full_text()).collect();
         let item_emb = enc.encode_batch(texts.iter().map(String::as_str));
         TextSimilarityScorer { label: label.to_string(), item_emb, noise, seed, context: 5 }
@@ -74,11 +77,16 @@ impl TextSimilarityScorer {
 
     fn deterministic_noise(&self, user: usize, item: u32) -> f32 {
         // Hash-derived standard-normal-ish noise so scores are reproducible.
-        let mut x = self.seed ^ (user as u64) << 32 ^ item as u64;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        let x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // SplitMix64 finalizer: a single xorshift round leaves (user, item)
+        // keys that differ only in low bits visibly correlated, which skews
+        // pairwise comparisons.
+        let mut x = self
+            .seed
+            .wrapping_add((user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((item as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let x = x ^ (x >> 31);
         let mut s = 0.0f32;
         for shift in [0u32, 16, 32, 48] {
             s += ((x >> shift) & 0xFFFF) as f32 / 65535.0;

@@ -28,6 +28,7 @@ impl Item {
 }
 
 /// The full item catalog of a dataset.
+#[derive(Debug)]
 pub struct Catalog {
     /// All items, id-ordered.
     pub items: Vec<Item>,

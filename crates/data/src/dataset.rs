@@ -6,6 +6,7 @@ use crate::config::DatasetConfig;
 use crate::interactions::{k_core, simulate};
 
 /// A fully prepared sequential-recommendation dataset.
+#[derive(Debug)]
 pub struct Dataset {
     /// The generating configuration.
     pub config: DatasetConfig,

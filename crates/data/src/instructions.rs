@@ -149,6 +149,7 @@ fn pick<'a, T: ?Sized>(rng: &mut StdRng, xs: &'a [&'a T]) -> &'a T {
 /// Builds the instruction examples of `tasks` for one training epoch,
 /// sampling one template per datum. `epoch` varies the template/window
 /// choices across epochs.
+#[derive(Debug)]
 pub struct InstructionBuilder<'a> {
     ds: &'a Dataset,
     gen: TextGen<'a>,

@@ -80,6 +80,7 @@ impl RqVaeConfig {
 }
 
 /// A trained RQ-VAE.
+#[derive(Debug)]
 pub struct RqVae {
     cfg: RqVaeConfig,
     ps: ParamStore,
@@ -519,8 +520,12 @@ mod tests {
             hidden: vec![16],
             levels: 3,
             codebook_size: 6,
-            beta: 0.25,
-            lr: 2e-3,
+            // Stronger commitment + a smaller lr than the defaults: on this
+            // 40-item fixture a weak beta lets the encoder norm drift faster
+            // than the codebooks can track, so total loss oscillates upward
+            // even while reconstruction improves.
+            beta: 1.0,
+            lr: 1e-3,
             epochs: 25,
             batch: 32,
             usm: true,
@@ -537,7 +542,7 @@ mod tests {
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().expect("non-empty");
         assert!(last < first, "loss did not drop: {first} -> {last}");
-        assert!(last.is_finite());
+        lcrec_tensor::sanitize::assert_all_finite("rqvae epoch losses", &report.epoch_losses);
     }
 
     #[test]

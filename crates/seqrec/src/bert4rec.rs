@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 
 /// The BERT4Rec model. The item vocabulary gains one `[MASK]` token whose
 /// id is `num_items`.
+#[derive(Debug)]
 pub struct Bert4Rec {
     cfg: RecConfig,
     ps: ParamStore,

@@ -12,6 +12,7 @@ use rand::SeedableRng;
 
 /// The Caser model. Uses a fixed window of the `window` most recent items,
 /// left-padded with a dedicated padding embedding row.
+#[derive(Debug)]
 pub struct Caser {
     cfg: RecConfig,
     ps: ParamStore,

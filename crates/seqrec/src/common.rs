@@ -57,6 +57,7 @@ impl RecConfig {
 
 /// (history, target) supervision pairs with prefix augmentation: every
 /// prefix of every training sequence contributes one pair.
+#[derive(Debug)]
 pub struct TrainingPairs {
     /// All pairs; histories are truncated to `max_len` most-recent items.
     pub pairs: Vec<(Vec<u32>, u32)>,
@@ -90,6 +91,7 @@ impl TrainingPairs {
 }
 
 /// One length-uniform minibatch.
+#[derive(Debug)]
 pub struct Batch {
     /// Flattened histories, row-major `[b, len]`.
     pub hist: Vec<u32>,
@@ -161,6 +163,7 @@ pub trait ScoreModel {
 }
 
 /// Bridges any [`ScoreModel`] into the evaluation harness.
+#[derive(Debug)]
 pub struct ScoreRanker<'a, M: ScoreModel>(pub &'a M);
 
 impl<M: ScoreModel> Ranker for ScoreRanker<'_, M> {

@@ -41,6 +41,7 @@ impl DssmConfig {
 }
 
 /// The DSSM two-tower model.
+#[derive(Debug)]
 pub struct Dssm {
     cfg: DssmConfig,
     ps: ParamStore,

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The FDSA model. Holds an item → feature (flattened sub-category) map.
+#[derive(Debug)]
 pub struct Fdsa {
     cfg: RecConfig,
     ps: ParamStore,

@@ -15,6 +15,7 @@ use lcrec_tensor::{linalg::rdft_matrices, Graph, ParamId, ParamStore, Tensor, Va
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+#[derive(Debug)]
 struct FilterLayer {
     /// Real filter weights `[nf, d]` for a given sequence length bucket.
     real: ParamId,
@@ -28,6 +29,7 @@ struct FilterLayer {
 /// The FMLP-Rec model. Because batches are length-bucketed, the model keeps
 /// one filter per possible sequence length (1..=max_len); filters are tiny
 /// (`nf × d`) so this costs little and keeps the DFT exact per length.
+#[derive(Debug)]
 pub struct FmlpRec {
     cfg: RecConfig,
     ps: ParamStore,
@@ -209,6 +211,6 @@ mod tests {
         let m = FmlpRec::new(ds.num_items(), RecConfig::test());
         let scores = m.score_all(0, &[3]);
         assert_eq!(scores.len(), ds.num_items());
-        assert!(scores.iter().all(|s| s.is_finite()));
+        lcrec_tensor::sanitize::assert_all_finite("fmlp scores", &scores);
     }
 }

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The GRU4Rec model.
+#[derive(Debug)]
 pub struct Gru4Rec {
     cfg: RecConfig,
     ps: ParamStore,

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The HGN model.
+#[derive(Debug)]
 pub struct Hgn {
     cfg: RecConfig,
     ps: ParamStore,

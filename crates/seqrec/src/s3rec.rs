@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The S³-Rec model.
+#[derive(Debug)]
 pub struct S3Rec {
     cfg: RecConfig,
     ps: ParamStore,

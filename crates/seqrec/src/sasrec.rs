@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The SASRec model.
+#[derive(Debug)]
 pub struct SasRec {
     cfg: RecConfig,
     ps: ParamStore,
@@ -115,7 +116,7 @@ mod tests {
         );
         let scores = m.score_all(0, ds.test_example(0).0);
         assert_eq!(scores.len(), ds.num_items());
-        assert!(scores.iter().all(|s| s.is_finite()));
+        lcrec_tensor::sanitize::assert_all_finite("sasrec scores", &scores);
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Central-finite-difference gradient checking.
+//!
+//! [`check`] verifies autograd gradients of an arbitrary scalar-valued graph
+//! function against numerical central differences with a relative-error
+//! criterion tuned for `f32` (perturbation `h = 1e-2`; errors are measured
+//! against `max(|numeric|, |analytic|, 1)` so tiny gradients do not inflate
+//! relative error).
+//!
+//! [`cases`] is the table-driven suite covering **every** differentiable
+//! public op of [`crate::Graph`]. Each entry names the ops it exercises; the
+//! completeness test (in this crate's tests and in the workspace root's
+//! tier-1 tests) diffs those names against the `pub fn`s of `graph.rs` —
+//! adding a new op without a gradcheck entry fails the build.
+
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use crate::{init, Graph, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The source of the autograd tape, embedded for coverage analysis.
+pub const GRAPH_SOURCE: &str = include_str!("graph.rs");
+
+/// Public functions in `graph.rs` that are *not* differentiable ops and are
+/// therefore exempt from gradcheck coverage: constructors, accessors, leaf
+/// insertion, and the engine itself. A new public op must either get a case
+/// in [`cases`] or be consciously added here.
+pub const NON_DIFFERENTIABLE_FNS: &[&str] = &[
+    "id",        // Var::id
+    "new",
+    "inference",
+    "is_train",
+    "seed",
+    "len",
+    "is_empty",
+    "value",
+    "shape",
+    "constant",
+    "param",
+    "backward",
+];
+
+/// Default relative-error tolerance for `f32` finite differences.
+pub const DEFAULT_TOL: f32 = 2e-2;
+
+/// Checks autograd gradients of `f` against central finite differences for
+/// every parameter registered in `store`.
+///
+/// `f` must be deterministic given the graph seed (fixed internally), so
+/// stochastic ops like dropout produce identical masks across the probe's
+/// forward passes.
+///
+/// # Panics
+/// Panics (with parameter name and element index) on the first gradient
+/// entry whose relative error exceeds `tol`.
+pub fn check(store: &mut ParamStore, f: &dyn Fn(&mut Graph, &ParamStore) -> Var, tol: f32) {
+    // Analytic gradients.
+    let mut g = Graph::new();
+    g.seed(7);
+    let loss = f(&mut g, store);
+    store.zero_grads();
+    g.backward(loss, store);
+    let analytic: Vec<Vec<f32>> = store.ids().map(|id| store.grad(id).data().to_vec()).collect();
+
+    let h = 1e-2f32;
+    let ids: Vec<ParamId> = store.ids().collect();
+    for (pi, id) in ids.iter().enumerate() {
+        let n = store.value(*id).numel();
+        for ei in 0..n {
+            let orig = store.value(*id).data()[ei];
+            store.value_mut(*id).data_mut()[ei] = orig + h;
+            let mut gp = Graph::new();
+            gp.seed(7);
+            let lp = f(&mut gp, store);
+            let fp = gp.value(lp).item();
+            store.value_mut(*id).data_mut()[ei] = orig - h;
+            let mut gm = Graph::new();
+            gm.seed(7);
+            let lm = f(&mut gm, store);
+            let fm = gm.value(lm).item();
+            store.value_mut(*id).data_mut()[ei] = orig;
+            let numeric = (fp - fm) / (2.0 * h);
+            let got = analytic[pi][ei];
+            let denom = numeric.abs().max(got.abs()).max(1.0);
+            assert!(
+                (numeric - got).abs() / denom < tol,
+                "gradcheck: param {pi} ({}) elem {ei}: numeric {numeric} vs analytic {got}",
+                store.name(*id)
+            );
+        }
+    }
+}
+
+/// One table entry: a named scenario plus the list of graph ops it covers.
+#[derive(Debug, Clone, Copy)]
+pub struct OpCase {
+    /// Scenario name, reported on failure.
+    pub name: &'static str,
+    /// The `Graph` methods this scenario differentiates through.
+    pub ops: &'static [&'static str],
+    /// Runs the scenario; panics on gradient mismatch.
+    pub run: fn(),
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(1234)
+}
+
+fn add_param(ps: &mut ParamStore, name: &str, shape: &[usize], rng: &mut StdRng) -> ParamId {
+    ps.add(name, init::normal(shape, 0.8, rng))
+}
+
+fn case_add_sub_mul() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[3, 4], &mut r);
+    let b = add_param(&mut ps, "b", &[3, 4], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let bv = g.param(ps, b);
+            let s = g.add(av, bv);
+            let d = g.sub(s, bv);
+            let m = g.mul(d, s);
+            g.mean_all(m)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_matmul_chain() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[2, 3], &mut r);
+    let b = add_param(&mut ps, "b", &[3, 4], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let bv = g.param(ps, b);
+            let y = g.matmul(av, bv);
+            let y = g.relu(y);
+            g.sum_all(y)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_matmul_nt_softmax() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[2, 3], &mut r);
+    let b = add_param(&mut ps, "b", &[5, 3], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let bv = g.param(ps, b);
+            let y = g.matmul_nt(av, bv);
+            let sm = g.softmax(y);
+            g.mean_all(sm)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_bmm_pair() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[2, 3, 4], &mut r);
+    let b = add_param(&mut ps, "b", &[2, 4, 2], &mut r);
+    let c = add_param(&mut ps, "c", &[2, 5, 4], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let bv = g.param(ps, b);
+            let cv = g.param(ps, c);
+            let y = g.bmm(av, bv); // [2,3,2]
+            let scores = g.bmm_nt(av, cv); // [2,3,5]
+            let sy = g.sum_all(y);
+            let ss = g.sum_all(scores);
+            let t = g.add(sy, ss);
+            g.scale(t, 0.5)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_activations() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[4, 3], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let x1 = g.gelu(av);
+            let x2 = g.sigmoid(x1);
+            let x3 = g.tanh(x2);
+            let x4 = g.silu(x3);
+            g.mean_all(x4)
+        },
+        3e-2,
+    );
+}
+
+fn case_softmax_log_softmax() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[3, 5], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let p = g.softmax(av);
+            let lp = g.log_softmax(av);
+            let m = g.mul(p, lp); // -entropy per element
+            g.sum_all(m)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_cross_entropy_with_ignore() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "logits", &[4, 6], &mut r);
+    let targets = [2u32, u32::MAX, 0, 5];
+    check(&mut ps, &|g, ps| {
+        let av = g.param(ps, a);
+        g.cross_entropy(av, &targets, u32::MAX)
+    }, DEFAULT_TOL);
+}
+
+fn case_bce_logits() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "logits", &[6], &mut r);
+    let targets = [1.0, 0.0, 1.0, 0.0, 0.5, 1.0];
+    check(&mut ps, &|g, ps| {
+        let av = g.param(ps, a);
+        g.bce_logits(av, &targets)
+    }, DEFAULT_TOL);
+}
+
+fn case_norms() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let x = add_param(&mut ps, "x", &[3, 6], &mut r);
+    let gamma = ps.add("gamma", init::normal(&[6], 0.5, &mut r));
+    let beta = ps.add("beta", init::normal(&[6], 0.5, &mut r));
+    check(
+        &mut ps,
+        &|g, ps| {
+            let xv = g.param(ps, x);
+            let gm = g.param(ps, gamma);
+            let bt = g.param(ps, beta);
+            let ln = g.layer_norm(xv, gm, bt, 1e-5);
+            let rn = g.rms_norm(ln, gm, 1e-6);
+            let s = g.mul(rn, rn);
+            g.mean_all(s)
+        },
+        3e-2,
+    );
+}
+
+fn case_gather_embedding_pooling() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let table = add_param(&mut ps, "table", &[6, 4], &mut r);
+    // Repeated indices exercise scatter-add accumulation.
+    let ids = [0u32, 3, 3, 5, 1, 0];
+    check(
+        &mut ps,
+        &|g, ps| {
+            let tv = g.param(ps, table);
+            let e = g.gather_rows(tv, &ids); // [6, 4]
+            let e2 = g.embedding(tv, &ids[..2]); // alias, same backward path
+            let mx = g.max_pool_rows(e, 3); // [2, 4]
+            let mn = g.mean_pool_rows(e, 2); // [3, 4]
+            let s1 = g.sum_all(mx);
+            let s2 = g.sum_all(mn);
+            let s3 = g.sum_all(e2);
+            let t = g.add(s1, s2);
+            g.add(t, s3)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_shape_ops() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[4, 6], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let t = g.transpose(av); // [6,4]
+            let rsh = g.reshape(t, &[3, 8]);
+            let sl = g.slice_rows(rsh, 1, 3); // [2,8]
+            let cc = g.concat_cols(&[sl, sl]); // [2,16]
+            let cr = g.concat_rows(&[cc, cc]); // [4,16]
+            g.mean_all(cr)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_heads_round_trip() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[6, 8], &mut r); // B=2, T=3, H*dh=8
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let sh = g.split_heads(av, 2, 3, 2); // [4,3,4]
+            let mg = g.merge_heads(sh, 2, 3, 2); // [6,8]
+            let d = g.sub(mg, av); // must be exactly 0
+            let sq = g.mul(mg, mg);
+            let s = g.sum_all(sq);
+            let z = g.sum_all(d);
+            g.add(s, z)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_bias_cycle_dot() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let x = add_param(&mut ps, "x", &[4, 3], &mut r);
+    let b = add_param(&mut ps, "b", &[3], &mut r);
+    let w = add_param(&mut ps, "w", &[2, 3], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let xv = g.param(ps, x);
+            let bv = g.param(ps, b);
+            let wv = g.param(ps, w);
+            let xb = g.add_bias(xv, bv);
+            let xc = g.mul_cycle(xb, wv); // w cycles over 4 rows (period 2)
+            let other = g.add_scalar(xc, 0.3);
+            let dots = g.rowwise_dot(xc, other);
+            g.sum_all(dots)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_add_cycle_const_mask() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let x = add_param(&mut ps, "x", &[4, 3], &mut r);
+    // The attention-mask primitive: a constant cycling over row groups.
+    let mask = Tensor::new(&[2, 3], vec![0.0, -0.5, 0.25, 1.0, 0.0, -1.0]);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let xv = g.param(ps, x);
+            let masked = g.add_cycle_const(xv, &mask);
+            let sq = g.mul(masked, masked);
+            g.mean_all(sq)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_group_matmul_const() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let x = add_param(&mut ps, "x", &[6, 4], &mut r); // 2 groups of 3 rows
+    let c = init::normal(&[5, 3], 0.7, &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let xv = g.param(ps, x);
+            let y = g.group_matmul_const(&c, xv); // [10, 4]
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_rsqrt_row_normalization() {
+    // The exact composition DSSM uses: x * rsqrt(rowdot(x,x) + eps).
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let x = add_param(&mut ps, "x", &[3, 4], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let xv = g.param(ps, x);
+            let sq = g.mul(xv, xv);
+            let ones = g.constant(Tensor::full(&[4, 1], 1.0));
+            let norms = g.matmul(sq, ones);
+            let eps = g.add_scalar(norms, 1e-3);
+            let inv = g.rsqrt(eps);
+            let onesd = g.constant(Tensor::full(&[1, 4], 1.0));
+            let inv_d = g.matmul(inv, onesd);
+            let normed = g.mul(xv, inv_d);
+            let sq2 = g.mul(normed, normed);
+            g.sum_all(sq2)
+        },
+        3e-2,
+    );
+}
+
+fn case_mse_and_scale() {
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[3, 3], &mut r);
+    let b = add_param(&mut ps, "b", &[3, 3], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let bv = g.param(ps, b);
+            let sa = g.scale(av, 1.7);
+            g.mse(sa, bv)
+        },
+        DEFAULT_TOL,
+    );
+}
+
+fn case_dropout_deterministic() {
+    // With a fixed graph seed the dropout mask is identical across the
+    // forward passes performed by the finite-difference probe, so the check
+    // remains valid even through stochastic regularization.
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let a = add_param(&mut ps, "a", &[4, 4], &mut r);
+    check(
+        &mut ps,
+        &|g, ps| {
+            let av = g.param(ps, a);
+            let d = g.dropout(av, 0.4);
+            let sq = g.mul(d, d);
+            g.sum_all(sq)
+        },
+        3e-2,
+    );
+}
+
+fn case_transformer_block() {
+    use crate::nn::{Act, BlockConfig, Norm, TransformerBlock};
+    let mut ps = ParamStore::new();
+    let mut r = rng();
+    let x = ps.add("x", init::normal(&[4, 8], 0.5, &mut r));
+    let cfg =
+        BlockConfig { dim: 8, heads: 2, ff_hidden: 12, dropout: 0.0, norm: Norm::Rms, act: Act::Silu };
+    let blk = TransformerBlock::new(&mut ps, "blk", cfg, &mut r);
+    let mut mask = Tensor::zeros(&[2, 2]);
+    mask.data_mut()[1] = -1e9; // causal for T=2
+    check(
+        &mut ps,
+        &|g, ps| {
+            let xv = g.param(ps, x);
+            let y = blk.forward(g, ps, xv, 2, 2, Some(&mask), None);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        },
+        4e-2,
+    );
+}
+
+/// The full table. Between them the cases must name every differentiable
+/// public op in `graph.rs` — the completeness test enforces it.
+pub fn cases() -> Vec<OpCase> {
+    vec![
+        OpCase {
+            name: "add_sub_mul",
+            ops: &["add", "sub", "mul", "mean_all"],
+            run: case_add_sub_mul,
+        },
+        OpCase { name: "matmul_chain", ops: &["matmul", "relu", "sum_all"], run: case_matmul_chain },
+        OpCase {
+            name: "matmul_nt_softmax",
+            ops: &["matmul_nt", "softmax"],
+            run: case_matmul_nt_softmax,
+        },
+        OpCase { name: "bmm_pair", ops: &["bmm", "bmm_nt", "scale"], run: case_bmm_pair },
+        OpCase {
+            name: "activations",
+            ops: &["gelu", "sigmoid", "tanh", "silu"],
+            run: case_activations,
+        },
+        OpCase {
+            name: "softmax_log_softmax",
+            ops: &["softmax", "log_softmax"],
+            run: case_softmax_log_softmax,
+        },
+        OpCase {
+            name: "cross_entropy_with_ignore",
+            ops: &["cross_entropy"],
+            run: case_cross_entropy_with_ignore,
+        },
+        OpCase { name: "bce_logits", ops: &["bce_logits"], run: case_bce_logits },
+        OpCase { name: "norms", ops: &["layer_norm", "rms_norm"], run: case_norms },
+        OpCase {
+            name: "gather_embedding_pooling",
+            ops: &["gather_rows", "embedding", "max_pool_rows", "mean_pool_rows"],
+            run: case_gather_embedding_pooling,
+        },
+        OpCase {
+            name: "shape_ops",
+            ops: &["transpose", "reshape", "slice_rows", "concat_cols", "concat_rows"],
+            run: case_shape_ops,
+        },
+        OpCase {
+            name: "heads_round_trip",
+            ops: &["split_heads", "merge_heads"],
+            run: case_heads_round_trip,
+        },
+        OpCase {
+            name: "bias_cycle_dot",
+            ops: &["add_bias", "mul_cycle", "add_scalar", "rowwise_dot"],
+            run: case_bias_cycle_dot,
+        },
+        OpCase {
+            name: "add_cycle_const_mask",
+            ops: &["add_cycle_const"],
+            run: case_add_cycle_const_mask,
+        },
+        OpCase {
+            name: "group_matmul_const",
+            ops: &["group_matmul_const"],
+            run: case_group_matmul_const,
+        },
+        OpCase {
+            name: "rsqrt_row_normalization",
+            ops: &["rsqrt"],
+            run: case_rsqrt_row_normalization,
+        },
+        OpCase { name: "mse_and_scale", ops: &["mse", "scale"], run: case_mse_and_scale },
+        OpCase { name: "dropout_deterministic", ops: &["dropout"], run: case_dropout_deterministic },
+        OpCase { name: "transformer_block", ops: &[], run: case_transformer_block },
+    ]
+}
+
+/// Union of all op names covered by [`cases`].
+pub fn covered_ops() -> std::collections::BTreeSet<&'static str> {
+    cases().iter().flat_map(|c| c.ops.iter().copied()).collect()
+}

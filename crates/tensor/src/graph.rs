@@ -30,6 +30,8 @@ impl Var {
 type BackFn = Box<dyn Fn(&Graph, &Tensor, &mut [Option<Tensor>])>;
 
 struct NodeMeta {
+    /// Name of the op that produced this node, for sanitizer diagnostics.
+    op: &'static str,
     param: Option<ParamId>,
     needs_grad: bool,
 }
@@ -41,6 +43,16 @@ pub struct Graph {
     backward_fns: Vec<Option<BackFn>>,
     train: bool,
     rng: u64,
+}
+
+impl std::fmt::Debug for Graph {
+    // Manual impl: `BackFn` closures are not `Debug`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.values.len())
+            .field("train", &self.train)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Graph {
@@ -110,9 +122,32 @@ impl Graph {
         (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
     }
 
-    fn push(&mut self, value: Tensor, needs_grad: bool, back: Option<BackFn>) -> Var {
+    /// Records one op's output on the tape. Every public op funnels through
+    /// here, which makes this the sanitizer's forward checkpoint: when
+    /// [`crate::sanitize`] is enabled, a NaN/Inf in `value` aborts
+    /// immediately, naming the op and the shapes of its operands.
+    fn push(
+        &mut self,
+        op: &'static str,
+        inputs: &[Var],
+        value: Tensor,
+        needs_grad: bool,
+        back: Option<BackFn>,
+    ) -> Var {
+        if crate::sanitize::enabled() {
+            if let Some((i, v)) = crate::sanitize::first_non_finite(value.data()) {
+                let operands: Vec<String> =
+                    inputs.iter().map(|x| format!("{:?}", self.values[x.0].shape())).collect();
+                panic!(
+                    "sanitizer: op `{op}` produced a non-finite value \
+                     ({v} at flat index {i}); operand shapes [{}], output shape {:?}",
+                    operands.join(", "),
+                    value.shape(),
+                );
+            }
+        }
         self.values.push(value);
-        self.meta.push(NodeMeta { param: None, needs_grad });
+        self.meta.push(NodeMeta { op, param: None, needs_grad });
         self.backward_fns.push(back);
         Var(self.values.len() - 1)
     }
@@ -124,13 +159,13 @@ impl Graph {
 
     /// Inserts a constant leaf (no gradient flows into it).
     pub fn constant(&mut self, t: Tensor) -> Var {
-        self.push(t, false, None)
+        self.push("constant", &[], t, false, None)
     }
 
     /// Inserts a parameter leaf whose gradient will be accumulated into
     /// `store` by [`Graph::backward`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        let v = self.push(store.value(id).clone(), true, None);
+        let v = self.push("param", &[], store.value(id).clone(), true, None);
         self.meta[v.0].param = Some(id);
         v
     }
@@ -144,7 +179,7 @@ impl Graph {
         let mut out = ta.clone();
         out.add_assign(tb);
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("add", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -163,7 +198,7 @@ impl Graph {
         let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x - y).collect();
         let out = Tensor::new(ta.shape(), data);
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("sub", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -184,7 +219,7 @@ impl Graph {
         let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x * y).collect();
         let out = Tensor::new(ta.shape(), data);
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("mul", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -215,7 +250,7 @@ impl Graph {
             .collect();
         let out = Tensor::new(tx.shape(), data);
         let needs = self.needs(x) || self.needs(b);
-        self.push(
+        self.push("add_bias", &[x, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -250,7 +285,7 @@ impl Graph {
         }
         let out = Tensor::new(tx.shape(), data);
         let needs = self.needs(x) || self.needs(w);
-        self.push(
+        self.push("mul_cycle", &[x, w], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -294,7 +329,7 @@ impl Graph {
         }
         let out = Tensor::new(tx.shape(), data);
         let needs = self.needs(x);
-        self.push(
+        self.push("add_cycle_const", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -309,7 +344,7 @@ impl Graph {
     pub fn scale(&mut self, x: Var, s: f32) -> Var {
         let out = self.values[x.0].map(|v| v * s);
         let needs = self.needs(x);
-        self.push(
+        self.push("scale", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -326,7 +361,7 @@ impl Graph {
     pub fn add_scalar(&mut self, x: Var, c: f32) -> Var {
         let out = self.values[x.0].map(|v| v + c);
         let needs = self.needs(x);
-        self.push(
+        self.push("add_scalar", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -347,7 +382,7 @@ impl Graph {
         let mut out = Tensor::zeros(&[m, n]);
         matmul_acc(ta.data(), tb.data(), out.data_mut(), m, k, n);
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("matmul", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -385,7 +420,7 @@ impl Graph {
         let mut out = Tensor::zeros(&[m, n]);
         matmul_nt_acc(ta.data(), tb.data(), out.data_mut(), m, k, n);
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("matmul_nt", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -432,7 +467,7 @@ impl Graph {
             );
         }
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("bmm", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -496,7 +531,7 @@ impl Graph {
             );
         }
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("bmm_nt", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -546,7 +581,7 @@ impl Graph {
     pub fn relu(&mut self, x: Var) -> Var {
         let out = self.values[x.0].map(|v| v.max(0.0));
         let needs = self.needs(x);
-        self.push(
+        self.push("relu", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -564,7 +599,7 @@ impl Graph {
     pub fn gelu(&mut self, x: Var) -> Var {
         let out = self.values[x.0].map(gelu);
         let needs = self.needs(x);
-        self.push(
+        self.push("gelu", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -581,7 +616,7 @@ impl Graph {
     pub fn sigmoid(&mut self, x: Var) -> Var {
         let out = self.values[x.0].map(sigmoid);
         let needs = self.needs(x);
-        let node = self.push(out, needs, None);
+        let node = self.push("sigmoid", &[x], out, needs, None);
         if needs {
             // Uses the node's own output: d/dx σ = σ(1-σ).
             self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
@@ -597,7 +632,7 @@ impl Graph {
     pub fn tanh(&mut self, x: Var) -> Var {
         let out = self.values[x.0].map(f32::tanh);
         let needs = self.needs(x);
-        let node = self.push(out, needs, None);
+        let node = self.push("tanh", &[x], out, needs, None);
         if needs {
             self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
                 let y = g_.values[node.0].data();
@@ -612,7 +647,7 @@ impl Graph {
     pub fn silu(&mut self, x: Var) -> Var {
         let out = self.values[x.0].map(|v| v * sigmoid(v));
         let needs = self.needs(x);
-        self.push(
+        self.push("silu", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -633,7 +668,7 @@ impl Graph {
     pub fn rsqrt(&mut self, x: Var) -> Var {
         let out = self.values[x.0].map(|v| 1.0 / v.sqrt());
         let needs = self.needs(x);
-        self.push(
+        self.push("rsqrt", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -660,7 +695,7 @@ impl Graph {
         let mut out = Tensor::zeros(tx.shape());
         softmax_rows(tx.data(), out.data_mut(), cols);
         let needs = self.needs(x);
-        let node = self.push(out, needs, None);
+        let node = self.push("softmax", &[x], out, needs, None);
         if needs {
             self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
                 let y = &g_.values[node.0];
@@ -683,7 +718,7 @@ impl Graph {
         let mut out = Tensor::zeros(tx.shape());
         log_softmax_rows(tx.data(), out.data_mut(), cols);
         let needs = self.needs(x);
-        let node = self.push(out, needs, None);
+        let node = self.push("log_softmax", &[x], out, needs, None);
         if needs {
             self.backward_fns[node.0] = Some(Box::new(move |g_, g, grads| {
                 let y = &g_.values[node.0];
@@ -705,7 +740,7 @@ impl Graph {
         let n = tx.numel().max(1);
         let out = Tensor::scalar(tx.mean());
         let needs = self.needs(x);
-        self.push(
+        self.push("mean_all", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -723,7 +758,7 @@ impl Graph {
         let tx = &self.values[x.0];
         let out = Tensor::scalar(tx.sum());
         let needs = self.needs(x);
-        self.push(
+        self.push("sum_all", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -743,7 +778,7 @@ impl Graph {
         let loss =
             ta.data().iter().zip(tb.data()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>() / n;
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("mse", &[a, b], 
             Tensor::scalar(loss),
             needs,
             needs.then(|| -> BackFn {
@@ -789,7 +824,7 @@ impl Graph {
         }
         let out = Tensor::new(tx.shape(), out);
         let needs = self.needs(x) || self.needs(gamma) || self.needs(beta);
-        self.push(
+        self.push("layer_norm", &[x, gamma, beta], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -855,7 +890,7 @@ impl Graph {
         }
         let out = Tensor::new(tx.shape(), out);
         let needs = self.needs(x) || self.needs(gamma);
-        self.push(
+        self.push("rms_norm", &[x, gamma], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -910,7 +945,7 @@ impl Graph {
         let out = Tensor::new(&[ids.len(), cols], out);
         let needs = self.needs(x);
         let ids_owned: Vec<u32> = ids.to_vec();
-        self.push(
+        self.push("gather_rows", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -941,7 +976,7 @@ impl Graph {
         let out = self.values[x.0].reshaped(shape);
         let needs = self.needs(x);
         let old_shape: Vec<usize> = self.values[x.0].shape().to_vec();
-        self.push(
+        self.push("reshape", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -956,7 +991,7 @@ impl Graph {
     pub fn transpose(&mut self, x: Var) -> Var {
         let out = self.values[x.0].transposed();
         let needs = self.needs(x);
-        self.push(
+        self.push("transpose", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -972,7 +1007,7 @@ impl Graph {
         assert!(start <= end && end <= tx.rows());
         let out = Tensor::new(&[end - start, cols], tx.data()[start * cols..end * cols].to_vec());
         let needs = self.needs(x);
-        self.push(
+        self.push("slice_rows", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1005,7 +1040,7 @@ impl Graph {
         let out = Tensor::new(&[rows, total], out);
         let needs = xs.iter().any(|&v| self.needs(v));
         let xs_owned: Vec<Var> = xs.to_vec();
-        self.push(
+        self.push("concat_cols", xs, 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1045,7 +1080,7 @@ impl Graph {
         let out = Tensor::new(&[rows, cols], out);
         let needs = xs.iter().any(|&v| self.needs(v));
         let xs_owned: Vec<Var> = xs.to_vec();
-        self.push(
+        self.push("concat_rows", xs, 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1077,7 +1112,7 @@ impl Graph {
         split_heads_raw(tx.data(), &mut out, b, t, h, dh);
         let out = Tensor::new(&[b * h, t, dh], out);
         let needs = self.needs(x);
-        self.push(
+        self.push("split_heads", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1103,7 +1138,7 @@ impl Graph {
         merge_heads_raw(tx.data(), &mut out, b, t, h, dh);
         let out = Tensor::new(&[b * t, h * dh], out);
         let needs = self.needs(x);
-        self.push(
+        self.push("merge_heads", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1142,7 +1177,7 @@ impl Graph {
         }
         let out = Tensor::new(&[g_out, cols], out);
         let needs = self.needs(x);
-        self.push(
+        self.push("max_pool_rows", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1178,7 +1213,7 @@ impl Graph {
         out.iter_mut().for_each(|v| *v *= inv);
         let out = Tensor::new(&[g_out, cols], out);
         let needs = self.needs(x);
-        self.push(
+        self.push("mean_pool_rows", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1224,7 +1259,7 @@ impl Graph {
         }
         let needs = self.needs(x);
         let c_owned = c.clone();
-        self.push(
+        self.push("group_matmul_const", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1264,7 +1299,7 @@ impl Graph {
             .collect();
         let out = Tensor::new(&[ta.rows()], out);
         let needs = self.needs(a) || self.needs(b);
-        self.push(
+        self.push("rowwise_dot", &[a, b], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1308,7 +1343,7 @@ impl Graph {
         let data = tx.data().iter().zip(&mask).map(|(v, m)| v * m).collect();
         let out = Tensor::new(tx.shape(), data);
         let needs = self.needs(x);
-        self.push(
+        self.push("dropout", &[x], 
             out,
             needs,
             needs.then(|| -> BackFn {
@@ -1347,7 +1382,7 @@ impl Graph {
         let loss = loss / count as f32;
         let needs = self.needs(logits);
         let targets_owned: Vec<u32> = targets.to_vec();
-        self.push(
+        self.push("cross_entropy", &[logits], 
             Tensor::scalar(loss),
             needs,
             needs.then(|| -> BackFn {
@@ -1384,7 +1419,7 @@ impl Graph {
         let loss = loss / n;
         let needs = self.needs(logits);
         let targets_owned = targets.to_vec();
-        self.push(
+        self.push("bce_logits", &[logits], 
             Tensor::scalar(loss),
             needs,
             needs.then(|| -> BackFn {
@@ -1417,8 +1452,32 @@ impl Graph {
         let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
         let fns = std::mem::take(&mut self.backward_fns);
+        let sanitizing = crate::sanitize::enabled();
         for i in (0..n).rev() {
             let Some(g) = grads[i].take() else { continue };
+            if sanitizing {
+                // Tape invariant: a node's accumulated gradient has exactly
+                // the shape of its value. A mismatch means some consumer's
+                // backward closure scattered into the wrong slot or built a
+                // wrongly-shaped cotangent.
+                if g.shape() != self.values[i].shape() {
+                    panic!(
+                        "sanitizer: gradient shape {:?} does not match value shape {:?} \
+                         at op `{}` (node {i})",
+                        g.shape(),
+                        self.values[i].shape(),
+                        self.meta[i].op,
+                    );
+                }
+                if let Some((j, v)) = crate::sanitize::first_non_finite(g.data()) {
+                    panic!(
+                        "sanitizer: non-finite gradient ({v} at flat index {j}) \
+                         flowing into op `{}` (node {i}, value shape {:?})",
+                        self.meta[i].op,
+                        self.values[i].shape(),
+                    );
+                }
+            }
             if let Some(pid) = self.meta[i].param {
                 store.grad_mut(pid).add_assign(&g);
             }

@@ -33,6 +33,8 @@
 
 #![warn(missing_docs)]
 
+/// Finite-difference gradient checking and the per-op coverage table.
+pub mod gradcheck;
 mod graph;
 /// Weight initializers.
 pub mod init;
@@ -41,6 +43,8 @@ pub mod linalg;
 /// Neural-network layers.
 pub mod nn;
 mod optim;
+/// Runtime numerical sanitizer (NaN/Inf and tape-invariant guards).
+pub mod sanitize;
 /// Checkpoint save/load for parameter stores.
 pub mod serialize;
 mod tensor;

@@ -41,6 +41,7 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Result of a principal component analysis.
+#[derive(Debug)]
 pub struct Pca {
     /// Per-column mean of the input, length `d`.
     pub mean: Vec<f32>,

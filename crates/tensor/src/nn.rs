@@ -33,6 +33,7 @@ pub enum Act {
 }
 
 /// A dense affine layer `y = x W + b`.
+#[derive(Debug)]
 pub struct Linear {
     w: ParamId,
     b: Option<ParamId>,
@@ -83,6 +84,7 @@ impl Linear {
 }
 
 /// A learned lookup table `[vocab, dim]`.
+#[derive(Debug)]
 pub struct Embedding {
     table: ParamId,
     vocab: usize,
@@ -125,6 +127,7 @@ impl Embedding {
 }
 
 /// LayerNorm with affine parameters.
+#[derive(Debug)]
 pub struct LayerNorm {
     gamma: ParamId,
     beta: ParamId,
@@ -150,6 +153,7 @@ impl LayerNorm {
 }
 
 /// RMSNorm (no bias) as used by LLaMA-style models.
+#[derive(Debug)]
 pub struct RmsNorm {
     gamma: ParamId,
     eps: f32,
@@ -168,6 +172,7 @@ impl RmsNorm {
     }
 }
 
+#[derive(Debug)]
 enum NormLayer {
     Layer(LayerNorm),
     Rms(RmsNorm),
@@ -190,6 +195,7 @@ impl NormLayer {
 }
 
 /// Multi-head scaled-dot-product attention with projection layers.
+#[derive(Debug)]
 pub struct MultiHeadAttention {
     wq: Linear,
     wk: Linear,
@@ -272,6 +278,7 @@ impl MultiHeadAttention {
 
 /// Position-wise feed-forward network. For [`Act::Silu`] this is the gated
 /// (SwiGLU-style) variant; otherwise a plain two-layer MLP.
+#[derive(Debug)]
 pub struct FeedForward {
     w1: Linear,
     w2: Linear,
@@ -334,6 +341,7 @@ pub struct BlockConfig {
 
 /// A pre-norm transformer block with optional cross-attention (for
 /// encoder-decoder models like TIGER).
+#[derive(Debug)]
 pub struct TransformerBlock {
     norm1: NormLayer,
     attn: MultiHeadAttention,
@@ -407,6 +415,7 @@ impl TransformerBlock {
 }
 
 /// A single GRU cell. Used by GRU4Rec.
+#[derive(Debug)]
 pub struct GruCell {
     wz: Linear,
     uz: Linear,

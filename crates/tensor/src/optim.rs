@@ -10,6 +10,7 @@ use crate::tensor::Tensor;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+#[derive(Debug)]
 struct ParamEntry {
     name: String,
     value: Tensor,
@@ -21,6 +22,7 @@ struct ParamEntry {
 
 /// Owns all trainable parameters of a model together with their gradients.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct ParamStore {
     entries: Vec<ParamEntry>,
 }
@@ -160,6 +162,7 @@ impl Schedule {
 }
 
 /// AdamW optimizer (decoupled weight decay).
+#[derive(Debug)]
 pub struct AdamW {
     /// Base learning rate.
     pub lr: f32,
@@ -251,6 +254,7 @@ impl AdamW {
 
 /// Plain SGD with optional momentum — used by a few lightweight baselines
 /// and by gradient-check tests where Adam's state would obscure results.
+#[derive(Debug)]
 pub struct Sgd {
     /// Learning rate.
     pub lr: f32,

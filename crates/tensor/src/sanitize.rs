@@ -1,0 +1,97 @@
+//! Runtime numerical sanitizer for the autograd tape.
+//!
+//! When enabled, every [`crate::Graph`] op checks its forward output for
+//! NaN/±Inf as it is recorded, and [`crate::Graph::backward`] verifies the
+//! tape invariants (each accumulated gradient is finite and has exactly the
+//! shape of the value it differentiates) before applying a node's backward
+//! closure. Violations panic with the op name and the operand shapes, so a
+//! numerical blow-up is reported at the op that produced it instead of
+//! surfacing as a mysterious NaN loss many layers later.
+//!
+//! Enablement is resolved once per process:
+//!
+//! * `LCREC_SANITIZE=1` (or `true`/`on`) forces it on, `LCREC_SANITIZE=0`
+//!   (or `false`/`off`) forces it off;
+//! * otherwise it defaults to on in debug-assertion builds — which includes
+//!   `cargo test` under the dev profile — and off in release builds.
+//!
+//! [`set_enabled`] overrides the cached decision programmatically (used by
+//! tests that intentionally build non-finite tensors).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = undecided, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether sanitizer checks are active for this process.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = match std::env::var("LCREC_SANITIZE") {
+                Ok(v) => matches!(v.trim(), "1" | "true" | "on"),
+                // Dev-profile builds (incl. `cargo test`) default on; release
+                // experiments default off and opt in via the env var.
+                Err(_) => cfg!(debug_assertions),
+            };
+            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the sanitizer on or off for this process, overriding the
+/// environment. Mainly for tests that exercise the sanitizer itself.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Index and value of the first non-finite entry, if any.
+pub fn first_non_finite(xs: &[f32]) -> Option<(usize, f32)> {
+    xs.iter().position(|v| !v.is_finite()).map(|i| (i, xs[i]))
+}
+
+/// Panics if `xs` contains a NaN or ±Inf, naming `ctx` and the offending
+/// entry. This is the shared guard behind the per-op checks; call it
+/// directly to protect values that never enter a graph (decoded scores,
+/// reported losses, …). Unlike the tape hooks it checks unconditionally —
+/// an explicit call is an explicit request.
+#[track_caller]
+pub fn assert_all_finite(ctx: &str, xs: &[f32]) {
+    if let Some((i, v)) = first_non_finite(xs) {
+        panic!("sanitizer: {ctx} contains a non-finite value ({v} at index {i} of {})", xs.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_first_bad_entry() {
+        assert_eq!(first_non_finite(&[1.0, 2.0]), None);
+        let (i, v) = first_non_finite(&[0.0, f32::NEG_INFINITY, f32::NAN]).expect("bad");
+        assert_eq!(i, 1);
+        assert_eq!(v, f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn assert_all_finite_accepts_clean_data() {
+        assert_all_finite("clean", &[0.0, -1.5, 1e30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scores contains a non-finite value")]
+    fn assert_all_finite_panics_with_context() {
+        assert_all_finite("scores", &[0.0, f32::NAN]);
+    }
+
+    #[test]
+    fn set_enabled_overrides() {
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

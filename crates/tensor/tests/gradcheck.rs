@@ -1,422 +1,49 @@
-//! Finite-difference gradient checks for every differentiable op.
+//! Table-driven finite-difference gradient checks plus the coverage gate.
 //!
-//! Each check builds a scalar loss as a function of one or more parameters,
-//! runs autograd, then perturbs each parameter entry by ±h and compares the
-//! numerical slope against the analytic gradient. A wrong backward pass in
-//! any op used by the models would fail here long before it corrupts an
-//! experiment.
+//! The scenarios live in [`lcrec_tensor::gradcheck::cases`] so that the
+//! workspace root's tier-1 suite can run the identical table. A wrong
+//! backward pass in any op used by the models fails here long before it
+//! corrupts an experiment; a *missing* check for a newly added op fails the
+//! completeness test below.
 
-use lcrec_tensor::{init, Graph, ParamId, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lcrec_tensor::gradcheck;
+use std::collections::BTreeSet;
 
-/// Checks autograd gradients of `f` against central finite differences for
-/// every registered parameter.
-fn gradcheck(
-    store: &mut ParamStore,
-    f: &dyn Fn(&mut Graph, &ParamStore) -> lcrec_tensor::Var,
-    tol: f32,
-) {
-    // Analytic gradients.
-    let mut g = Graph::new();
-    g.seed(7);
-    let loss = f(&mut g, store);
-    store.zero_grads();
-    g.backward(loss, store);
-    let analytic: Vec<Vec<f32>> =
-        store.ids().map(|id| store.grad(id).data().to_vec()).collect();
-
-    let h = 1e-2f32;
-    let ids: Vec<ParamId> = store.ids().collect();
-    for (pi, id) in ids.iter().enumerate() {
-        let n = store.value(*id).numel();
-        for ei in 0..n {
-            let orig = store.value(*id).data()[ei];
-            store.value_mut(*id).data_mut()[ei] = orig + h;
-            let mut gp = Graph::new();
-            gp.seed(7);
-            let lp = f(&mut gp, store);
-            let fp = gp.value(lp).item();
-            store.value_mut(*id).data_mut()[ei] = orig - h;
-            let mut gm = Graph::new();
-            gm.seed(7);
-            let lm = f(&mut gm, store);
-            let fm = gm.value(lm).item();
-            store.value_mut(*id).data_mut()[ei] = orig;
-            let numeric = (fp - fm) / (2.0 * h);
-            let got = analytic[pi][ei];
-            let denom = numeric.abs().max(got.abs()).max(1.0);
-            assert!(
-                (numeric - got).abs() / denom < tol,
-                "param {pi} ({}) elem {ei}: numeric {numeric} vs analytic {got}",
-                store.name(*id)
-            );
-        }
+#[test]
+fn all_gradcheck_cases_pass() {
+    for case in gradcheck::cases() {
+        // Any failure panics with the offending parameter and element; the
+        // case name localizes which scenario was running.
+        eprintln!("gradcheck case: {}", case.name);
+        (case.run)();
     }
 }
 
-fn rng() -> StdRng {
-    StdRng::seed_from_u64(1234)
-}
-
-fn add_param(ps: &mut ParamStore, name: &str, shape: &[usize], rng: &mut StdRng) -> ParamId {
-    ps.add(name, init::normal(shape, 0.8, rng))
-}
-
 #[test]
-fn grad_add_sub_mul() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[3, 4], &mut r);
-    let b = add_param(&mut ps, "b", &[3, 4], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let bv = g.param(ps, b);
-            let s = g.add(av, bv);
-            let d = g.sub(s, bv);
-            let m = g.mul(d, s);
-            g.mean_all(m)
-        },
-        2e-2,
+fn every_differentiable_public_op_has_a_gradcheck_case() {
+    let public = lcrec_analysis::parse::public_fn_names(gradcheck::GRAPH_SOURCE);
+    assert!(public.len() > 30, "graph.rs parse looks wrong: {} pub fns", public.len());
+    let covered = gradcheck::covered_ops();
+    let exempt: BTreeSet<&str> = gradcheck::NON_DIFFERENTIABLE_FNS.iter().copied().collect();
+    let mut missing = Vec::new();
+    for f in &public {
+        if !exempt.contains(f.as_str()) && !covered.contains(f.as_str()) {
+            missing.push(f.clone());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "public graph ops without a gradcheck case: {missing:?} — add a case to \
+         lcrec_tensor::gradcheck::cases() or, if genuinely non-differentiable, \
+         to NON_DIFFERENTIABLE_FNS"
     );
-}
-
-#[test]
-fn grad_matmul_chain() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[2, 3], &mut r);
-    let b = add_param(&mut ps, "b", &[3, 4], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let bv = g.param(ps, b);
-            let y = g.matmul(av, bv);
-            let y = g.relu(y);
-            g.sum_all(y)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_matmul_nt() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[2, 3], &mut r);
-    let b = add_param(&mut ps, "b", &[5, 3], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let bv = g.param(ps, b);
-            let y = g.matmul_nt(av, bv);
-            let sm = g.softmax(y);
-            g.mean_all(sm)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_bmm_pair() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[2, 3, 4], &mut r);
-    let b = add_param(&mut ps, "b", &[2, 4, 2], &mut r);
-    let c = add_param(&mut ps, "c", &[2, 5, 4], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let bv = g.param(ps, b);
-            let cv = g.param(ps, c);
-            let y = g.bmm(av, bv); // [2,3,2]
-            let scores = g.bmm_nt(av, cv); // [2,3,5]
-            let sy = g.sum_all(y);
-            let ss = g.sum_all(scores);
-            let t = g.add(sy, ss);
-            g.scale(t, 0.5)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_activations() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[4, 3], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let x1 = g.gelu(av);
-            let x2 = g.sigmoid(x1);
-            let x3 = g.tanh(x2);
-            let x4 = g.silu(x3);
-            g.mean_all(x4)
-        },
-        3e-2,
-    );
-}
-
-#[test]
-fn grad_softmax_logsoftmax() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[3, 5], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let p = g.softmax(av);
-            let lp = g.log_softmax(av);
-            let m = g.mul(p, lp); // -entropy per element
-            g.sum_all(m)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_cross_entropy_with_ignore() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "logits", &[4, 6], &mut r);
-    let targets = [2u32, u32::MAX, 0, 5];
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            g.cross_entropy(av, &targets, u32::MAX)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_bce_logits() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "logits", &[6], &mut r);
-    let targets = [1.0, 0.0, 1.0, 0.0, 0.5, 1.0];
-    gradcheck(&mut ps, &|g, ps| {
-        let av = g.param(ps, a);
-        g.bce_logits(av, &targets)
-    }, 2e-2);
-}
-
-#[test]
-fn grad_norms() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let x = add_param(&mut ps, "x", &[3, 6], &mut r);
-    let gamma = ps.add("gamma", init::normal(&[6], 0.5, &mut r));
-    let beta = ps.add("beta", init::normal(&[6], 0.5, &mut r));
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let xv = g.param(ps, x);
-            let gm = g.param(ps, gamma);
-            let bt = g.param(ps, beta);
-            let ln = g.layer_norm(xv, gm, bt, 1e-5);
-            let rn = g.rms_norm(ln, gm, 1e-6);
-            let s = g.mul(rn, rn);
-            g.mean_all(s)
-        },
-        3e-2,
-    );
-}
-
-#[test]
-fn grad_gather_and_pooling() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let table = add_param(&mut ps, "table", &[6, 4], &mut r);
-    // Repeated indices exercise scatter-add accumulation.
-    let ids = [0u32, 3, 3, 5, 1, 0];
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let tv = g.param(ps, table);
-            let e = g.gather_rows(tv, &ids); // [6, 4]
-            let mx = g.max_pool_rows(e, 3); // [2, 4]
-            let mn = g.mean_pool_rows(e, 2); // [3, 4]
-            let s1 = g.sum_all(mx);
-            let s2 = g.sum_all(mn);
-            g.add(s1, s2)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_shape_ops() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[4, 6], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let t = g.transpose(av); // [6,4]
-            let rsh = g.reshape(t, &[3, 8]);
-            let sl = g.slice_rows(rsh, 1, 3); // [2,8]
-            let cc = g.concat_cols(&[sl, sl]); // [2,16]
-            let cr = g.concat_rows(&[cc, cc]); // [4,16]
-            g.mean_all(cr)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_heads_round_trip() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[6, 8], &mut r); // B=2, T=3, H*dh=8
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let sh = g.split_heads(av, 2, 3, 2); // [4,3,4]
-            let mg = g.merge_heads(sh, 2, 3, 2); // [6,8]
-            let d = g.sub(mg, av); // must be exactly 0
-            let sq = g.mul(mg, mg);
-            let s = g.sum_all(sq);
-            let z = g.sum_all(d);
-            g.add(s, z)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_bias_cycle_dot() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let x = add_param(&mut ps, "x", &[4, 3], &mut r);
-    let b = add_param(&mut ps, "b", &[3], &mut r);
-    let w = add_param(&mut ps, "w", &[2, 3], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let xv = g.param(ps, x);
-            let bv = g.param(ps, b);
-            let wv = g.param(ps, w);
-            let xb = g.add_bias(xv, bv);
-            let xc = g.mul_cycle(xb, wv); // w cycles over 4 rows (period 2)
-            let other = g.add_scalar(xc, 0.3);
-            let dots = g.rowwise_dot(xc, other);
-            g.sum_all(dots)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_group_matmul_const() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let x = add_param(&mut ps, "x", &[6, 4], &mut r); // 2 groups of 3 rows
-    let c = init::normal(&[5, 3], 0.7, &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let xv = g.param(ps, x);
-            let y = g.group_matmul_const(&c, xv); // [10, 4]
-            let sq = g.mul(y, y);
-            g.mean_all(sq)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_rsqrt_row_normalization() {
-    // The exact composition DSSM uses: x * rsqrt(rowdot(x,x) + eps).
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let x = add_param(&mut ps, "x", &[3, 4], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let xv = g.param(ps, x);
-            let sq = g.mul(xv, xv);
-            let ones = g.constant(Tensor::full(&[4, 1], 1.0));
-            let norms = g.matmul(sq, ones);
-            let eps = g.add_scalar(norms, 1e-3);
-            let inv = g.rsqrt(eps);
-            let onesd = g.constant(Tensor::full(&[1, 4], 1.0));
-            let inv_d = g.matmul(inv, onesd);
-            let normed = g.mul(xv, inv_d);
-            let sq2 = g.mul(normed, normed);
-            g.sum_all(sq2)
-        },
-        3e-2,
-    );
-}
-
-#[test]
-fn grad_mse_and_scale() {
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[3, 3], &mut r);
-    let b = add_param(&mut ps, "b", &[3, 3], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let bv = g.param(ps, b);
-            let sa = g.scale(av, 1.7);
-            g.mse(sa, bv)
-        },
-        2e-2,
-    );
-}
-
-#[test]
-fn grad_dropout_deterministic_under_seed() {
-    // With a fixed graph seed the dropout mask is identical across the
-    // forward passes performed by the finite-difference probe, so the check
-    // remains valid even through stochastic regularization.
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let a = add_param(&mut ps, "a", &[4, 4], &mut r);
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let av = g.param(ps, a);
-            let d = g.dropout(av, 0.4);
-            let sq = g.mul(d, d);
-            g.sum_all(sq)
-        },
-        3e-2,
-    );
-}
-
-#[test]
-fn grad_full_attention_block() {
-    use lcrec_tensor::nn::{Act, BlockConfig, Norm, TransformerBlock};
-    let mut ps = ParamStore::new();
-    let mut r = rng();
-    let x = ps.add("x", init::normal(&[4, 8], 0.5, &mut r));
-    let cfg = BlockConfig { dim: 8, heads: 2, ff_hidden: 12, dropout: 0.0, norm: Norm::Rms, act: Act::Silu };
-    let blk = TransformerBlock::new(&mut ps, "blk", cfg, &mut r);
-    let mut mask = Tensor::zeros(&[2, 2]);
-    mask.data_mut()[1] = -1e9; // causal for T=2
-    gradcheck(
-        &mut ps,
-        &|g, ps| {
-            let xv = g.param(ps, x);
-            let y = blk.forward(g, ps, xv, 2, 2, Some(&mask), None);
-            let sq = g.mul(y, y);
-            g.mean_all(sq)
-        },
-        4e-2,
-    );
+    // The inverse direction catches typos in case `ops` lists and exemptions
+    // for functions that no longer exist.
+    let public_set: BTreeSet<&str> = public.iter().map(String::as_str).collect();
+    for op in &covered {
+        assert!(public_set.contains(op), "gradcheck table names unknown op `{op}`");
+    }
+    for f in &exempt {
+        assert!(public_set.contains(f), "exemption list names unknown fn `{f}`");
+    }
 }

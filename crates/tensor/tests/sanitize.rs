@@ -1,0 +1,59 @@
+//! Integration tests for the runtime numerical sanitizer: non-finite values
+//! must be caught at the op boundary that produced them, with the op named
+//! in the panic.
+//!
+//! The sanitizer switch is process-global, so all scenarios run inside a
+//! single serial test that restores the previous state when done.
+
+use lcrec_tensor::{sanitize, Graph, ParamStore, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn panic_message(r: Result<(), Box<dyn std::any::Any + Send>>) -> String {
+    let payload = r.expect_err("expected a panic");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn sanitizer_catches_non_finite_values_at_op_boundaries() {
+    let was_enabled = sanitize::enabled();
+    sanitize::set_enabled(true);
+
+    // A NaN entering the tape through a constant names the `constant` op.
+    let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Graph::new();
+        g.constant(Tensor::from_slice(&[1.0, f32::NAN]));
+    })));
+    assert!(msg.contains("op `constant`"), "unexpected message: {msg}");
+
+    // An op that manufactures an Inf from finite inputs is blamed, and the
+    // panic reports its operand shapes.
+    let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_slice(&[0.0, 4.0]));
+        g.rsqrt(x); // 1/sqrt(0) = +Inf
+    })));
+    assert!(msg.contains("op `rsqrt`"), "unexpected message: {msg}");
+    assert!(msg.contains("[2]"), "operand shape missing: {msg}");
+
+    // Clean graphs pass through untouched, forward and backward.
+    let mut ps = ParamStore::new();
+    let w = ps.add("w", Tensor::from_slice(&[1.0, 2.0, 3.0]));
+    let mut g = Graph::new();
+    let wv = g.param(&ps, w);
+    let s = g.sum_all(wv);
+    ps.zero_grads();
+    g.backward(s, &mut ps);
+    assert_eq!(ps.grad(w).data(), &[1.0, 1.0, 1.0]);
+
+    // Disabled, the same non-finite constant records without complaint.
+    sanitize::set_enabled(false);
+    let mut g = Graph::new();
+    let v = g.constant(Tensor::from_slice(&[f32::INFINITY]));
+    assert!(g.value(v).data()[0].is_infinite());
+
+    sanitize::set_enabled(was_enabled);
+}

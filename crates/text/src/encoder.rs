@@ -13,6 +13,7 @@ use lcrec_tensor::Tensor;
 use std::collections::HashMap;
 
 /// Mean-pooled bag-of-word-vectors text encoder.
+#[derive(Debug)]
 pub struct TextEncoder {
     dim: usize,
     seed: u64,

@@ -35,6 +35,7 @@ impl ItemProfile {
 }
 
 /// Generates all item- and user-facing text for one domain.
+#[derive(Debug)]
 pub struct TextGen<'a> {
     tax: &'a Taxonomy,
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Single entry point for the repo's correctness gates:
+#
+#   1. release build of the whole workspace (warnings are lint-gated);
+#   2. the full test suite with the runtime numerical sanitizer forced on
+#      (gradcheck table + completeness, sanitizer, determinism, model and
+#      pipeline tests);
+#   3. the dependency-free workspace lint pass.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests (LCREC_SANITIZE=1) =="
+LCREC_SANITIZE=1 cargo test --workspace --quiet
+
+echo "== lint =="
+cargo run --quiet -p lcrec-analysis -- lint
+
+echo "All checks passed."

@@ -1,0 +1,50 @@
+//! Tier-1 correctness gates, run by a plain `cargo test` at the workspace
+//! root so they cannot be skipped:
+//!
+//! 1. the full finite-difference gradcheck table over every differentiable
+//!    autograd op,
+//! 2. the coverage gate that fails when a new public op in `graph.rs` lacks
+//!    a gradcheck entry, and
+//! 3. the workspace lint pass (no panic paths on decoding hot paths, no
+//!    scaffolding macros, no `unsafe`) over the repository sources.
+
+use lcrec_tensor::gradcheck;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[test]
+fn gradcheck_table_passes() {
+    for case in gradcheck::cases() {
+        eprintln!("gradcheck case: {}", case.name);
+        (case.run)();
+    }
+}
+
+#[test]
+fn gradcheck_table_covers_every_public_op() {
+    let public = lcrec_analysis::parse::public_fn_names(gradcheck::GRAPH_SOURCE);
+    assert!(public.len() > 30, "graph.rs parse looks wrong: {} pub fns", public.len());
+    let covered = gradcheck::covered_ops();
+    let exempt: BTreeSet<&str> = gradcheck::NON_DIFFERENTIABLE_FNS.iter().copied().collect();
+    let missing: Vec<&String> = public
+        .iter()
+        .filter(|f| !exempt.contains(f.as_str()) && !covered.contains(f.as_str()))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "public graph ops without a gradcheck case: {missing:?} — add a case to \
+         lcrec_tensor::gradcheck::cases() or, if genuinely non-differentiable, \
+         to NON_DIFFERENTIABLE_FNS"
+    );
+}
+
+#[test]
+fn workspace_lint_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = lcrec_analysis::lint::lint_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "lint findings:\n{}",
+        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}

@@ -111,9 +111,17 @@ fn pairwise_probe_ranks_trained_model_above_noise() {
     let mut enc = TextEncoder::new(24, 42);
     let texts: Vec<String> = ds.catalog.items.iter().map(|i| i.full_text()).collect();
     let emb = enc.encode_batch(texts.iter().map(String::as_str));
-    let pairs = lc_rec::eval::build_negatives(&ds, NegativeKind::Random, &emb, &emb, 5);
     let scorer = TextSimilarityScorer::chatgpt(&ds);
-    let acc = lc_rec::eval::pairwise_accuracy(&scorer, &ds, &pairs);
+    // Average over several negative draws: a single draw on the tiny
+    // dataset (120 pairs) has a ±4.5% standard error, which made this
+    // assertion flaky even for a genuinely informative scorer.
+    let seeds = 1..=8u64;
+    let mut acc = 0.0;
+    for seed in seeds.clone() {
+        let pairs = lc_rec::eval::build_negatives(&ds, NegativeKind::Random, &emb, &emb, seed);
+        acc += lc_rec::eval::pairwise_accuracy(&scorer, &ds, &pairs);
+    }
+    acc /= seeds.count() as f64;
     // Text similarity against random negatives is informative (>50%).
-    assert!(acc > 50.0, "accuracy {acc}");
+    assert!(acc > 52.0, "accuracy {acc}");
 }

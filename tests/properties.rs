@@ -1,119 +1,151 @@
-//! Property-based tests (proptest) on cross-crate invariants: the index
-//! trie, constrained decoding, Sinkhorn balance, metrics, and the
-//! tokenizer round trip.
+//! Property-style tests on cross-crate invariants: the index trie,
+//! constrained decoding, Sinkhorn balance, metrics, and the tokenizer round
+//! trip.
+//!
+//! Each test draws 64 randomized cases from a fixed-seed generator (the
+//! offline stand-in for the original proptest strategies), so failures are
+//! reproducible by construction.
 
 use lc_rec::prelude::*;
 use lc_rec::rqvae::{uniform_assign, SinkhornConfig};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
-/// Strategy: a set of unique multi-level codes.
-fn arb_codes(levels: usize, k: u16, n: usize) -> impl Strategy<Value = Vec<Vec<u16>>> {
-    proptest::collection::hash_set(
-        proptest::collection::vec(0..k, levels),
-        1..=n,
-    )
-    .prop_map(|s| s.into_iter().collect())
+const CASES: usize = 64;
+
+/// A non-empty set of unique multi-level codes, mimicking the original
+/// `hash_set(vec(0..k, levels), 1..=n)` strategy.
+fn arb_codes(rng: &mut StdRng, levels: usize, k: u16, n: usize) -> Vec<Vec<u16>> {
+    let want = rng.random_range(1..=n);
+    let mut set: BTreeSet<Vec<u16>> = BTreeSet::new();
+    // Bounded attempts: duplicates are simply re-drawn, like hash_set does.
+    for _ in 0..want * 8 {
+        if set.len() == want {
+            break;
+        }
+        set.insert((0..levels).map(|_| rng.random_range(0..k)).collect());
+    }
+    set.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn trie_accepts_exactly_its_items(codes in arb_codes(3, 5, 40)) {
+#[test]
+fn trie_accepts_exactly_its_items() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE5);
+    for _ in 0..CASES {
+        let codes = arb_codes(&mut rng, 3, 5, 40);
         let indices = ItemIndices::new(vec![5, 5, 5], codes.clone());
         let trie = IndexTrie::build(&indices);
         // Every inserted code path resolves to an item.
-        for (i, c) in codes.iter().enumerate() {
+        for c in &codes {
             let item = trie.item_at(c).expect("inserted code must resolve");
-            prop_assert_eq!(indices.of(item), c.as_slice());
-            let _ = i;
+            assert_eq!(indices.of(item), c.as_slice());
         }
         // Walking only allowed() transitions always ends at a real item.
         let mut prefix = Vec::new();
         for _ in 0..3 {
             let allowed = trie.allowed(&prefix);
-            prop_assert!(!allowed.is_empty());
+            assert!(!allowed.is_empty());
             prefix.push(allowed[0]);
         }
-        prop_assert!(trie.item_at(&prefix).is_some());
+        assert!(trie.item_at(&prefix).is_some());
     }
+}
 
-    #[test]
-    fn trie_rejects_mutated_codes(codes in arb_codes(3, 5, 30)) {
+#[test]
+fn trie_rejects_mutated_codes() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_C0DE);
+    for _ in 0..CASES {
+        let codes = arb_codes(&mut rng, 3, 5, 30);
         let indices = ItemIndices::new(vec![5, 5, 5], codes.clone());
         let trie = IndexTrie::build(&indices);
         // A code outside the codebook range can never resolve.
         let mut bad = codes[0].clone();
         bad[2] = 63; // out of the 0..5 range used at build time
-        prop_assert!(trie.item_at(&bad).is_none());
+        assert!(trie.item_at(&bad).is_none());
         // Wrong length never resolves.
-        prop_assert!(trie.item_at(&codes[0][..2]).is_none());
+        assert!(trie.item_at(&codes[0][..2]).is_none());
     }
+}
 
-    #[test]
-    fn sinkhorn_assignment_is_balanced(
-        rows in 2usize..30,
-        cols in 2usize..8,
-        seed in 0u64..1000,
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn sinkhorn_assignment_is_balanced() {
+    let mut rng = StdRng::seed_from_u64(0x51A7);
+    for _ in 0..CASES {
+        let rows = rng.random_range(2usize..30);
+        let cols = rng.random_range(2usize..8);
         let data: Vec<f32> = (0..rows * cols).map(|_| rng.random_range(0.0..10.0)).collect();
         let cost = Tensor::new(&[rows, cols], data);
         let assign = uniform_assign(&cost, SinkhornConfig::default());
-        prop_assert_eq!(assign.len(), rows);
+        assert_eq!(assign.len(), rows);
         let cap = rows.div_ceil(cols);
         let mut loads = vec![0usize; cols];
         for &a in &assign {
-            prop_assert!((a as usize) < cols);
+            assert!((a as usize) < cols);
             loads[a as usize] += 1;
         }
-        prop_assert!(loads.iter().all(|&l| l <= cap), "loads {:?} exceed cap {}", loads, cap);
+        assert!(loads.iter().all(|&l| l <= cap), "loads {loads:?} exceed cap {cap}");
     }
+}
 
-    #[test]
-    fn hr_ndcg_are_bounded_and_consistent(
-        ranked in proptest::collection::vec(0u32..100, 1..20),
-        target in 0u32..100,
-    ) {
-        use lc_rec::eval::RankingMetrics;
+#[test]
+fn hr_ndcg_are_bounded_and_consistent() {
+    use lc_rec::eval::RankingMetrics;
+    let mut rng = StdRng::seed_from_u64(0xAB);
+    for _ in 0..CASES {
+        let len = rng.random_range(1usize..20);
+        let ranked: Vec<u32> = (0..len).map(|_| rng.random_range(0..100u32)).collect();
+        let target = rng.random_range(0..100u32);
         let mut m = RankingMetrics::default();
         m.push(&ranked, target);
         let f = m.finalize();
         for v in f.as_row() {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v));
         }
         // HR@1 ≤ HR@5 ≤ HR@10 and NDCG@5 ≤ HR@5 (single relevant item).
-        prop_assert!(f.hr1 <= f.hr5 + 1e-12);
-        prop_assert!(f.hr5 <= f.hr10 + 1e-12);
-        prop_assert!(f.ndcg5 <= f.hr5 + 1e-12);
-        prop_assert!(f.ndcg10 <= f.hr10 + 1e-12);
+        assert!(f.hr1 <= f.hr5 + 1e-12);
+        assert!(f.hr5 <= f.hr10 + 1e-12);
+        assert!(f.ndcg5 <= f.hr5 + 1e-12);
+        assert!(f.ndcg10 <= f.hr10 + 1e-12);
     }
+}
 
-    #[test]
-    fn vocab_round_trips_known_words(words in proptest::collection::vec("[a-z]{1,8}", 1..12)) {
+#[test]
+fn vocab_round_trips_known_words() {
+    let mut rng = StdRng::seed_from_u64(0x70C);
+    for _ in 0..CASES {
+        let nwords = rng.random_range(1usize..12);
+        let words: Vec<String> = (0..nwords)
+            .map(|_| {
+                let len = rng.random_range(1usize..=8);
+                (0..len).map(|_| (b'a' + rng.random_range(0..26u8)) as char).collect()
+            })
+            .collect();
         let corpus = words.join(" ");
         let vocab = Vocab::build([corpus.as_str()], 1);
         let ids = vocab.encode(&corpus);
         let decoded = vocab.decode(&ids);
         let original: Vec<&str> = corpus.split_whitespace().collect();
         let round: Vec<&str> = decoded.split_whitespace().collect();
-        prop_assert_eq!(original, round);
+        assert_eq!(original, round);
     }
+}
 
-    #[test]
-    fn softmax_rows_is_a_distribution(
-        vals in proptest::collection::vec(-50.0f32..50.0, 4..40),
-    ) {
-        use lc_rec::tensor::softmax_rows;
+#[test]
+fn softmax_rows_is_a_distribution() {
+    use lc_rec::tensor::softmax_rows;
+    let mut rng = StdRng::seed_from_u64(0x50F7);
+    for _ in 0..CASES {
+        let len = rng.random_range(4usize..40);
+        let vals: Vec<f32> = (0..len).map(|_| rng.random_range(-50.0f32..50.0)).collect();
         let cols = 4;
         let n = (vals.len() / cols) * cols;
         let mut out = vec![0.0; n];
         softmax_rows(&vals[..n], &mut out, cols);
         for row in out.chunks(cols) {
             let s: f32 = row.iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-4);
-            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((s - 1.0).abs() < 1e-4);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
 }

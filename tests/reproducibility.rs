@@ -3,6 +3,8 @@
 //! every experiment in EXPERIMENTS.md relies on.
 
 use lc_rec::prelude::*;
+use lc_rec::seqrec::common::NextItemModel;
+use lc_rec::tensor::serialize::{load_params, save_params};
 
 #[test]
 fn datasets_are_bit_identical_under_seed() {
@@ -47,6 +49,52 @@ fn training_and_evaluation_are_deterministic() {
     let a = run();
     let b = run();
     assert_eq!(a, b, "same seed, same metrics");
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_scores() {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let mut cfg = RecConfig::test();
+    cfg.epochs = 2;
+    let pairs = TrainingPairs::build(&ds, cfg.max_len);
+    let mut trained = SasRec::new(ds.num_items(), cfg.clone());
+    trained.fit(&pairs);
+    let mut buf = Vec::new();
+    save_params(trained.store_mut(), &mut buf).expect("save");
+
+    // A fresh model with a different init seed: every weight differs until
+    // the checkpoint is restored by name.
+    let mut restore_cfg = cfg;
+    restore_cfg.seed ^= 0xDEAD;
+    let mut restored = SasRec::new(ds.num_items(), restore_cfg);
+    let history = ds.test_example(0).0;
+    assert_ne!(trained.score_all(0, history), restored.score_all(0, history));
+    let n = load_params(restored.store_mut(), &mut buf.as_slice()).expect("load");
+    assert!(n > 0, "checkpoint restored no parameters");
+    assert_eq!(
+        trained.score_all(0, history),
+        restored.score_all(0, history),
+        "scores must be bit-identical after restoring the checkpoint"
+    );
+}
+
+#[test]
+fn single_training_step_is_bit_identical_across_runs() {
+    let step = || {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let mut cfg = RecConfig::test();
+        cfg.epochs = 1;
+        let pairs = TrainingPairs::build(&ds, cfg.max_len);
+        let mut m = SasRec::new(ds.num_items(), cfg);
+        let losses = m.fit(&pairs);
+        let ps = m.store_mut();
+        let params: Vec<Vec<f32>> = ps.ids().map(|id| ps.value(id).data().to_vec()).collect();
+        (losses, params)
+    };
+    let (la, pa) = step();
+    let (lb, pb) = step();
+    assert_eq!(la, lb, "per-epoch losses must match bit-for-bit");
+    assert_eq!(pa, pb, "every parameter must match bit-for-bit after one step");
 }
 
 #[test]

@@ -1,0 +1,257 @@
+//! Offline drop-in for the subset of the `rand` 0.9 API this workspace uses.
+//!
+//! The real crate cannot be fetched in the build environment, and every use
+//! here is a *seeded* RNG (the workspace is fully deterministic by design),
+//! so a small local implementation suffices: [`rngs::StdRng`] is a
+//! xoshiro256++ generator seeded through SplitMix64, and [`Rng::random_range`]
+//! plus [`seq::IndexedRandom::choose`] cover every call site. Streams do not
+//! match upstream `rand`, but they are stable across platforms and runs,
+//! which is the property the tests and experiments rely on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64` values.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform random value in `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A uniform random `bool` with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable generators (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// One uniform sample from `[lo, hi)` (or `[lo, hi]` if `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+/// A range that can produce a single uniform sample. Blanket-implemented for
+/// `Range<T>` and `RangeInclusive<T>` over every [`SampleUniform`] type, which
+/// keeps type inference identical to upstream `rand` (the element type can be
+/// pinned by the use site rather than the literal).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // 53 uniform bits in [0, 1) — or [0, 1] for inclusive ranges.
+                let denom = if inclusive { (1u64 << 53) - 1 } else { 1u64 << 53 };
+                let u = (rng.next_u64() >> 11) as f64 / denom as f64;
+                let v = lo as f64 + (hi as f64 - lo as f64) * u;
+                let v = v as $t;
+                // Guard against rounding up to an excluded endpoint.
+                if !inclusive && v >= hi { lo } else { v }
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// Not the ChaCha12 generator of upstream `rand`, but statistically
+    /// strong for simulation workloads and deterministic under a seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from indexable sequences (slice subset only).
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output: ?Sized;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v: f32 = r.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&v));
+            let w: f32 = r.random_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_mean_roughly_centered() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.random_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let xs = [1, 2, 3, 4];
+        let mut r = StdRng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &v = xs.choose(&mut r).expect("non-empty");
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}
