@@ -1,0 +1,197 @@
+//! Doc-coverage pass: every public `fn`, `struct` and `enum` in the
+//! covered crates must carry a `///` doc comment.
+//!
+//! Built on the same comment/string-aware scanner as the lint pass
+//! ([`crate::parse`]): declarations are matched on stripped source (so a
+//! `"pub fn"` inside a string can't fire), while the doc check walks the
+//! *raw* lines above the declaration, skipping attributes and blank lines
+//! exactly as rustdoc attaches doc comments. Items inside `#[cfg(test)]`
+//! blocks are exempt.
+//!
+//! Run it from the CLI (`cargo run -p lcrec-analysis -- doccov`) or from a
+//! test via [`missing_docs_workspace`]; the tier-1 test in
+//! `crates/analysis/tests/doccov.rs` keeps the covered crates at 100%.
+
+use crate::parse::strip_comments_and_strings;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose public items must be documented, relative to the workspace
+/// root. The tensor/core/par trio is the load-bearing API surface: autograd
+/// ops, constrained decoding and the parallel subsystem.
+pub const DOC_COVERED_CRATES: &[&str] = &["crates/par", "crates/tensor", "crates/core"];
+
+/// One undocumented public item.
+#[derive(Debug, Clone)]
+pub struct MissingDoc {
+    /// File the item is declared in, relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Item kind: `"fn"`, `"struct"` or `"enum"`.
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+}
+
+impl fmt::Display for MissingDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: missing docs on pub {} `{}`",
+            self.file.display(),
+            self.line,
+            self.kind,
+            self.name
+        )
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Parses a stripped line as a public item declaration, returning the item
+/// kind and name. Accepts restricted visibility (`pub(crate)`, `pub(super)`)
+/// and leading qualifiers (`const fn`, `unsafe fn`, `async fn`).
+fn public_item_decl(stripped_line: &str) -> Option<(&'static str, String)> {
+    let t = stripped_line.trim_start();
+    let rest = t.strip_prefix("pub")?;
+    // Token boundary: reject identifiers like `pubx`.
+    if rest.chars().next().map(is_ident).unwrap_or(false) {
+        return None;
+    }
+    let rest = rest.trim_start();
+    let rest = if let Some(stripped) = rest.strip_prefix('(') {
+        stripped.find(')').map(|p| stripped[p + 1..].trim_start())?
+    } else {
+        rest
+    };
+    // Skip function qualifiers so `pub const fn` parses as a fn.
+    let mut rest = rest;
+    for qual in ["const", "async", "unsafe", "extern"] {
+        if let Some(r) = rest.strip_prefix(qual) {
+            if !r.chars().next().map(is_ident).unwrap_or(false) {
+                rest = r.trim_start();
+            }
+        }
+    }
+    for (kw, kind) in [("fn", "fn"), ("struct", "struct"), ("enum", "enum")] {
+        if let Some(body) = rest.strip_prefix(kw) {
+            if body.chars().next().map(is_ident).unwrap_or(false) {
+                continue; // identifier that merely starts with the keyword
+            }
+            let body = body.trim_start();
+            let name: String = body.chars().take_while(|&c| is_ident(c)).collect();
+            if !name.is_empty() {
+                return Some((kind, name));
+            }
+        }
+    }
+    None
+}
+
+/// True when the raw lines above `decl_idx` attach a doc comment to the
+/// declaration: walking upward, attributes and blank lines are transparent
+/// (as they are to rustdoc) and the first substantive line must be a `///`
+/// doc comment or a `#[doc…]` attribute.
+fn has_doc_above(raw_lines: &[&str], decl_idx: usize) -> bool {
+    for i in (0..decl_idx).rev() {
+        let t = raw_lines[i].trim();
+        if t.starts_with("///") || t.starts_with("#[doc") {
+            return true;
+        }
+        if t.is_empty() || (t.starts_with("#[") || t.starts_with("#![")) {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Scans one file's source for undocumented public items. `relative` is the
+/// path reported in findings.
+pub fn missing_docs_source(relative: &Path, source: &str) -> Vec<MissingDoc> {
+    let stripped = strip_comments_and_strings(source);
+    let mask = crate::lint::test_code_mask(&stripped);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in stripped.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some((kind, name)) = public_item_decl(line) else { continue };
+        if !has_doc_above(&raw_lines, i) {
+            out.push(MissingDoc { file: relative.to_path_buf(), line: i + 1, kind, name });
+        }
+    }
+    out
+}
+
+/// Scans every `.rs` file of the [`DOC_COVERED_CRATES`] under `root` and
+/// returns all undocumented public items, sorted by file and line.
+pub fn missing_docs_workspace(root: &Path) -> Vec<MissingDoc> {
+    let mut out = Vec::new();
+    for rel in DOC_COVERED_CRATES {
+        let mut files = Vec::new();
+        crate::lint::walk(&root.join(rel), &mut files);
+        for file in files {
+            let Ok(source) = std::fs::read_to_string(&file) else { continue };
+            let relative = file.strip_prefix(root).unwrap_or(&file);
+            out.extend(missing_docs_source(relative, &source));
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_items_pass() {
+        let src = "/// Doc.\npub fn f() {}\n\n/// Doc.\n#[derive(Debug)]\npub struct S;\n";
+        assert!(missing_docs_source(Path::new("a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_items_flagged_with_kind_and_name() {
+        let src = "pub fn f() {}\npub struct S;\npub enum E { A }\nfn private() {}\n";
+        let m = missing_docs_source(Path::new("a.rs"), src);
+        let got: Vec<(&str, &str)> =
+            m.iter().map(|d| (d.kind, d.name.as_str())).collect();
+        assert_eq!(got, vec![("fn", "f"), ("struct", "S"), ("enum", "E")]);
+        assert_eq!(m[1].line, 2);
+    }
+
+    #[test]
+    fn attributes_and_blank_lines_are_transparent() {
+        let src = "/// Doc.\n#[derive(Debug)]\n\npub struct S;\n";
+        assert!(missing_docs_source(Path::new("a.rs"), src).is_empty());
+        let src = "#[derive(Debug)]\npub struct S;\n";
+        assert_eq!(missing_docs_source(Path::new("a.rs"), src).len(), 1);
+    }
+
+    #[test]
+    fn plain_comment_is_not_a_doc() {
+        let src = "// not a doc comment\npub fn f() {}\n";
+        assert_eq!(missing_docs_source(Path::new("a.rs"), src).len(), 1);
+    }
+
+    #[test]
+    fn test_code_and_strings_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n";
+        assert!(missing_docs_source(Path::new("a.rs"), src).is_empty());
+        let src = "/// Doc.\npub fn f() { g(\"pub fn fake\"); }\n";
+        assert!(missing_docs_source(Path::new("a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn restricted_visibility_and_qualifiers_count() {
+        let src = "pub(crate) fn f() {}\npub const fn g() {}\n";
+        let m = missing_docs_source(Path::new("a.rs"), src);
+        let names: Vec<&str> = m.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["f", "g"]);
+    }
+}

@@ -13,8 +13,15 @@
 //!   `todo!`/`unimplemented!`/`dbg!` anywhere, and no `unsafe` blocks. Run
 //!   it from the CLI (`cargo run -p lcrec-analysis -- lint`) or from a test
 //!   via [`lint::lint_workspace`].
+//! * [`doccov`] — a doc-coverage pass: every public `fn`/`struct`/`enum`
+//!   in the covered crates (`lcrec-par`, `lcrec-tensor`, `lcrec-core`)
+//!   must carry a `///` doc comment. Run it from the CLI
+//!   (`cargo run -p lcrec-analysis -- doccov`) or from a test via
+//!   [`doccov::missing_docs_workspace`]; the tier-1 test in
+//!   `tests/doccov.rs` enforces it.
 
 #![warn(missing_docs)]
 
+pub mod doccov;
 pub mod lint;
 pub mod parse;

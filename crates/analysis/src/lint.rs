@@ -44,7 +44,7 @@ impl fmt::Display for Finding {
 
 /// Marks each line of (stripped) source as test code or not: everything from
 /// a `#[cfg(test)]` attribute to the close of the brace block it introduces.
-fn test_code_mask(stripped: &str) -> Vec<bool> {
+pub(crate) fn test_code_mask(stripped: &str) -> Vec<bool> {
     let lines: Vec<&str> = stripped.lines().collect();
     let mut mask = vec![false; lines.len()];
     let mut depth = 0usize; // brace depth inside a cfg(test) item, 0 = outside
@@ -112,7 +112,7 @@ pub fn lint_source(relative: &Path, source: &str) -> Vec<Finding> {
     findings
 }
 
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else { return };
     let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
     paths.sort();

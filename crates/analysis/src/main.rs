@@ -1,9 +1,9 @@
-//! CLI entry point: `cargo run -p lcrec-analysis -- lint [ROOT]`.
+//! CLI entry point: `cargo run -p lcrec-analysis -- <lint|doccov> [ROOT]`.
 //!
-//! Exits non-zero when any lint finding is reported, so the command can gate
+//! Exits non-zero when any finding is reported, so both commands can gate
 //! CI and `scripts/check.sh`.
 
-use lcrec_analysis::lint;
+use lcrec_analysis::{doccov, lint};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,8 +31,22 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("doccov") => {
+            let root = args.get(1).map(PathBuf::from).unwrap_or_else(workspace_root);
+            let missing = doccov::missing_docs_workspace(&root);
+            if missing.is_empty() {
+                println!("doccov: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for m in &missing {
+                    eprintln!("{m}");
+                }
+                eprintln!("doccov: {} undocumented public item(s)", missing.len());
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: lcrec-analysis lint [ROOT]");
+            eprintln!("usage: lcrec-analysis <lint|doccov> [ROOT]");
             ExitCode::from(2)
         }
     }

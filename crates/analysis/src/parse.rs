@@ -56,7 +56,10 @@ pub fn strip_comments_and_strings(source: &str) -> String {
                 i += 1;
                 while i < b.len() && b[i] != '"' {
                     if b[i] == '\\' && i + 1 < b.len() {
-                        out.push_str("  ");
+                        // A `\` line continuation escapes a real newline;
+                        // keep it so line numbers stay accurate.
+                        out.push(' ');
+                        out.push(if b[i + 1] == '\n' { '\n' } else { ' ' });
                         i += 2;
                     } else {
                         out.push(if b[i] == '\n' { '\n' } else { ' ' });
@@ -176,6 +179,14 @@ mod tests {
         let clean = strip_comments_and_strings(s);
         assert!(!clean.contains("panic"));
         assert!(clean.contains("<'a>"));
+    }
+
+    #[test]
+    fn string_line_continuation_preserves_newline() {
+        let s = "let a = \"one \\\n two\";\nlet b = 1;\n";
+        let clean = strip_comments_and_strings(s);
+        assert_eq!(clean.matches('\n').count(), 3, "line structure preserved");
+        assert!(clean.lines().nth(2).is_some_and(|l| l.contains("let b = 1;")));
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "calib"];
+    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib"];
     // `--exp` accepts a single id, a comma-separated list (run in the
     // given order, sharing the in-process model cache), or "all".
     let selected: Vec<&str> = if which == "all" {
@@ -66,6 +66,7 @@ fn main() {
             "fig5" => exp::fig5(scale),
             "fig6" => exp::fig6(scale),
             "sweeps" => exp::sweeps(scale),
+            "scaling" => exp::scaling(scale),
             "calib" => exp::calib(scale),
             _ => unreachable!(),
         };

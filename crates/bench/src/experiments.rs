@@ -562,6 +562,112 @@ pub fn sweeps(scale: Scale) -> ExpOutput {
     ExpOutput::text(md)
 }
 
+// ------------------------------------------------------- extra: thread scaling
+
+/// Thread-scaling experiment over the three parallel hot paths —
+/// constrained beam search, RQ-VAE training and a full evaluation pass —
+/// timed at 1/2/4 worker threads with explicit [`Pool`]s. Besides
+/// wall-clock, every phase asserts **bit-identity** across thread counts:
+/// the deterministic-reduction contract of `lcrec-par` means
+/// `LCREC_THREADS` must never change a score, a loss or a ranked list.
+pub fn scaling(scale: Scale) -> ExpOutput {
+    let threads = [1usize, 2, 4];
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+    let model = LcRec::build(&ds, idx, crate::setup::lcrec_config(scale, TaskSet::seq_only()));
+    let trie = lcrec_rqvae::IndexTrie::build(model.vocab().indices());
+    let builder = InstructionBuilder::new(&ds);
+
+    let mut rows = Vec::new();
+
+    // Beam search: full-ranking decode for a slice of test users.
+    let prompts: Vec<Vec<u32>> = (0..ds.num_users().min(24))
+        .map(|u| model.vocab().render(&builder.seq_eval_prompt(ds.test_example(u).0)))
+        .collect();
+    let (times, identical) = run_scaled(&threads, |pool| {
+        let hyps: Vec<Vec<(u32, u32)>> = prompts
+            .iter()
+            .map(|p| {
+                lcrec_core::constrained_beam_search_with(pool, model.lm(), model.vocab(), &trie, p, 20)
+                    .into_iter()
+                    .map(|h| (h.item, h.logprob.to_bits()))
+                    .collect()
+            })
+            .collect();
+        hyps
+    });
+    rows.push(scaling_row("beam search (24 users, beam 20)", &threads, &times, identical));
+
+    // RQ-VAE training: a short run from a fresh model per thread count.
+    let mut rq_cfg = crate::setup::rq_config(scale, ds.num_items());
+    rq_cfg.epochs = rq_cfg.epochs.min(4);
+    let (times, identical) = run_scaled(&threads, |pool| {
+        let mut rq = lcrec_rqvae::RqVae::new(rq_cfg.clone());
+        let report = rq.train_with(pool, &emb);
+        let bits: Vec<u32> = report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        (bits, rq.build_indices(&emb).codes)
+    });
+    rows.push(scaling_row(
+        &format!("RQ-VAE training ({} epochs)", rq_cfg.epochs),
+        &threads,
+        &times,
+        identical,
+    ));
+
+    // Evaluation harness: full leave-one-out pass over every user.
+    let ranker = LcRecRanker { model: &model, builder: InstructionBuilder::new(&ds), template: 0 };
+    let (times, identical) = run_scaled(&threads, |pool| {
+        let m = lcrec_eval::evaluate_test_with(pool, &ranker, &ds, 20);
+        let bits: Vec<u64> = m.as_row().iter().map(|v| v.to_bits()).collect();
+        (bits, m.count)
+    });
+    rows.push(scaling_row("full evaluation (all users, k=20)", &threads, &times, identical));
+
+    let md = format!(
+        "## Extra — thread scaling (`LCREC_THREADS`, Games)\n\n\
+         Wall-clock per phase with an explicit worker pool; `bit-identical`\n\
+         verifies that every thread count returned byte-for-byte the same\n\
+         scores (the deterministic-reduction contract of `lcrec-par`).\n\
+         Speedups are hardware-dependent; see EXPERIMENTS.md for the\n\
+         machine this table was generated on.\n\n{}",
+        markdown_table(
+            &["Phase", "1 thread", "2 threads", "4 threads", "speedup (4T)", "bit-identical"],
+            &rows
+        )
+    );
+    ExpOutput::text(md)
+}
+
+/// Runs `work` once per thread count; returns the wall-clock seconds per
+/// run and whether every run produced an identical result.
+fn run_scaled<R: PartialEq>(
+    threads: &[usize],
+    work: impl Fn(&lcrec_par::Pool) -> R,
+) -> (Vec<f64>, bool) {
+    let mut times = Vec::with_capacity(threads.len());
+    let mut results: Vec<R> = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let pool = lcrec_par::Pool::new(t);
+        let t0 = std::time::Instant::now();
+        results.push(work(&pool));
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let identical = results.windows(2).all(|w| w[0] == w[1]);
+    (times, identical)
+}
+
+fn scaling_row(phase: &str, threads: &[usize], times: &[f64], identical: bool) -> Vec<String> {
+    let mut row = vec![phase.to_string()];
+    for (i, _) in threads.iter().enumerate() {
+        row.push(format!("{:.2}s", times[i]));
+    }
+    let last = *times.last().unwrap_or(&f64::NAN);
+    row.push(format!("{:.2}x", times.first().unwrap_or(&f64::NAN) / last.max(1e-9)));
+    row.push(if identical { "yes".into() } else { "NO".into() });
+    row
+}
+
 struct BeamRanker<'a> {
     model: &'a LcRec,
     builder: InstructionBuilder<'a>,

@@ -6,9 +6,16 @@
 //! be assigned 0"); each surviving beam therefore maps to an actual item.
 //! Beams share the prompt's KV cache by cloning, which is cheap at these
 //! model sizes and exactly reproduces the paper's KV-cache optimization.
+//!
+//! Both per-level phases are data-parallel over an [`lcrec_par::Pool`]:
+//! candidate scoring fans out over the surviving beams and the transformer
+//! `advance` step fans out over the pruned candidates. Every fan-out
+//! reassembles its results in input order, so parallel and serial runs
+//! return bit-identical hypotheses (see DESIGN.md "Threading model").
 
 use crate::lm::{CausalLm, KvCache};
 use crate::vocab::ExtendedVocab;
+use lcrec_par::Pool;
 use lcrec_rqvae::IndexTrie;
 
 /// One completed hypothesis.
@@ -28,8 +35,26 @@ struct Beam {
 }
 
 /// Runs constrained beam search and returns up to `beam_size` items ranked
-/// by log-probability. `prompt` must be non-empty.
+/// by log-probability. `prompt` must be non-empty. Parallelism comes from
+/// the ambient [`Pool::from_env`] (`LCREC_THREADS`); see
+/// [`constrained_beam_search_with`] for an explicit pool.
 pub fn constrained_beam_search(
+    lm: &CausalLm,
+    vocab: &ExtendedVocab,
+    trie: &IndexTrie,
+    prompt: &[u32],
+    beam_size: usize,
+) -> Vec<Hypothesis> {
+    constrained_beam_search_with(&Pool::from_env(), lm, vocab, trie, prompt, beam_size)
+}
+
+/// [`constrained_beam_search`] with an explicit thread pool. Output is
+/// bit-identical (item ids **and** log-probabilities) at every thread
+/// count: candidate lists are flattened in beam order, the pruning sort is
+/// stable, and per-candidate `advance` results are reassembled in candidate
+/// order, so no first-come-first-served effect can leak into scores.
+pub fn constrained_beam_search_with(
+    pool: &Pool,
     lm: &CausalLm,
     vocab: &ExtendedVocab,
     trie: &IndexTrie,
@@ -42,31 +67,38 @@ pub fn constrained_beam_search(
     let mut beams =
         vec![Beam { cache, logits, prefix: Vec::new(), logprob: 0.0 }];
     for _level in 0..trie.levels() {
-        let mut candidates: Vec<(usize, u16, f32)> = Vec::new(); // (beam, code, logprob)
-        for (bi, beam) in beams.iter().enumerate() {
+        // Phase 1 — candidate scoring, parallel over surviving beams.
+        // Each beam's log-softmax over the full vocabulary is restricted to
+        // legal codes (illegal tokens get probability 0).
+        let per_beam: Vec<Vec<(usize, u16, f32)>> = pool.map(&beams, |bi, beam| {
             let allowed = trie.allowed(&beam.prefix);
             if allowed.is_empty() {
-                continue;
+                return Vec::new();
             }
             let level = beam.prefix.len();
-            // Log-softmax over the full vocabulary, then restrict to legal
-            // codes (illegal tokens get probability 0).
             let mx = beam.logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let z: f32 = beam.logits.iter().map(|&v| (v - mx).exp()).sum();
             let lz = z.ln() + mx;
-            for &code in &allowed {
-                let tok = vocab.index_token(level, code);
-                let lp = beam.logits[tok as usize] - lz;
-                candidates.push((bi, code, beam.logprob + lp));
-            }
-        }
+            allowed
+                .iter()
+                .map(|&code| {
+                    let tok = vocab.index_token(level, code);
+                    (bi, code, beam.logprob + beam.logits[tok as usize] - lz)
+                })
+                .collect()
+        });
+        // (beam, code, logprob), flattened in beam order exactly as the
+        // serial double loop would produce them.
+        let mut candidates: Vec<(usize, u16, f32)> =
+            per_beam.into_iter().flatten().collect();
         if candidates.is_empty() {
             return Vec::new();
         }
         candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         candidates.truncate(beam_size);
-        let mut next = Vec::with_capacity(candidates.len());
-        for (bi, code, logprob) in candidates {
+        // Phase 2 — expansion, parallel over pruned candidates: each clones
+        // its source KV cache and runs one transformer step.
+        beams = pool.map(&candidates, |_, &(bi, code, logprob)| {
             let src = &beams[bi];
             let mut cache = src.cache.clone();
             let level = src.prefix.len();
@@ -74,9 +106,8 @@ pub fn constrained_beam_search(
             let logits = lm.advance(&mut cache, tok);
             let mut prefix = src.prefix.clone();
             prefix.push(code);
-            next.push(Beam { cache, logits, prefix, logprob });
-        }
-        beams = next;
+            Beam { cache, logits, prefix, logprob }
+        });
     }
     let mut out: Vec<Hypothesis> = beams
         .into_iter()

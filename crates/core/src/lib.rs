@@ -18,7 +18,7 @@ pub mod tiger;
 pub mod vocab;
 pub mod zeroshot;
 
-pub use beam::{constrained_beam_search, Hypothesis};
+pub use beam::{constrained_beam_search, constrained_beam_search_with, Hypothesis};
 pub use lcrec::{LcRec, LcRecConfig, LcRecRanker};
 pub use lm::{train_lm, CausalLm, KvCache, LmConfig, LmTrainConfig};
 pub use p5cid::{collaborative_indices, P5Cid, P5CidConfig};

@@ -3,6 +3,7 @@
 
 use crate::metrics::RankingMetrics;
 use lcrec_data::Dataset;
+use lcrec_par::Pool;
 use lcrec_tensor::linalg::cosine;
 use lcrec_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -10,8 +11,9 @@ use rand::{Rng, SeedableRng};
 
 /// Anything that can produce a top-k ranked item list for a user context.
 /// Score-based models sort full score vectors; generative models run
-/// constrained beam search.
-pub trait Ranker {
+/// constrained beam search. `Sync` is a supertrait so users can be
+/// evaluated concurrently (see [`evaluate_test_with`]).
+pub trait Ranker: Sync {
     /// Top-`k` item ids, best first, for `user` with interaction `history`.
     fn rank(&self, user: usize, history: &[u32], k: usize) -> Vec<u32>;
 
@@ -21,23 +23,62 @@ pub trait Ranker {
 
 /// Evaluates a ranker over every user's held-out **test** item with full
 /// ranking (the paper's protocol; beam size / candidate depth `k = 20`).
+/// Users are evaluated in parallel on the ambient [`Pool::from_env`]
+/// (`LCREC_THREADS`); metrics merge in user order, so results are
+/// bit-identical at every thread count.
 pub fn evaluate_test(ranker: &dyn Ranker, ds: &Dataset, k: usize) -> RankingMetrics {
-    let mut m = RankingMetrics::default();
-    for u in 0..ds.num_users() {
-        let (ctx, target) = ds.test_example(u);
-        let ranked = ranker.rank(u, ctx, k);
-        m.push(&ranked, target);
-    }
-    m.finalize()
+    evaluate_test_with(&Pool::from_env(), ranker, ds, k)
+}
+
+/// [`evaluate_test`] with an explicit thread pool.
+pub fn evaluate_test_with(
+    pool: &Pool,
+    ranker: &dyn Ranker,
+    ds: &Dataset,
+    k: usize,
+) -> RankingMetrics {
+    evaluate_split(pool, ranker, ds, k, |ds, u| ds.test_example(u))
 }
 
 /// Same over the **validation** items (model selection).
 pub fn evaluate_valid(ranker: &dyn Ranker, ds: &Dataset, k: usize) -> RankingMetrics {
-    let mut m = RankingMetrics::default();
-    for u in 0..ds.num_users() {
-        let (ctx, target) = ds.valid_example(u);
+    evaluate_valid_with(&Pool::from_env(), ranker, ds, k)
+}
+
+/// [`evaluate_valid`] with an explicit thread pool.
+pub fn evaluate_valid_with(
+    pool: &Pool,
+    ranker: &dyn Ranker,
+    ds: &Dataset,
+    k: usize,
+) -> RankingMetrics {
+    evaluate_split(pool, ranker, ds, k, |ds, u| ds.valid_example(u))
+}
+
+/// Shared parallel driver: ranks every user concurrently, then merges the
+/// per-user partial metrics in user-index order. Because each partial holds
+/// exactly one example, the ordered merge replays the serial `push`
+/// sequence bit for bit.
+fn evaluate_split<F>(
+    pool: &Pool,
+    ranker: &dyn Ranker,
+    ds: &Dataset,
+    k: usize,
+    example: F,
+) -> RankingMetrics
+where
+    F: for<'a> Fn(&'a Dataset, usize) -> (&'a [u32], u32) + Sync,
+{
+    let parts = pool.map_range(ds.num_users(), |u| {
+        let (ctx, target) = example(ds, u);
         let ranked = ranker.rank(u, ctx, k);
+        let mut m = RankingMetrics::default();
         m.push(&ranked, target);
+        m
+    });
+    let mut m = RankingMetrics::default();
+    for p in &parts {
+        m.merge(p);
     }
     m.finalize()
 }
@@ -112,8 +153,9 @@ fn nearest_other(emb: &Tensor, target: u32) -> u32 {
 }
 
 /// A model that can compare two candidate items for a user context —
-/// the interface Table V probes.
-pub trait PairwiseScorer {
+/// the interface Table V probes. `Sync` is a supertrait so pairs can be
+/// scored concurrently (see [`pairwise_accuracy_with`]).
+pub trait PairwiseScorer: Sync {
     /// Preference score of `item` given the context; the higher-scored
     /// candidate wins.
     fn score(&self, user: usize, history: &[u32], item: u32) -> f64;
@@ -124,21 +166,39 @@ pub trait PairwiseScorer {
 
 /// Accuracy of choosing the true target over the hard negative
 /// (ties count half, mirroring a random tie-break in expectation).
+/// Pairs are scored in parallel on the ambient [`Pool::from_env`].
 pub fn pairwise_accuracy(
     scorer: &dyn PairwiseScorer,
     ds: &Dataset,
     pairs: &[(usize, u32, u32)],
 ) -> f64 {
-    let mut correct = 0.0;
-    for &(u, target, neg) in pairs {
+    pairwise_accuracy_with(&Pool::from_env(), scorer, ds, pairs)
+}
+
+/// [`pairwise_accuracy`] with an explicit thread pool. The per-pair
+/// outcomes (1, ½ or 0) are summed in pair order, so the accuracy is
+/// bit-identical at every thread count.
+pub fn pairwise_accuracy_with(
+    pool: &Pool,
+    scorer: &dyn PairwiseScorer,
+    ds: &Dataset,
+    pairs: &[(usize, u32, u32)],
+) -> f64 {
+    let outcomes = pool.map(pairs, |_, &(u, target, neg)| {
         let (ctx, _) = ds.test_example(u);
         let st = scorer.score(u, ctx, target);
         let sn = scorer.score(u, ctx, neg);
         if st > sn {
-            correct += 1.0;
+            1.0
         } else if st == sn {
-            correct += 0.5;
+            0.5
+        } else {
+            0.0
         }
+    });
+    let mut correct = 0.0;
+    for o in outcomes {
+        correct += o;
     }
     100.0 * correct / pairs.len().max(1) as f64
 }

@@ -13,8 +13,8 @@ pub mod report;
 pub mod viz;
 
 pub use harness::{
-    build_negatives, evaluate_test, evaluate_valid, pairwise_accuracy, NegativeKind,
-    PairwiseScorer, Ranker,
+    build_negatives, evaluate_test, evaluate_test_with, evaluate_valid, evaluate_valid_with,
+    pairwise_accuracy, pairwise_accuracy_with, NegativeKind, PairwiseScorer, Ranker,
 };
 pub use metrics::{top_k, top_k_filtered, RankingMetrics};
 pub use viz::Projection;

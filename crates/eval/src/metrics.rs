@@ -61,6 +61,19 @@ impl RankingMetrics {
         self.count += 1;
     }
 
+    /// Adds another **un-finalized** partial sum into `self`. Merging
+    /// per-user partials in user-index order replays the exact f64
+    /// addition sequence of a serial [`RankingMetrics::push`] loop, which
+    /// is what keeps parallel evaluation bit-identical to serial runs.
+    pub fn merge(&mut self, other: &RankingMetrics) {
+        self.hr1 += other.hr1;
+        self.hr5 += other.hr5;
+        self.hr10 += other.hr10;
+        self.ndcg5 += other.ndcg5;
+        self.ndcg10 += other.ndcg10;
+        self.count += other.count;
+    }
+
     /// Finalizes sums into means.
     pub fn finalize(mut self) -> Self {
         if self.count > 0 {

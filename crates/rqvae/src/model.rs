@@ -17,12 +17,19 @@
 use crate::indices::ItemIndices;
 use crate::kmeans::kmeans;
 use crate::sinkhorn::{sinkhorn_plan, SinkhornConfig};
+use lcrec_par::Pool;
 use lcrec_tensor::linalg::sq_dist;
 use lcrec_tensor::nn::Linear;
 use lcrec_tensor::{AdamW, Graph, ParamId, ParamStore, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Fixed micro-batch row count for data-parallel gradient accumulation.
+/// A pure constant (never derived from the thread count) so micro-batch
+/// boundaries — and the gradient summation order — are identical at any
+/// `LCREC_THREADS`.
+const MICRO_ROWS: usize = 64;
 
 /// RQ-VAE hyperparameters. Defaults mirror the paper at reduced scale.
 #[derive(Clone, Debug)]
@@ -244,8 +251,17 @@ impl RqVae {
     }
 
     /// Trains encoder, decoder and codebooks on the item embeddings
-    /// `e: [num_items, input_dim]`.
+    /// `e: [num_items, input_dim]`, using the ambient [`Pool::from_env`]
+    /// (`LCREC_THREADS`) for data-parallel gradient accumulation.
     pub fn train(&mut self, embeddings: &Tensor) -> TrainReport {
+        self.train_with(&Pool::from_env(), embeddings)
+    }
+
+    /// [`RqVae::train`] with an explicit thread pool. Training is
+    /// bit-identical at every thread count: micro-batch boundaries are a
+    /// pure function of the batch size and gradients are summed in
+    /// micro-batch order (see DESIGN.md "Threading model").
+    pub fn train_with(&mut self, pool: &Pool, embeddings: &Tensor) -> TrainReport {
         self.warm_start(embeddings);
         let n = embeddings.rows();
         let mut opt = AdamW::new(self.cfg.lr);
@@ -260,7 +276,7 @@ impl RqVae {
             let mut batches = 0;
             for chunk in order.chunks(self.cfg.batch) {
                 let batch = gather(embeddings, chunk);
-                let (loss, recon) = self.train_step(&batch, &mut opt);
+                let (loss, recon) = self.train_step(pool, &batch, &mut opt);
                 epoch_loss += loss;
                 report.final_recon = recon;
                 batches += 1;
@@ -271,15 +287,61 @@ impl RqVae {
     }
 
     /// One optimization step on a batch; returns (total loss, recon loss).
-    fn train_step(&mut self, e: &Tensor, opt: &mut AdamW) -> (f32, f32) {
+    ///
+    /// The batch-level phases stay whole-batch: USM quantization is a
+    /// batch-global balanced assignment (Sinkhorn over all rows) and the
+    /// optimizer step touches every parameter once. Only the differentiable
+    /// loss graphs are data-parallel: rows split into fixed micro-batches
+    /// ([`lcrec_par::micro_ranges`]), each micro-batch differentiates its
+    /// own graph against the shared `&ParamStore`, and the per-chunk
+    /// gradients are summed on the caller's thread **in micro-batch order**
+    /// via [`ParamStore::accumulate_grads`]. Each chunk's loss is scaled by
+    /// `chunk_rows / batch_rows`, so the summed gradient equals the
+    /// full-batch mean-loss gradient.
+    fn train_step(&mut self, pool: &Pool, e: &Tensor, opt: &mut AdamW) -> (f32, f32) {
+        let n = e.rows();
+        // Quantize outside the tape (indices are discrete) on the whole
+        // batch, then re-enter per micro-batch via the straight-through
+        // trick: zq_st = z + const(zq - z).
+        let z_val = self.encode(e);
+        let (codes, zq_val) = self.quantize_usm(&z_val);
+        let ranges = lcrec_par::micro_ranges(n, MICRO_ROWS);
+        let parts = pool.map(&ranges, |_, &(lo, hi)| {
+            self.micro_step(e, &zq_val, &codes, lo, hi, (hi - lo) as f32 / n as f32)
+        });
+        self.ps.zero_grads();
+        let mut loss_val = 0.0;
+        let mut recon_val = 0.0;
+        for (l, r, grads) in &parts {
+            loss_val += l;
+            recon_val += r;
+            self.ps.accumulate_grads(grads);
+        }
+        self.ps.clip_grad_norm(5.0);
+        opt.step(&mut self.ps);
+        (loss_val, recon_val)
+    }
+
+    /// Builds and differentiates the loss graph for batch rows `lo..hi`;
+    /// returns the chunk's scaled (total loss, recon loss) contributions
+    /// and its parameter gradients. Runs against `&self` only, so chunks
+    /// can execute concurrently.
+    fn micro_step(
+        &self,
+        e: &Tensor,
+        zq_val: &Tensor,
+        codes: &[Vec<u16>],
+        lo: usize,
+        hi: usize,
+        frac: f32,
+    ) -> (f32, f32, Vec<(ParamId, Tensor)>) {
+        let rows: Vec<usize> = (lo..hi).collect();
+        let e_chunk = gather(e, &rows);
         let mut g = Graph::new();
-        let ev = g.constant(e.clone());
+        let ev = g.constant(e_chunk);
         let z = self.run_mlp(&mut g, &self.encoder, ev);
         let z_val = g.value(z).clone();
-        // Quantize outside the tape (indices are discrete), then re-enter
-        // via the straight-through trick: zq_st = z + const(zq - z).
-        let (codes, zq_val) = self.quantize_usm(&z_val);
-        let mut delta = zq_val.clone();
+        let mut delta = gather(zq_val, &rows);
         for (d, zv) in delta.data_mut().iter_mut().zip(z_val.data()) {
             *d -= zv;
         }
@@ -292,10 +354,10 @@ impl RqVae {
         let mut total = recon_loss;
         let mut residual_val = z_val.clone();
         // r_i as a graph value: z - const(prefix of codewords).
-        let mut prefix = Tensor::zeros(&[e.rows(), self.cfg.latent_dim]);
+        let mut prefix = Tensor::zeros(&[hi - lo, self.cfg.latent_dim]);
         for l in 0..self.cfg.levels {
             let book_var = g.param(&self.ps, self.codebooks[l]);
-            let ids: Vec<u32> = codes.iter().map(|c| c[l] as u32).collect();
+            let ids: Vec<u32> = codes[lo..hi].iter().map(|c| c[l] as u32).collect();
             let chosen = g.gather_rows(book_var, &ids); // differentiable into codebook
             // Term 1: ||sg[r_i] - v||² — train the codebook towards residuals.
             let r_const = g.constant(residual_val.clone());
@@ -327,13 +389,11 @@ impl RqVae {
                 *p += c;
             }
         }
-        let loss_val = g.value(total).item();
-        let recon_val = g.value(recon_loss).item();
-        self.ps.zero_grads();
-        g.backward(total, &mut self.ps);
-        self.ps.clip_grad_norm(5.0);
-        opt.step(&mut self.ps);
-        (loss_val, recon_val)
+        let scaled = g.scale(total, frac);
+        let loss_val = g.value(scaled).item();
+        let recon_val = g.value(recon_loss).item() * frac;
+        let grads = g.backward_collect(scaled);
+        (loss_val, recon_val, grads)
     }
 
     /// Constructs final item indices (two-stage, paper §III-B2):
@@ -376,11 +436,15 @@ impl RqVae {
         let book = self.ps.value(self.codebooks[h - 1]);
         for round in 0..(2 * k + 4) {
             // Conflicting items grouped by their (H-1)-prefix cohort.
-            let mut groups: HashMap<Vec<u16>, Vec<usize>> = HashMap::new();
+            // BTreeMap, not HashMap: overflow handling mutates sibling
+            // cohorts, so the iteration order of `by_prefix` affects the
+            // final codes — a HashMap's RandomState order would make
+            // index construction differ run to run.
+            let mut groups: BTreeMap<Vec<u16>, Vec<usize>> = BTreeMap::new();
             for (i, c) in codes.iter().enumerate() {
                 groups.entry(c.clone()).or_default().push(i);
             }
-            let mut by_prefix: HashMap<Vec<u16>, Vec<usize>> = HashMap::new();
+            let mut by_prefix: BTreeMap<Vec<u16>, Vec<usize>> = BTreeMap::new();
             for (full, items) in groups.into_iter().filter(|(_, v)| v.len() > 1) {
                 by_prefix.entry(full[..h - 1].to_vec()).or_default().extend(items);
             }
@@ -496,6 +560,7 @@ fn gather(x: &Tensor, rows: &[usize]) -> Tensor {
 mod tests {
     use super::*;
     use lcrec_tensor::init;
+    use std::collections::HashMap;
 
     /// Synthetic embeddings with 4 clear clusters.
     fn clustered(n_per: usize, dim: usize) -> Tensor {

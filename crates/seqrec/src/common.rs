@@ -6,6 +6,7 @@
 
 use lcrec_data::Dataset;
 use lcrec_eval::{top_k, Ranker};
+use lcrec_par::Pool;
 use lcrec_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -103,6 +104,19 @@ pub struct Batch {
     pub targets: Vec<u32>,
 }
 
+impl Batch {
+    /// A sub-batch holding rows `lo..hi` — the micro-batch view used by
+    /// data-parallel gradient accumulation.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Batch {
+        Batch {
+            hist: self.hist[lo * self.len..hi * self.len].to_vec(),
+            b: hi - lo,
+            len: self.len,
+            targets: self.targets[lo..hi].to_vec(),
+        }
+    }
+}
+
 /// Produces length-bucketed, shuffled batches for one epoch. Sequences of
 /// equal length are grouped so every batch is a dense `[b, len]` block.
 pub fn epoch_batches(pairs: &TrainingPairs, batch_size: usize, seed: u64) -> Vec<Batch> {
@@ -146,8 +160,9 @@ pub fn causal_mask(t: usize) -> Tensor {
 }
 
 /// A model that scores every item for a user context — all the classic
-/// baselines implement this.
-pub trait ScoreModel {
+/// baselines implement this. `Sync` is required so [`ScoreRanker`] can
+/// satisfy the harness's parallel [`Ranker`] bound.
+pub trait ScoreModel: Sync {
     /// Scores for all items (higher = better).
     fn score_all(&self, user: usize, history: &[u32]) -> Vec<f32>;
 
@@ -178,8 +193,10 @@ impl<M: ScoreModel> Ranker for ScoreRanker<'_, M> {
 }
 
 /// A model trained by full-softmax cross-entropy over next-item targets —
-/// the shared training scheme of the score-based baselines.
-pub trait NextItemModel {
+/// the shared training scheme of the score-based baselines. `Sync` is
+/// required so micro-batch loss graphs can differentiate concurrently
+/// against the shared parameters.
+pub trait NextItemModel: Sync {
     /// Builds logits `[b, num_items]` for a batch of histories.
     fn forward_logits(&self, g: &mut lcrec_tensor::Graph, batch: &Batch) -> lcrec_tensor::Var;
 
@@ -190,9 +207,33 @@ pub trait NextItemModel {
     fn config(&self) -> &RecConfig;
 }
 
+/// Fixed micro-batch row count for data-parallel gradient accumulation —
+/// a pure constant (never derived from the thread count) so micro-batch
+/// boundaries, per-chunk dropout streams and the gradient summation order
+/// are identical at any `LCREC_THREADS`.
+const MICRO_ROWS: usize = 16;
+
 /// Runs the standard cross-entropy training loop; returns per-epoch mean
-/// losses. Deterministic under the model's configured seed.
+/// losses. Deterministic under the model's configured seed; uses the
+/// ambient [`Pool::from_env`] (`LCREC_THREADS`) for data-parallel gradient
+/// accumulation.
 pub fn train_next_item<M: NextItemModel>(model: &mut M, pairs: &TrainingPairs) -> Vec<f32> {
+    train_next_item_with(&Pool::from_env(), model, pairs)
+}
+
+/// [`train_next_item`] with an explicit thread pool. Each optimization
+/// step splits its batch into fixed micro-batches
+/// ([`lcrec_par::micro_ranges`]); every micro-batch differentiates its own
+/// loss graph — scaled by `chunk_rows / batch_rows` so the gradients sum
+/// to the full-batch mean-loss gradient, with a dropout stream seeded by
+/// its chunk index — and the caller's thread sums the chunk gradients in
+/// micro-batch order. Trained parameters are therefore bit-identical at
+/// every thread count.
+pub fn train_next_item_with<M: NextItemModel>(
+    pool: &Pool,
+    model: &mut M,
+    pairs: &TrainingPairs,
+) -> Vec<f32> {
     let cfg = model.config().clone();
     let mut opt = lcrec_tensor::AdamW::new(cfg.lr);
     let mut losses = Vec::with_capacity(cfg.epochs);
@@ -200,14 +241,23 @@ pub fn train_next_item<M: NextItemModel>(model: &mut M, pairs: &TrainingPairs) -
         let batches = epoch_batches(pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 1));
         let mut sum = 0.0;
         for batch in &batches {
-            let mut g = lcrec_tensor::Graph::new();
-            g.seed(cfg.seed ^ (epoch as u64) << 20);
-            let logits = model.forward_logits(&mut g, batch);
-            let loss = g.cross_entropy(logits, &batch.targets, u32::MAX);
-            sum += g.value(loss).item();
+            let ranges = lcrec_par::micro_ranges(batch.b, MICRO_ROWS);
+            let shared: &M = model;
+            let parts = pool.map(&ranges, |ci, &(lo, hi)| {
+                let sub = batch.slice_rows(lo, hi);
+                let mut g = lcrec_tensor::Graph::new();
+                g.seed(cfg.seed ^ (epoch as u64) << 20 ^ (ci as u64) << 40);
+                let logits = shared.forward_logits(&mut g, &sub);
+                let loss = g.cross_entropy(logits, &sub.targets, u32::MAX);
+                let scaled = g.scale(loss, (hi - lo) as f32 / batch.b as f32);
+                (g.value(scaled).item(), g.backward_collect(scaled))
+            });
             let ps = model.store_mut();
             ps.zero_grads();
-            g.backward(loss, ps);
+            for (loss_val, grads) in &parts {
+                sum += loss_val;
+                ps.accumulate_grads(grads);
+            }
             ps.clip_grad_norm(5.0);
             opt.step(ps);
         }

@@ -21,7 +21,10 @@ pub mod sasrec;
 
 pub use bert4rec::Bert4Rec;
 pub use caser::Caser;
-pub use common::{RecConfig, ScoreModel, ScoreRanker, TrainingPairs};
+pub use common::{
+    train_next_item, train_next_item_with, NextItemModel, RecConfig, ScoreModel, ScoreRanker,
+    TrainingPairs,
+};
 pub use dssm::{Dssm, DssmConfig};
 pub use fdsa::Fdsa;
 pub use fmlp::FmlpRec;

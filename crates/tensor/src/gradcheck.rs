@@ -38,6 +38,7 @@ pub const NON_DIFFERENTIABLE_FNS: &[&str] = &[
     "constant",
     "param",
     "backward",
+    "backward_collect", // same engine as backward, different gradient sink
 ];
 
 /// Default relative-error tolerance for `f32` finite differences.

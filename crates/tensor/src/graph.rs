@@ -1447,6 +1447,32 @@ impl Graph {
     /// # Panics
     /// Panics if `loss` is not a scalar.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        self.backward_sink(loss, &mut |pid, g| store.grad_mut(pid).add_assign(g));
+    }
+
+    /// Like [`Graph::backward`] but collects parameter gradients into an
+    /// owned list instead of mutating a [`ParamStore`], so several graphs
+    /// can differentiate **concurrently** against the same shared store
+    /// (data-parallel gradient accumulation). The list is sorted by
+    /// [`ParamId`], giving callers a canonical order for the deterministic
+    /// fixed-order gradient sum.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a scalar.
+    pub fn backward_collect(&mut self, loss: Var) -> Vec<(ParamId, Tensor)> {
+        let mut grads: std::collections::BTreeMap<usize, Tensor> = Default::default();
+        self.backward_sink(loss, &mut |pid, g| match grads.get_mut(&pid.0) {
+            Some(t) => t.add_assign(g),
+            None => {
+                grads.insert(pid.0, g.clone());
+            }
+        });
+        grads.into_iter().map(|(i, t)| (ParamId(i), t)).collect()
+    }
+
+    /// The shared reverse-mode engine: walks the tape backwards and feeds
+    /// every parameter-leaf gradient to `sink`.
+    fn backward_sink(&mut self, loss: Var, sink: &mut dyn FnMut(ParamId, &Tensor)) {
         assert_eq!(self.values[loss.0].numel(), 1, "backward requires a scalar loss");
         let n = self.values.len();
         let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
@@ -1479,7 +1505,7 @@ impl Graph {
                 }
             }
             if let Some(pid) = self.meta[i].param {
-                store.grad_mut(pid).add_assign(&g);
+                sink(pid, &g);
             }
             if let Some(f) = &fns[i] {
                 f(self, &g, &mut grads);
@@ -1526,5 +1552,54 @@ fn merge_heads_raw(input: &[f32], out: &mut [f32], b: usize, t: usize, h: usize,
                 out[dst..dst + dh].copy_from_slice(&input[src..src + dh]);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::ParamStore;
+
+    /// A small two-parameter model with shared subexpressions so gradients
+    /// accumulate across several tape nodes.
+    fn build(g: &mut Graph, ps: &ParamStore, w: ParamId, b: ParamId) -> Var {
+        let wv = g.param(ps, w);
+        let bv = g.param(ps, b);
+        let x = g.constant(Tensor::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]));
+        let h = g.matmul(x, wv);
+        let h = g.add_bias(h, bv);
+        let h = g.tanh(h);
+        let wv2 = g.param(ps, w); // same parameter appears twice
+        let y = g.matmul(h, wv2);
+        g.sum_all(y)
+    }
+
+    #[test]
+    fn backward_collect_matches_backward_bitwise() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::from_rows(&[vec![0.3, -0.1], vec![0.7, 0.2]]));
+        let b = ps.add_no_decay("b", Tensor::from_slice(&[0.05, -0.4]));
+
+        let mut g1 = Graph::new();
+        let loss1 = build(&mut g1, &ps, w, b);
+        ps.zero_grads();
+        g1.backward(loss1, &mut ps);
+        let gw = ps.grad(w).data().to_vec();
+        let gb = ps.grad(b).data().to_vec();
+
+        let mut g2 = Graph::new();
+        let loss2 = build(&mut g2, &ps, w, b);
+        let collected = g2.backward_collect(loss2);
+        assert_eq!(collected.len(), 2, "two distinct parameters touched");
+        assert_eq!(collected[0].0, w);
+        assert_eq!(collected[1].0, b);
+        assert_eq!(collected[0].1.data(), &gw[..], "w grads must match bitwise");
+        assert_eq!(collected[1].1.data(), &gb[..], "b grads must match bitwise");
+
+        // accumulate_grads deposits exactly what backward would have.
+        ps.zero_grads();
+        ps.accumulate_grads(&collected);
+        assert_eq!(ps.grad(w).data(), &gw[..]);
+        assert_eq!(ps.grad(b).data(), &gb[..]);
     }
 }

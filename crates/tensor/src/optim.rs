@@ -98,6 +98,17 @@ impl ParamStore {
         (0..self.entries.len()).map(ParamId)
     }
 
+    /// Adds a list of externally-computed gradients (e.g. from
+    /// [`crate::Graph::backward_collect`] on a data-parallel micro-batch)
+    /// into this store's gradient buffers, in the order given. Callers
+    /// feed micro-batch lists in a fixed order so the floating-point sum
+    /// is deterministic regardless of which thread produced each list.
+    pub fn accumulate_grads(&mut self, grads: &[(ParamId, Tensor)]) {
+        for (id, g) in grads {
+            self.entries[id.0].grad.add_assign(g);
+        }
+    }
+
     /// Zeroes every gradient buffer.
     pub fn zero_grads(&mut self) {
         for e in &mut self.entries {

@@ -4,8 +4,12 @@
 #   1. release build of the whole workspace (warnings are lint-gated);
 #   2. the full test suite with the runtime numerical sanitizer forced on
 #      (gradcheck table + completeness, sanitizer, determinism, model and
-#      pipeline tests);
-#   3. the dependency-free workspace lint pass.
+#      pipeline tests), once serially and once on a 4-worker pool — the
+#      two runs must both pass, which (together with the bit-identity
+#      assertions in tests/parallelism.rs) pins the deterministic-
+#      parallelism contract of lcrec-par;
+#   3. the dependency-free workspace lint pass and the public-API
+#      doc-coverage gate.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -14,10 +18,16 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release --workspace
 
-echo "== tests (LCREC_SANITIZE=1) =="
-LCREC_SANITIZE=1 cargo test --workspace --quiet
+echo "== tests (LCREC_SANITIZE=1, LCREC_THREADS=1) =="
+LCREC_SANITIZE=1 LCREC_THREADS=1 cargo test --workspace --quiet
+
+echo "== tests (LCREC_SANITIZE=1, LCREC_THREADS=4) =="
+LCREC_SANITIZE=1 LCREC_THREADS=4 cargo test --workspace --quiet
 
 echo "== lint =="
 cargo run --quiet -p lcrec-analysis -- lint
+
+echo "== doc coverage =="
+cargo run --quiet -p lcrec-analysis -- doccov
 
 echo "All checks passed."

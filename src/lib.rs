@@ -56,6 +56,7 @@
 pub use lcrec_core as core;
 pub use lcrec_data as data;
 pub use lcrec_eval as eval;
+pub use lcrec_par as par;
 pub use lcrec_rqvae as rqvae;
 pub use lcrec_seqrec as seqrec;
 pub use lcrec_tensor as tensor;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use lcrec_eval::{
         evaluate_test, evaluate_valid, NegativeKind, PairwiseScorer, Ranker, RankingMetrics,
     };
+    pub use lcrec_par::Pool;
     pub use lcrec_rqvae::{
         build_indices, IndexTrie, IndexerKind, ItemIndices, RqVae, RqVaeConfig,
     };

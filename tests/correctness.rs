@@ -6,7 +6,9 @@
 //! 2. the coverage gate that fails when a new public op in `graph.rs` lacks
 //!    a gradcheck entry, and
 //! 3. the workspace lint pass (no panic paths on decoding hot paths, no
-//!    scaffolding macros, no `unsafe`) over the repository sources.
+//!    scaffolding macros, no `unsafe`) over the repository sources, and
+//! 4. the doc-coverage gate: every public `fn`/`struct`/`enum` in
+//!    `lcrec-par`, `lcrec-tensor` and `lcrec-core` must carry `///` docs.
 
 use lcrec_tensor::gradcheck;
 use std::collections::BTreeSet;
@@ -46,5 +48,16 @@ fn workspace_lint_is_clean() {
         findings.is_empty(),
         "lint findings:\n{}",
         findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn public_api_is_fully_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let missing = lcrec_analysis::doccov::missing_docs_workspace(root);
+    assert!(
+        missing.is_empty(),
+        "undocumented public items (add `///` docs):\n{}",
+        missing.iter().map(|m| format!("  {m}\n")).collect::<String>()
     );
 }

@@ -1,0 +1,128 @@
+//! Serial-vs-parallel equivalence: every `lcrec-par` consumer must return
+//! **bit-identical** results at any thread count. Micro-batch boundaries
+//! and reduction order are pure functions of the input size (never of the
+//! worker count), so a 4-thread run replays the 1-thread arithmetic
+//! exactly — these tests pin that contract for beam search, both training
+//! loops, and the evaluation harness.
+
+use lc_rec::prelude::*;
+use lc_rec::seqrec::{train_next_item_with, NextItemModel};
+
+fn tiny_indices(ds: &Dataset) -> ItemIndices {
+    let mut enc = TextEncoder::new(24, 42);
+    let texts: Vec<String> = ds.catalog.items.iter().map(|i| i.full_text()).collect();
+    let emb = enc.encode_batch(texts.iter().map(String::as_str));
+    let mut rq = RqVaeConfig::small(24, ds.num_items());
+    rq.levels = 3;
+    rq.codebook_size = 8;
+    rq.latent_dim = 8;
+    rq.hidden = vec![16];
+    rq.epochs = 6;
+    build_indices(IndexerKind::LcRec, &emb, &rq)
+}
+
+/// All parameter values of a store as raw bit patterns, in id order.
+fn param_bits(ps: &lc_rec::tensor::ParamStore) -> Vec<Vec<u32>> {
+    ps.ids().map(|id| ps.value(id).data().iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+#[test]
+fn beam_search_topk_bit_identical_across_thread_counts() {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let indices = tiny_indices(&ds);
+    let mut cfg = LcRecConfig::test();
+    cfg.train.max_steps = Some(20);
+    let mut model = LcRec::build(&ds, indices, cfg);
+    model.fit(&ds);
+    let trie = IndexTrie::build(model.vocab().indices());
+    let builder = InstructionBuilder::new(&ds);
+
+    for u in 0..4usize.min(ds.num_users()) {
+        let prompt = model.vocab().render(&builder.seq_eval_prompt(ds.test_example(u).0));
+        let decode = |pool: &Pool| -> Vec<(u32, u32)> {
+            lc_rec::core::constrained_beam_search_with(
+                pool,
+                model.lm(),
+                model.vocab(),
+                &trie,
+                &prompt,
+                10,
+            )
+            .into_iter()
+            .map(|h| (h.item, h.logprob.to_bits()))
+            .collect()
+        };
+        let serial = decode(&Pool::new(1));
+        let parallel = decode(&Pool::new(4));
+        assert_eq!(serial, parallel, "user {u}: top-k item ids / log-prob bits diverge");
+        assert!(!serial.is_empty());
+    }
+}
+
+#[test]
+fn seqrec_training_step_parameters_bit_identical() {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let pairs = TrainingPairs::build(&ds, 10);
+    let mut cfg = RecConfig::test();
+    cfg.epochs = 1;
+    // Dropout on: micro-batch noise streams are seeded by chunk index, so
+    // the masks must also match bit-for-bit across thread counts.
+    cfg.dropout = 0.2;
+
+    let run = |threads: usize| -> (Vec<u32>, Vec<Vec<u32>>) {
+        let mut model = SasRec::new(ds.num_items(), cfg.clone());
+        let losses = train_next_item_with(&Pool::new(threads), &mut model, &pairs);
+        let loss_bits = losses.iter().map(|l| l.to_bits()).collect();
+        (loss_bits, param_bits(model.store_mut()))
+    };
+    let (loss1, params1) = run(1);
+    let (loss4, params4) = run(4);
+    assert_eq!(loss1, loss4, "epoch losses diverge between 1 and 4 threads");
+    assert_eq!(params1, params4, "trained parameters diverge between 1 and 4 threads");
+}
+
+#[test]
+fn rqvae_training_bit_identical_across_thread_counts() {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let mut enc = TextEncoder::new(24, 42);
+    let texts: Vec<String> = ds.catalog.items.iter().map(|i| i.full_text()).collect();
+    let emb = enc.encode_batch(texts.iter().map(String::as_str));
+    let mut cfg = RqVaeConfig::small(24, ds.num_items());
+    cfg.levels = 3;
+    cfg.codebook_size = 8;
+    cfg.latent_dim = 8;
+    cfg.hidden = vec![16];
+    cfg.epochs = 3;
+
+    let run = |threads: usize| -> (Vec<u32>, Vec<Vec<u16>>) {
+        let mut rq = RqVae::new(cfg.clone());
+        let report = rq.train_with(&Pool::new(threads), &emb);
+        let bits = report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        (bits, rq.build_indices(&emb).codes)
+    };
+    let (loss1, codes1) = run(1);
+    let (loss4, codes4) = run(4);
+    assert_eq!(loss1, loss4, "RQ-VAE epoch losses diverge between 1 and 4 threads");
+    assert_eq!(codes1, codes4, "assigned semantic IDs diverge between 1 and 4 threads");
+}
+
+#[test]
+fn evaluation_metrics_bit_identical_across_thread_counts() {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let pairs = TrainingPairs::build(&ds, 10);
+    let mut cfg = RecConfig::test();
+    cfg.epochs = 2;
+    let mut model = SasRec::new(ds.num_items(), cfg);
+    model.fit(&pairs);
+    let ranker = ScoreRanker(&model);
+
+    let run = |threads: usize| -> (Vec<u64>, usize) {
+        let m = lc_rec::eval::evaluate_test_with(&Pool::new(threads), &ranker, &ds, 10);
+        (m.as_row().iter().map(|v| v.to_bits()).collect(), m.count)
+    };
+    let (row1, n1) = run(1);
+    let (row4, n4) = run(4);
+    assert_eq!(n1, ds.num_users());
+    assert_eq!(n1, n4);
+    assert_eq!(row1, row4, "HR/NDCG accumulation diverges between 1 and 4 threads");
+}
