@@ -17,9 +17,11 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose public items must be documented, relative to the workspace
-/// root. The tensor/core/par trio is the load-bearing API surface: autograd
-/// ops, constrained decoding and the parallel subsystem.
-pub const DOC_COVERED_CRATES: &[&str] = &["crates/par", "crates/tensor", "crates/core"];
+/// root. The tensor/core/par trio is the load-bearing API surface (autograd
+/// ops, constrained decoding, the parallel subsystem); obs is the
+/// observability contract every instrumented crate programs against.
+pub const DOC_COVERED_CRATES: &[&str] =
+    &["crates/par", "crates/tensor", "crates/core", "crates/obs"];
 
 /// One undocumented public item.
 #[derive(Debug, Clone)]

@@ -33,12 +33,17 @@ fn main() {
                 out_dir = args.get(i + 1).cloned().unwrap_or_else(|| usage());
                 i += 2;
             }
+            // A bare experiment id (`repro -- profile`) selects like --exp.
+            a if !a.starts_with('-') => {
+                which = a.to_string();
+                i += 1;
+            }
             _ => usage(),
         }
     }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib"];
+    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile"];
     // `--exp` accepts a single id, a comma-separated list (run in the
     // given order, sharing the in-process model cache), or "all".
     let selected: Vec<&str> = if which == "all" {
@@ -68,6 +73,7 @@ fn main() {
             "sweeps" => exp::sweeps(scale),
             "scaling" => exp::scaling(scale),
             "calib" => exp::calib(scale),
+            "profile" => exp::profile(scale),
             _ => unreachable!(),
         };
         println!("{}", output.markdown);
@@ -81,7 +87,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|calib|all] \
+        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|all] \
          [--scale tiny|small] [--out DIR]"
     );
     std::process::exit(2);

@@ -62,11 +62,17 @@ pub fn constrained_beam_search_with(
     beam_size: usize,
 ) -> Vec<Hypothesis> {
     assert!(beam_size > 0);
+    let obs_on = lcrec_obs::enabled();
+    let _span = lcrec_obs::span("beam.decode");
     let mut cache = lm.new_cache();
     let logits = lm.prefill(&mut cache, prompt);
     let mut beams =
         vec![Beam { cache, logits, prefix: Vec::new(), logprob: 0.0 }];
     for _level in 0..trie.levels() {
+        if obs_on {
+            lcrec_obs::counter_add("beam.trie_visits", beams.len() as u64);
+        }
+        let score_watch = lcrec_obs::stopwatch();
         // Phase 1 — candidate scoring, parallel over surviving beams.
         // Each beam's log-softmax over the full vocabulary is restricted to
         // legal codes (illegal tokens get probability 0).
@@ -91,11 +97,20 @@ pub fn constrained_beam_search_with(
         // serial double loop would produce them.
         let mut candidates: Vec<(usize, u16, f32)> =
             per_beam.into_iter().flatten().collect();
+        score_watch.stop("beam.score_s");
         if candidates.is_empty() {
             return Vec::new();
         }
+        if obs_on {
+            lcrec_obs::counter_add("beam.expansions", candidates.len() as u64);
+            lcrec_obs::hist_record("beam.candidates_per_level", candidates.len() as f64);
+        }
         candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         candidates.truncate(beam_size);
+        if obs_on {
+            lcrec_obs::counter_add("beam.cache_advances", candidates.len() as u64);
+        }
+        let advance_watch = lcrec_obs::stopwatch();
         // Phase 2 — expansion, parallel over pruned candidates: each clones
         // its source KV cache and runs one transformer step.
         beams = pool.map(&candidates, |_, &(bi, code, logprob)| {
@@ -108,6 +123,7 @@ pub fn constrained_beam_search_with(
             prefix.push(code);
             Beam { cache, logits, prefix, logprob }
         });
+        advance_watch.stop("beam.advance_s");
     }
     let mut out: Vec<Hypothesis> = beams
         .into_iter()

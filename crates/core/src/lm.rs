@@ -18,6 +18,12 @@ use lcrec_tensor::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+thread_local! {
+    /// True while `prefill` drives `advance`, so the shared single-token
+    /// path can split its tokens/sec accounting into prefill vs decode.
+    static IN_PREFILL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// LM hyperparameters.
 #[derive(Clone, Debug)]
 pub struct LmConfig {
@@ -224,6 +230,7 @@ impl CausalLm {
     /// Feeds one token through the raw inference path, appending to the
     /// cache and returning the logits for the next position.
     pub fn advance(&self, cache: &mut KvCache, token: u32) -> Vec<f32> {
+        let obs_watch = lcrec_obs::stopwatch();
         let d = self.cfg.dim;
         let h = self.cfg.heads;
         let dh = d / h;
@@ -292,6 +299,17 @@ impl CausalLm {
             }
             *logit = acc;
         }
+        if obs_watch.running() {
+            // Prefill steps and decode steps share this path; split the
+            // tokens/sec accounting by the phase flag prefill() sets.
+            if IN_PREFILL.with(|c| c.get()) {
+                lcrec_obs::counter_add("lm.prefill_tokens", 1);
+                obs_watch.stop("lm.prefill_s");
+            } else {
+                lcrec_obs::counter_add("lm.decode_tokens", 1);
+                obs_watch.stop("lm.decode_s");
+            }
+        }
         logits
     }
 
@@ -299,10 +317,12 @@ impl CausalLm {
     /// last token.
     pub fn prefill(&self, cache: &mut KvCache, tokens: &[u32]) -> Vec<f32> {
         assert!(!tokens.is_empty(), "prefill needs at least one token");
+        let was = IN_PREFILL.with(|c| c.replace(true));
         let mut logits = Vec::new();
         for &t in tokens {
             logits = self.advance(cache, t);
         }
+        IN_PREFILL.with(|c| c.set(was));
         logits
     }
 
@@ -441,7 +461,9 @@ pub fn train_lm_epochs(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut epoch_losses = Vec::new();
     let mut steps = 0usize;
+    let _span = lcrec_obs::span("lm.train");
     'outer: for epoch in 0..cfg.epochs {
+        let _epoch_span = lcrec_obs::span("epoch");
         let examples = provider(epoch);
         if examples.is_empty() {
             epoch_losses.push(0.0);
@@ -488,6 +510,7 @@ pub fn train_lm_epochs(
             g.backward(loss, ps);
             ps.clip_grad_norm(1.0);
             opt.step(ps);
+            lcrec_obs::counter_add("lm.train_steps", 1);
             steps += 1;
             if steps >= total_steps {
                 epoch_losses.push(sum / nb as f32);

@@ -69,11 +69,15 @@ fn evaluate_split<F>(
 where
     F: for<'a> Fn(&'a Dataset, usize) -> (&'a [u32], u32) + Sync,
 {
+    let _span = lcrec_obs::span("eval.split");
     let parts = pool.map_range(ds.num_users(), |u| {
+        let watch = lcrec_obs::stopwatch();
         let (ctx, target) = example(ds, u);
         let ranked = ranker.rank(u, ctx, k);
         let mut m = RankingMetrics::default();
         m.push(&ranked, target);
+        watch.stop("eval.user_s");
+        lcrec_obs::counter_add("eval.users", 1);
         m
     });
     let mut m = RankingMetrics::default();

@@ -123,7 +123,12 @@ pub fn top_k_filtered(scores: &[f32], k: usize, valid: impl Fn(usize) -> bool) -
     let mut idx: Vec<u32> =
         (0..scores.len() as u32).filter(|&i| valid(i as usize)).collect();
     let k = k.min(idx.len());
-    idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+    if k == 0 {
+        // select_nth_unstable_by(k-1) would panic on an empty candidate
+        // list (every index filtered out, or k == 0): nothing to rank.
+        return Vec::new();
+    }
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
         scores[b as usize]
             .partial_cmp(&scores[a as usize])
             .unwrap_or(std::cmp::Ordering::Equal)

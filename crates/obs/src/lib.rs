@@ -1,0 +1,697 @@
+//! Dependency-free observability for the LC-Rec workspace.
+//!
+//! The crate provides four recording primitives feeding one process-global
+//! registry:
+//!
+//! * **Spans** ([`span`]) — scoped RAII timers. Spans nest: a span opened
+//!   while another is active on the same thread is recorded under the
+//!   parent's path, joined with `/` (e.g. `rqvae.train/epoch/quantize`).
+//! * **Counters** ([`counter_add`]) — monotonic `u64` totals (tokens
+//!   processed, beam expansions, trie-node visits, micro-steps, …).
+//! * **Histograms** ([`hist_record`]) — distributions of *deterministic*
+//!   quantities (per-level candidate counts, per-user result sizes).
+//! * **Profile records** ([`profile_record`], [`stopwatch`]) — distributions
+//!   of *wall-clock / scheduling-dependent* quantities (phase seconds,
+//!   worker busy/idle time, queue depths).
+//!
+//! Everything is gated behind the `LCREC_OBS` environment variable
+//! (`1`/`true`/`on` to enable) and is **off by default**, so the
+//! uninstrumented hot paths pay one relaxed atomic load per call site.
+//! [`set_enabled`] overrides the gate programmatically (tests, the bench
+//! `profile` experiment).
+//!
+//! # Determinism contract
+//!
+//! Instrumented runs must stay bit-identical across `LCREC_THREADS`
+//! settings, and the *measurement* itself is split accordingly:
+//!
+//! * counters and histograms only ever record scheduling-independent values.
+//!   Counter addition is commutative, and the histogram recorders are only
+//!   fed integer-valued `f64`s (exact in an `f64` far beyond any count this
+//!   codebase produces), so sums are order-independent. This section is
+//!   exported by [`Snapshot::deterministic_json`] and bit-compared in
+//!   `tests/observability.rs` across 1-thread vs 4-thread runs.
+//! * spans and profile records hold wall-clock time and queue depths, which
+//!   legitimately differ run to run; they appear in [`Snapshot::to_json`]
+//!   and [`Snapshot::table`] but never in the deterministic section.
+//!
+//! Worker threads never write to the registry directly in scheduling order
+//! when the order could matter: `lcrec-par` records into per-worker
+//! [`LocalObs`] buffers and merges them in ascending worker index after the
+//! scope joins.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Gate
+// ---------------------------------------------------------------------------
+
+/// 0 = undecided, 1 = off, 2 = on (same idiom as `lcrec_tensor::sanitize`).
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether observability recording is enabled.
+///
+/// Resolved once from the `LCREC_OBS` environment variable (`1`, `true` or
+/// `on` enable it; anything else — including unset — disables it), then
+/// cached in an atomic. Unlike the sanitizer this defaults to **off** in
+/// every build profile: instrumentation must never tax an unobserved run.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = match std::env::var("LCREC_OBS") {
+                Ok(v) => matches!(v.trim(), "1" | "true" | "on"),
+                Err(_) => false,
+            };
+            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Force observability on or off, overriding the environment.
+///
+/// Used by tests and by the bench `profile` experiment so instrumentation
+/// works regardless of how the process was launched.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Inner {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistStat>,
+    profile: BTreeMap<String, HistStat>,
+}
+
+static REGISTRY: Mutex<Inner> = Mutex::new(Inner {
+    spans: BTreeMap::new(),
+    counters: BTreeMap::new(),
+    hists: BTreeMap::new(),
+    profile: BTreeMap::new(),
+});
+
+/// Poison-safe lock: a panicking instrumented thread must not wedge
+/// observability for the rest of the process.
+fn registry() -> MutexGuard<'static, Inner> {
+    match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Clear every span, counter, histogram and profile record.
+///
+/// Active [`Span`] guards keep the path they captured at creation and will
+/// still record on drop; callers that want a clean window should reset
+/// between phases, not mid-span.
+pub fn reset() {
+    *registry() = Inner::default();
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of times the span was entered and exited.
+    pub count: u64,
+    /// Total nanoseconds spent inside the span (including nested spans).
+    pub total_ns: u128,
+}
+
+impl SpanStat {
+    /// Total seconds spent inside the span.
+    pub fn total_s(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mean seconds per entry, or 0 for a never-entered span.
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.total_s() / self.count as f64 }
+    }
+}
+
+/// RAII guard returned by [`span`]; records elapsed time on drop.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    path: Option<String>,
+}
+
+/// Open a hierarchical span. The returned guard records `count += 1` and the
+/// elapsed wall-clock time under the `/`-joined path of all spans active on
+/// this thread when it drops. When the gate is off this is a no-op guard.
+#[must_use = "the span records on drop; binding it to _ would end it immediately"]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { start: None, path: None };
+    }
+    let path = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    Span { start: Some(Instant::now()), path: Some(path) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let (Some(start), Some(path)) = (self.start.take(), self.path.take()) else {
+            return;
+        };
+        let ns = start.elapsed().as_nanos();
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let mut reg = registry();
+        let stat = reg.spans.entry(path).or_default();
+        stat.count += 1;
+        stat.total_ns += ns;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters / histograms
+// ---------------------------------------------------------------------------
+
+/// Add `n` to the monotonic counter `name`. No-op when the gate is off.
+///
+/// Counters belong to the deterministic section: only record quantities that
+/// are a pure function of the workload (never time, never thread identity).
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry();
+    *reg.counters.entry(name.to_string()).or_default() += n;
+}
+
+/// Aggregate statistics for one histogram: count, sum, extrema and sparse
+/// power-of-two buckets keyed by `floor(log2(value))`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistStat {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Sparse log2 buckets: key `e` counts values in `[2^e, 2^(e+1))`.
+    /// Non-positive and non-finite values land in the sentinel bucket
+    /// [`HistStat::UNDERFLOW_BUCKET`].
+    pub buckets: BTreeMap<i32, u64>,
+}
+
+impl HistStat {
+    /// Bucket key used for values ≤ 0 or non-finite.
+    pub const UNDERFLOW_BUCKET: i32 = -61;
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        *self.buckets.entry(bucket_of(v)).or_default() += 1;
+    }
+
+    fn merge(&mut self, other: &HistStat) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        for (b, n) in &other.buckets {
+            *self.buckets.entry(*b).or_default() += n;
+        }
+    }
+
+    /// Mean of the recorded values, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
+    }
+}
+
+impl Default for HistStat {
+    fn default() -> Self {
+        HistStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: BTreeMap::new(),
+        }
+    }
+}
+
+fn bucket_of(v: f64) -> i32 {
+    if !v.is_finite() || v <= 0.0 {
+        return HistStat::UNDERFLOW_BUCKET;
+    }
+    (v.log2().floor() as i32).clamp(-60, 60)
+}
+
+/// Record `v` into the deterministic histogram `name`. No-op when the gate
+/// is off.
+///
+/// Only feed integer-valued (or otherwise exactly-summable) quantities that
+/// do not depend on scheduling: the sum must be independent of the order in
+/// which threads happened to record.
+pub fn hist_record(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry();
+    reg.hists.entry(name.to_string()).or_default().record(v);
+}
+
+/// Record `v` into the wall-clock profile histogram `name`. No-op when the
+/// gate is off. Profile histograms are excluded from the deterministic
+/// snapshot section; use them for timings, queue depths, busy/idle ratios.
+pub fn profile_record(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry();
+    reg.profile.entry(name.to_string()).or_default().record(v);
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch
+// ---------------------------------------------------------------------------
+
+/// One-shot timer for straight-line phases; see [`stopwatch`].
+#[derive(Debug)]
+pub struct Stopwatch(Option<Instant>);
+
+/// Start a stopwatch. When the gate is off the stopwatch is inert and
+/// [`Stopwatch::stop`] records nothing.
+pub fn stopwatch() -> Stopwatch {
+    Stopwatch(if enabled() { Some(Instant::now()) } else { None })
+}
+
+impl Stopwatch {
+    /// Stop the watch and record the elapsed seconds into the profile
+    /// histogram `name` (a no-op for an inert stopwatch).
+    pub fn stop(self, name: &str) {
+        if let Some(start) = self.0 {
+            profile_record(name, start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Whether the stopwatch is actually timing (i.e. the gate was on when
+    /// it was started).
+    pub fn running(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker local buffers
+// ---------------------------------------------------------------------------
+
+/// A per-worker recording buffer for code that runs on pool threads.
+///
+/// Workers record into their own `LocalObs` (no locks, no global ordering)
+/// and the pool owner merges the buffers into the global registry in
+/// ascending worker index once the scope has joined — so the registry
+/// contents never depend on which worker finished first. Recording into a
+/// `LocalObs` is unconditional; gating on [`enabled`] is the caller's
+/// responsibility (skip creating one when the gate is off).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LocalObs {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistStat>,
+    profile: BTreeMap<String, HistStat>,
+}
+
+impl LocalObs {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        LocalObs::default()
+    }
+
+    /// Buffer-local equivalent of [`counter_add`].
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_default() += n;
+    }
+
+    /// Buffer-local equivalent of [`hist_record`].
+    pub fn hist_record(&mut self, name: &str, v: f64) {
+        self.hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Buffer-local equivalent of [`profile_record`].
+    pub fn profile_record(&mut self, name: &str, v: f64) {
+        self.profile.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Merge this buffer into the global registry (a no-op when the gate is
+    /// off). Callers must invoke this in a deterministic order across
+    /// buffers — `lcrec-par` sorts by worker index first.
+    pub fn merge_global(self) {
+        if !enabled() {
+            return;
+        }
+        let mut reg = registry();
+        for (k, n) in self.counters {
+            *reg.counters.entry(k).or_default() += n;
+        }
+        for (k, h) in self.hists {
+            reg.hists.entry(k).or_default().merge(&h);
+        }
+        for (k, h) in self.profile {
+            reg.profile.entry(k).or_default().merge(&h);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of the registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Hierarchical span stats keyed by `/`-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Monotonic counters (deterministic section).
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic value histograms.
+    pub hists: BTreeMap<String, HistStat>,
+    /// Wall-clock / scheduling-dependent histograms.
+    pub profile: BTreeMap<String, HistStat>,
+}
+
+/// Copy the current registry contents.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    Snapshot {
+        spans: reg.spans.clone(),
+        counters: reg.counters.clone(),
+        hists: reg.hists.clone(),
+        profile: reg.profile.clone(),
+    }
+}
+
+impl Snapshot {
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.profile.is_empty()
+    }
+
+    /// Stats for one span path, if it was ever entered.
+    pub fn span(&self, path: &str) -> Option<SpanStat> {
+        self.spans.get(path).copied()
+    }
+
+    /// Value of one counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render a human-readable table of every section.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>12} {:>12}\n",
+                "span", "calls", "total_s", "mean_s"
+            ));
+            for (path, st) in &self.spans {
+                out.push_str(&format!(
+                    "{:<44} {:>8} {:>12.6} {:>12.6}\n",
+                    path,
+                    st.count,
+                    st.total_s(),
+                    st.mean_s()
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("\n{:<44} {:>16}\n", "counter", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<44} {v:>16}\n"));
+            }
+        }
+        for (title, map) in [("histogram", &self.hists), ("profile", &self.profile)] {
+            if map.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "\n{:<44} {:>8} {:>12} {:>12} {:>12}\n",
+                title, "count", "mean", "min", "max"
+            ));
+            for (name, h) in map {
+                out.push_str(&format!(
+                    "{:<44} {:>8} {:>12.6} {:>12.6} {:>12.6}\n",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no observability data recorded)\n");
+        }
+        out
+    }
+
+    /// Full machine-readable JSON: spans, counters, histograms and the
+    /// profile section.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"spans\": {");
+        push_entries(&mut out, self.spans.iter(), |out, st| {
+            out.push_str(&format!(
+                "{{\"count\": {}, \"total_ns\": {}}}",
+                st.count, st.total_ns
+            ));
+        });
+        out.push_str("},\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.hists.iter(), |out, h| push_hist(out, h));
+        out.push_str("},\n  \"profile\": {");
+        push_entries(&mut out, self.profile.iter(), |out, h| push_hist(out, h));
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// JSON of the deterministic section only (counters + value histograms).
+    ///
+    /// Two instrumented runs of the same workload must produce *identical
+    /// strings* here regardless of `LCREC_THREADS`; `tests/observability.rs`
+    /// bit-compares them.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.hists.iter(), |out, h| push_hist(out, h));
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (name, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        out.push_str(&json_escape(name));
+        out.push_str("\": ");
+        write_value(out, value);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_hist(out: &mut String, h: &HistStat) {
+    out.push_str(&format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": {{",
+        h.count,
+        json_f64(h.sum),
+        json_f64(h.min),
+        json_f64(h.max)
+    ));
+    let mut first = true;
+    for (b, n) in &h.buckets {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{b}\": {n}"));
+    }
+    out.push_str("}}");
+}
+
+fn json_f64(v: f64) -> String {
+    // `{:?}` is the shortest round-trippable form and never produces a bare
+    // `inf`/`NaN` for the values we serialize (histograms only serialize
+    // min/max once at least one value was recorded).
+    if v.is_finite() { format!("{v:?}") } else { "null".to_string() }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and gate are process-global; unit tests serialize on
+    /// this lock so `cargo test` threading cannot interleave them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(1.0), 0);
+        assert_eq!(bucket_of(1.5), 0);
+        assert_eq!(bucket_of(2.0), 1);
+        assert_eq!(bucket_of(1023.0), 9);
+        assert_eq!(bucket_of(1024.0), 10);
+        assert_eq!(bucket_of(0.25), -2);
+        assert_eq!(bucket_of(0.0), HistStat::UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(-3.0), HistStat::UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::NAN), HistStat::UNDERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = lock();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("never");
+            counter_add("never.counter", 3);
+            hist_record("never.hist", 1.0);
+            profile_record("never.profile", 1.0);
+            stopwatch().stop("never.watch");
+        }
+        assert!(snapshot().is_empty());
+        assert!(!stopwatch().running());
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+            }
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        let outer = snap.span("outer").map(|s| s.count);
+        let inner = snap.span("outer/inner").map(|s| s.count);
+        assert_eq!(outer, Some(1));
+        assert_eq!(inner, Some(3));
+        assert!(snap.span("inner").is_none(), "nested span must not appear as a root");
+    }
+
+    #[test]
+    fn local_merge_matches_direct_recording() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        counter_add("merge.c", 5);
+        hist_record("merge.h", 8.0);
+        let direct = snapshot().deterministic_json();
+
+        reset();
+        let mut a = LocalObs::new();
+        a.counter_add("merge.c", 2);
+        a.hist_record("merge.h", 8.0);
+        let mut b = LocalObs::new();
+        b.counter_add("merge.c", 3);
+        a.merge_global();
+        b.merge_global();
+        let merged = snapshot().deterministic_json();
+        set_enabled(false);
+        assert_eq!(direct, merged);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        counter_add("weird\"name\\", 1);
+        let snap = snapshot();
+        set_enabled(false);
+        let json = snap.to_json();
+        assert!(json.contains("\"weird\\\"name\\\\\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let det = snap.deterministic_json();
+        assert!(det.contains("counters"));
+        assert!(!det.contains("profile"));
+    }
+}

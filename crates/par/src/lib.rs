@@ -27,6 +27,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Name of the environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "LCREC_THREADS";
@@ -124,15 +125,28 @@ impl Pool {
         }
         let chunk = Self::chunk_size(n);
         let n_chunks = n.div_ceil(chunk);
+        let obs_on = lcrec_obs::enabled();
+        if obs_on {
+            // Recorded identically on the serial and parallel paths (the
+            // chunk count is a pure function of n), so the deterministic
+            // observability section matches across LCREC_THREADS settings.
+            lcrec_obs::counter_add("par.jobs", 1);
+            lcrec_obs::counter_add("par.chunks", n_chunks as u64);
+        }
         if self.threads == 1 || n_chunks == 1 {
             return (0..n).map(f).collect();
         }
         let workers = self.threads.min(n_chunks);
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        let locals: Mutex<Vec<(usize, lcrec_obs::LocalObs)>> = Mutex::new(Vec::new());
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
+            let (next, done, locals, f) = (&next, &done, &locals, &f);
+            for wi in 0..workers {
+                s.spawn(move || {
+                    let spawned = if obs_on { Some(Instant::now()) } else { None };
+                    let mut busy = 0.0f64;
+                    let mut local = lcrec_obs::LocalObs::new();
                     // Each worker drains chunks until the queue is empty,
                     // buffering its (chunk index, outputs) pairs locally so
                     // the shared lock is touched once per chunk.
@@ -141,9 +155,16 @@ impl Pool {
                         if c >= n_chunks {
                             break;
                         }
+                        if obs_on {
+                            local.profile_record("par.queue_depth", (n_chunks - c) as f64);
+                        }
+                        let t0 = if obs_on { Some(Instant::now()) } else { None };
                         let start = c * chunk;
                         let end = (start + chunk).min(n);
-                        let out: Vec<U> = (start..end).map(&f).collect();
+                        let out: Vec<U> = (start..end).map(f).collect();
+                        if let Some(t0) = t0 {
+                            busy += t0.elapsed().as_secs_f64();
+                        }
                         let mut guard = match done.lock() {
                             Ok(g) => g,
                             // A poisoned lock only means another worker
@@ -153,9 +174,31 @@ impl Pool {
                         };
                         guard.push((c, out));
                     }
+                    if let Some(spawned) = spawned {
+                        let total = spawned.elapsed().as_secs_f64();
+                        local.profile_record("par.worker_busy_s", busy);
+                        local.profile_record("par.worker_idle_s", (total - busy).max(0.0));
+                        let mut guard = match locals.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        guard.push((wi, local));
+                    }
                 });
             }
         });
+        if obs_on {
+            let mut per_worker = match locals.into_inner() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            };
+            // Merge worker buffers by spawn index, never completion order,
+            // so registry contents are independent of scheduling.
+            per_worker.sort_unstable_by_key(|(wi, _)| *wi);
+            for (_, local) in per_worker {
+                local.merge_global();
+            }
+        }
         let mut parts = match done.into_inner() {
             Ok(p) => p,
             Err(p) => p.into_inner(),

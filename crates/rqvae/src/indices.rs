@@ -129,25 +129,30 @@ impl IndexTrie {
             items: vec![None],
         };
         for (item, codes) in indices.codes.iter().enumerate() {
-            let mut node = 0usize;
-            for &c in codes {
-                let next = match trie.children[node].get(&c) {
-                    Some(&n) => n,
-                    None => {
-                        trie.children.push(HashMap::new());
-                        trie.items.push(None);
-                        let id = trie.children.len() - 1;
-                        trie.children[node].insert(c, id);
-                        id
-                    }
-                };
-                node = next;
-            }
-            if trie.items[node].is_none() {
-                trie.items[node] = Some(item as u32);
-            }
+            trie.insert(codes, item as u32);
         }
         trie
+    }
+
+    /// Inserts one full code path, keeping the first item bound to it.
+    fn insert(&mut self, codes: &[u16], item: u32) {
+        let mut node = 0usize;
+        for &c in codes {
+            let next = match self.children[node].get(&c) {
+                Some(&n) => n,
+                None => {
+                    self.children.push(HashMap::new());
+                    self.items.push(None);
+                    let id = self.children.len() - 1;
+                    self.children[node].insert(c, id);
+                    id
+                }
+            };
+            node = next;
+        }
+        if self.items[node].is_none() {
+            self.items[node] = Some(item);
+        }
     }
 
     /// Number of index levels.
@@ -188,6 +193,67 @@ impl IndexTrie {
     /// Total node count (diagnostics / benches).
     pub fn num_nodes(&self) -> usize {
         self.children.len()
+    }
+
+    /// Canonical text serialization: a `trie levels=L` header followed by
+    /// one `c0.c1.….cL-1=item` line per stored item, emitted in depth-first
+    /// order with the codes at every node visited in ascending order. The
+    /// output is therefore independent of `HashMap` iteration order and of
+    /// the order items were inserted — two tries with the same contents
+    /// always serialize identically (the golden-snapshot property
+    /// `tests/golden.rs` pins).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("trie levels={}\n", self.levels);
+        // Explicit DFS stack of (node, code path so far).
+        let mut stack: Vec<(usize, Vec<u16>)> = vec![(0, Vec::new())];
+        while let Some((node, path)) = stack.pop() {
+            if path.len() == self.levels {
+                if let Some(item) = self.items[node] {
+                    let codes: Vec<String> = path.iter().map(|c| c.to_string()).collect();
+                    out.push_str(&format!("{}={}\n", codes.join("."), item));
+                }
+                continue;
+            }
+            let mut codes: Vec<u16> = self.children[node].keys().copied().collect();
+            // Descending push order so the ascending code pops first.
+            codes.sort_unstable_by(|a, b| b.cmp(a));
+            for c in codes {
+                if let Some(&child) = self.children[node].get(&c) {
+                    let mut next = path.clone();
+                    next.push(c);
+                    stack.push((child, next));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the [`IndexTrie::to_text`] format. Returns `None` on any
+    /// malformed header, path or item id, or when a path's depth does not
+    /// match the header's level count.
+    pub fn from_text(s: &str) -> Option<IndexTrie> {
+        let mut lines = s.lines();
+        let levels: usize =
+            lines.next()?.strip_prefix("trie levels=")?.trim().parse().ok()?;
+        let mut trie = IndexTrie {
+            levels,
+            children: vec![HashMap::new()],
+            items: vec![None],
+        };
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (path, item) = line.split_once('=')?;
+            let codes: Vec<u16> =
+                path.split('.').map(|c| c.parse().ok()).collect::<Option<_>>()?;
+            if codes.len() != levels {
+                return None;
+            }
+            trie.insert(&codes, item.parse().ok()?);
+        }
+        Some(trie)
     }
 }
 

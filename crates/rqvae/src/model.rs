@@ -262,13 +262,18 @@ impl RqVae {
     /// pure function of the batch size and gradients are summed in
     /// micro-batch order (see DESIGN.md "Threading model").
     pub fn train_with(&mut self, pool: &Pool, embeddings: &Tensor) -> TrainReport {
-        self.warm_start(embeddings);
+        let _span = lcrec_obs::span("rqvae.train");
+        {
+            let _warm = lcrec_obs::span("warm_start");
+            self.warm_start(embeddings);
+        }
         let n = embeddings.rows();
         let mut opt = AdamW::new(self.cfg.lr);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7777);
         let mut order: Vec<usize> = (0..n).collect();
         let mut report = TrainReport::default();
         for _epoch in 0..self.cfg.epochs {
+            let _epoch_span = lcrec_obs::span("epoch");
             for i in (1..n).rev() {
                 order.swap(i, rng.random_range(0..=i));
             }
@@ -304,8 +309,13 @@ impl RqVae {
         // batch, then re-enter per micro-batch via the straight-through
         // trick: zq_st = z + const(zq - z).
         let z_val = self.encode(e);
-        let (codes, zq_val) = self.quantize_usm(&z_val);
+        let (codes, zq_val) = {
+            let _q = lcrec_obs::span("quantize");
+            self.quantize_usm(&z_val)
+        };
         let ranges = lcrec_par::micro_ranges(n, MICRO_ROWS);
+        lcrec_obs::counter_add("rqvae.micro_steps", ranges.len() as u64);
+        lcrec_obs::counter_add("rqvae.batches", 1);
         let parts = pool.map(&ranges, |_, &(lo, hi)| {
             self.micro_step(e, &zq_val, &codes, lo, hi, (hi - lo) as f32 / n as f32)
         });

@@ -237,11 +237,15 @@ pub fn train_next_item_with<M: NextItemModel>(
     let cfg = model.config().clone();
     let mut opt = lcrec_tensor::AdamW::new(cfg.lr);
     let mut losses = Vec::with_capacity(cfg.epochs);
+    let _span = lcrec_obs::span("seqrec.train");
     for epoch in 0..cfg.epochs {
+        let _epoch_span = lcrec_obs::span("epoch");
         let batches = epoch_batches(pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 1));
         let mut sum = 0.0;
         for batch in &batches {
             let ranges = lcrec_par::micro_ranges(batch.b, MICRO_ROWS);
+            lcrec_obs::counter_add("seqrec.micro_steps", ranges.len() as u64);
+            lcrec_obs::counter_add("seqrec.batches", 1);
             let shared: &M = model;
             let parts = pool.map(&ranges, |ci, &(lo, hi)| {
                 let sub = batch.slice_rows(lo, hi);

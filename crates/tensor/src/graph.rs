@@ -43,6 +43,10 @@ pub struct Graph {
     backward_fns: Vec<Option<BackFn>>,
     train: bool,
     rng: u64,
+    /// Wall-clock of the previous `push` while `lcrec_obs` is enabled; the
+    /// gap between consecutive pushes approximates the forward cost of the
+    /// op just recorded (ops execute eagerly, immediately before their push).
+    obs_prev: Option<std::time::Instant>,
 }
 
 impl std::fmt::Debug for Graph {
@@ -73,6 +77,7 @@ impl Graph {
             backward_fns: Vec::with_capacity(256),
             train,
             rng: 0x9E37_79B9_7F4A_7C15,
+            obs_prev: None,
         }
     }
 
@@ -145,6 +150,19 @@ impl Graph {
                     value.shape(),
                 );
             }
+        }
+        if lcrec_obs::enabled() {
+            let now = std::time::Instant::now();
+            if let Some(prev) = self.obs_prev {
+                // Attribute the gap since the previous push to this op: the
+                // op's kernel ran eagerly just before this call.
+                lcrec_obs::profile_record(
+                    &format!("graph.fwd.{op}"),
+                    now.duration_since(prev).as_secs_f64(),
+                );
+            }
+            self.obs_prev = Some(now);
+            lcrec_obs::counter_add(&format!("graph.ops.{op}"), 1);
         }
         self.values.push(value);
         self.meta.push(NodeMeta { op, param: None, needs_grad });
@@ -1479,6 +1497,7 @@ impl Graph {
         grads[loss.0] = Some(Tensor::scalar(1.0));
         let fns = std::mem::take(&mut self.backward_fns);
         let sanitizing = crate::sanitize::enabled();
+        let obs_on = lcrec_obs::enabled();
         for i in (0..n).rev() {
             let Some(g) = grads[i].take() else { continue };
             if sanitizing {
@@ -1508,7 +1527,17 @@ impl Graph {
                 sink(pid, &g);
             }
             if let Some(f) = &fns[i] {
-                f(self, &g, &mut grads);
+                if obs_on {
+                    let op = self.meta[i].op;
+                    let t0 = std::time::Instant::now();
+                    f(self, &g, &mut grads);
+                    lcrec_obs::profile_record(
+                        &format!("graph.bwd.{op}"),
+                        t0.elapsed().as_secs_f64(),
+                    );
+                } else {
+                    f(self, &g, &mut grads);
+                }
             }
         }
         self.backward_fns = fns;

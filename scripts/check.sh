@@ -8,7 +8,10 @@
 #      two runs must both pass, which (together with the bit-identity
 #      assertions in tests/parallelism.rs) pins the deterministic-
 #      parallelism contract of lcrec-par;
-#   3. the dependency-free workspace lint pass and the public-API
+#   3. the suite once more with the observability gate forced on
+#      (LCREC_OBS=1) so the instrumented hot paths stay under test — the
+#      results must not change when recording is active;
+#   4. the dependency-free workspace lint pass and the public-API
 #      doc-coverage gate.
 #
 # Usage: scripts/check.sh
@@ -23,6 +26,9 @@ LCREC_SANITIZE=1 LCREC_THREADS=1 cargo test --workspace --quiet
 
 echo "== tests (LCREC_SANITIZE=1, LCREC_THREADS=4) =="
 LCREC_SANITIZE=1 LCREC_THREADS=4 cargo test --workspace --quiet
+
+echo "== tests (LCREC_OBS=1, LCREC_SANITIZE=1, LCREC_THREADS=4) =="
+LCREC_OBS=1 LCREC_SANITIZE=1 LCREC_THREADS=4 cargo test --workspace --quiet
 
 echo "== lint =="
 cargo run --quiet -p lcrec-analysis -- lint

@@ -56,6 +56,7 @@
 pub use lcrec_core as core;
 pub use lcrec_data as data;
 pub use lcrec_eval as eval;
+pub use lcrec_obs as obs;
 pub use lcrec_par as par;
 pub use lcrec_rqvae as rqvae;
 pub use lcrec_seqrec as seqrec;

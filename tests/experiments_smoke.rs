@@ -70,6 +70,23 @@ fn table5_reports_three_negative_kinds() {
 }
 
 #[test]
+fn profile_emits_obs_artifact_with_nonzero_phases() {
+    let out = exp::profile(Scale::Tiny);
+    assert_eq!(out.artifacts.len(), 1);
+    let (name, json) = &out.artifacts[0];
+    assert_eq!(name, "obs_profile.json");
+    for span in ["rqvae.train", "seqrec.train", "lm.train", "beam.decode", "eval.split"] {
+        assert!(json.contains(span), "snapshot must cover the {span} phase\n{json}");
+    }
+    assert!(json.contains("par.chunks"), "pool counters must be recorded");
+    assert!(
+        !out.markdown.contains("NO"),
+        "instrumented 1- vs 4-thread runs must stay bit-identical:\n{}",
+        out.markdown
+    );
+}
+
+#[test]
 fn fig5_and_fig6_render_case_studies() {
     let f5 = exp::fig5(Scale::Tiny);
     assert!(f5.markdown.contains("titles from index prefixes"));

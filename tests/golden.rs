@@ -1,0 +1,120 @@
+//! Golden-snapshot guard for the `IndexTrie` text serialization and the
+//! `ExtendedVocab` index-token layout.
+//!
+//! Index tokens are the contract between the RQ-VAE indexer, the trie, and
+//! every trained LM checkpoint: if the token-id layout or the trie's
+//! canonical serialization drifts in a refactor, previously learned indices
+//! silently remap. The fixture under `tests/fixtures/` pins both against a
+//! fixed-seed item-index set.
+//!
+//! Regenerate intentionally with:
+//! `LCREC_UPDATE_GOLDEN=1 cargo test --test golden`.
+
+use lc_rec::core::ExtendedVocab;
+use lc_rec::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+const FIXTURE: &str = "tests/fixtures/trie_vocab_golden.txt";
+
+/// A fixed-seed index set: 3 levels, codebooks of 6, 25 unique code paths.
+/// Pure function of the seed — independent of any training code.
+fn fixture_indices() -> ItemIndices {
+    let mut rng = StdRng::seed_from_u64(0x601D_F1E1D);
+    let mut set: BTreeSet<Vec<u16>> = BTreeSet::new();
+    while set.len() < 25 {
+        set.insert((0..3).map(|_| rng.random_range(0..6u16)).collect());
+    }
+    ItemIndices::new(vec![6, 6, 6], set.into_iter().collect())
+}
+
+/// Renders everything the fixture pins: the canonical trie serialization
+/// plus the vocab's index-token layout (base size, per-item token ids, and
+/// the `<x_c>` notation round-trip).
+fn render_snapshot() -> String {
+    let indices = fixture_indices();
+    let trie = IndexTrie::build(&indices);
+    let vocab = ExtendedVocab::new(Vocab::build(["recommend an excellent item"], 1), indices);
+
+    let mut out = String::new();
+    out.push_str(&trie.to_text());
+    out.push_str(&format!(
+        "vocab base={} total={} index_base={}\n",
+        vocab.base().len(),
+        vocab.len(),
+        vocab.index_base()
+    ));
+    for item in 0..vocab.indices().len() as u32 {
+        let toks = vocab.item_tokens(item);
+        let strs: Vec<String> = toks.iter().map(|t| t.to_string()).collect();
+        out.push_str(&format!("item {item}: [{}] {}\n", strs.join(","), vocab.decode(&toks)));
+    }
+    out
+}
+
+#[test]
+fn golden_snapshot_matches_fixture() {
+    let rendered = render_snapshot();
+    if std::env::var("LCREC_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(FIXTURE, &rendered).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE).expect(
+        "golden fixture missing — run LCREC_UPDATE_GOLDEN=1 cargo test --test golden",
+    );
+    assert_eq!(
+        rendered, expected,
+        "index-token layout or trie serialization changed; if intentional, \
+         regenerate with LCREC_UPDATE_GOLDEN=1 cargo test --test golden"
+    );
+}
+
+#[test]
+fn trie_text_round_trips() {
+    let indices = fixture_indices();
+    let trie = IndexTrie::build(&indices);
+    let text = trie.to_text();
+    let parsed = IndexTrie::from_text(&text).expect("canonical text must parse");
+    assert_eq!(parsed.to_text(), text, "to_text ∘ from_text must be the identity");
+    assert_eq!(parsed.levels(), trie.levels());
+    assert_eq!(parsed.num_nodes(), trie.num_nodes());
+    for item in 0..indices.len() as u32 {
+        let codes = indices.of(item);
+        assert_eq!(parsed.item_at(codes), Some(item), "item {item} must survive the round trip");
+    }
+}
+
+#[test]
+fn trie_serialization_is_insertion_order_independent() {
+    // The same contents inserted in reverse item order serialize to a
+    // different item binding only where codes collide — with unique codes
+    // (the fixture), the *paths* are identical and sorted.
+    let indices = fixture_indices();
+    let text = IndexTrie::build(&indices).to_text();
+    let paths: Vec<&str> = text.lines().skip(1).collect();
+    let mut sorted = paths.clone();
+    sorted.sort_by_key(|line| {
+        line.split('=')
+            .next()
+            .map(|p| {
+                p.split('.')
+                    .map(|c| c.parse::<u16>().unwrap_or(u16::MAX))
+                    .collect::<Vec<u16>>()
+            })
+            .unwrap_or_default()
+    });
+    assert_eq!(paths, sorted, "DFS with sorted codes must emit paths in sorted order");
+}
+
+#[test]
+fn from_text_rejects_malformed_input() {
+    assert!(IndexTrie::from_text("").is_none(), "missing header");
+    assert!(IndexTrie::from_text("trie levels=x\n").is_none(), "bad level count");
+    assert!(IndexTrie::from_text("trie levels=2\n0.1.2=0\n").is_none(), "depth mismatch");
+    assert!(IndexTrie::from_text("trie levels=2\n0.one=0\n").is_none(), "bad code");
+    assert!(IndexTrie::from_text("trie levels=2\n0.1=zero\n").is_none(), "bad item id");
+    let ok = IndexTrie::from_text("trie levels=2\n0.1=4\n\n2.3=7\n").expect("valid text");
+    assert_eq!(ok.item_at(&[0, 1]), Some(4));
+    assert_eq!(ok.item_at(&[2, 3]), Some(7));
+}

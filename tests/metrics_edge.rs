@@ -1,0 +1,87 @@
+//! Edge-case pins for `eval::metrics`: empty inputs, k beyond the candidate
+//! list, duplicate items in a ranked list, and NDCG tie/rounding behavior.
+//! Where current behavior is sane it is pinned; the one genuine panic found
+//! (`top_k` on an empty / fully-filtered candidate set) is fixed and
+//! regression-tested here.
+
+use lc_rec::eval::metrics::{hit_at, mrr_at, ndcg_at, rank_of, top_k, top_k_filtered};
+use lc_rec::eval::RankingMetrics;
+
+#[test]
+fn empty_ranked_list_scores_zero_everywhere() {
+    // "Empty ground truth" in our leave-one-out protocol: the ranker
+    // returned nothing. Every metric is 0, the example still counts.
+    let ranked: Vec<u32> = Vec::new();
+    assert_eq!(rank_of(&ranked, 3), None);
+    assert_eq!(hit_at(&ranked, 3, 10), 0.0);
+    assert_eq!(ndcg_at(&ranked, 3, 10), 0.0);
+    assert_eq!(mrr_at(&ranked, 3, 10), 0.0);
+    let mut m = RankingMetrics::default();
+    m.push(&ranked, 3);
+    let f = m.finalize();
+    assert_eq!(f.as_row(), [0.0; 5]);
+    assert_eq!(f.count, 1, "an empty ranking still counts as an evaluated example");
+}
+
+#[test]
+fn k_zero_never_hits() {
+    assert_eq!(hit_at(&[3, 1, 2], 3, 0), 0.0);
+    assert_eq!(ndcg_at(&[3, 1, 2], 3, 0), 0.0);
+    assert_eq!(mrr_at(&[3, 1, 2], 3, 0), 0.0);
+}
+
+#[test]
+fn k_larger_than_candidate_list_clamps() {
+    // 3 candidates, k = 10: metrics treat the short list as-is.
+    let ranked = vec![7u32, 3, 9];
+    assert_eq!(hit_at(&ranked, 9, 10), 1.0);
+    assert_eq!(ndcg_at(&ranked, 9, 10), 1.0 / 4.0f64.log2());
+    // top_k with k beyond the scored set returns everything, ranked.
+    let scores = vec![0.1f32, 0.9, 0.5];
+    assert_eq!(top_k(&scores, 10), vec![1, 2, 0]);
+}
+
+#[test]
+fn duplicate_items_rank_at_first_occurrence() {
+    // A generative ranker can emit the same item twice; the metrics must
+    // credit the *best* (first) position and not double-count.
+    let ranked = vec![5u32, 8, 5, 8, 2];
+    assert_eq!(rank_of(&ranked, 8), Some(1));
+    assert_eq!(hit_at(&ranked, 8, 2), 1.0);
+    assert_eq!(ndcg_at(&ranked, 8, 5), 1.0 / 3.0f64.log2());
+    let mut m = RankingMetrics::default();
+    m.push(&ranked, 5);
+    let f = m.finalize();
+    assert_eq!(f.hr1, 1.0, "duplicate later in the list must not dilute the hit");
+    assert!(f.ndcg5 <= 1.0);
+}
+
+#[test]
+fn ndcg_tied_scores_break_by_index_order() {
+    // Equal scores: the ranking sort is stable on index, so item 1 (first
+    // tied index) outranks item 2, and NDCG reflects that pinned order.
+    let scores = vec![0.1f32, 0.7, 0.7, 0.3];
+    let ranked = top_k(&scores, 4);
+    assert_eq!(ranked, vec![1, 2, 3, 0]);
+    assert_eq!(ndcg_at(&ranked, 1, 4), 1.0); // rank 0 → 1/log2(2)
+    assert_eq!(ndcg_at(&ranked, 2, 4), 1.0 / 3.0f64.log2()); // rank 1
+}
+
+#[test]
+fn top_k_on_empty_scores_returns_empty() {
+    // Regression: this used to panic in select_nth_unstable_by (index 0 of
+    // an empty candidate list).
+    let empty: Vec<f32> = Vec::new();
+    assert!(top_k(&empty, 5).is_empty());
+    assert!(top_k(&empty, 0).is_empty());
+}
+
+#[test]
+fn top_k_filtered_with_everything_filtered_returns_empty() {
+    // Regression: a `valid` mask rejecting every index also used to panic.
+    let scores = vec![0.3f32, 0.9, 0.4];
+    assert!(top_k_filtered(&scores, 5, |_| false).is_empty());
+    assert!(top_k_filtered(&scores, 0, |_| true).is_empty());
+    // Partial filtering still ranks the survivors.
+    assert_eq!(top_k_filtered(&scores, 5, |i| i != 1), vec![2, 0]);
+}

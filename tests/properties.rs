@@ -150,6 +150,79 @@ fn softmax_rows_is_a_distribution() {
     }
 }
 
+/// `log(sum(exp(logits)))` computed with *exactly* the float-op sequence the
+/// beam's scoring phase uses (`fold` max, `iter().map().sum()`, `z.ln() + mx`)
+/// so oracle scores are bit-comparable to beam scores.
+fn beam_log_z(logits: &[f32]) -> f32 {
+    let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = logits.iter().map(|&v| (v - mx).exp()).sum();
+    z.ln() + mx
+}
+
+#[test]
+fn beam_matches_exhaustive_oracle_when_width_covers_all_items() {
+    use lc_rec::core::{constrained_beam_search, CausalLm, ExtendedVocab, LmConfig};
+
+    let mut rng = StdRng::seed_from_u64(0x0BEA_04AC);
+    for case in 0..12 {
+        let codes = arb_codes(&mut rng, 3, 4, 10);
+        let n_items = codes.len();
+        let indices = ItemIndices::new(vec![4, 4, 4], codes);
+        let trie = IndexTrie::build(&indices);
+        let vocab = ExtendedVocab::new(Vocab::build(["recommend an item"], 1), indices);
+        let mut lm_cfg = LmConfig::test(vocab.len());
+        lm_cfg.seed = 0x5EED + case as u64;
+        let lm = CausalLm::new(lm_cfg);
+        let prompt = vocab.render(&[Seg::Text("recommend".into())]);
+
+        // Oracle: score every stored item by full-sequence teacher forcing,
+        // replaying the beam's restricted log-softmax arithmetic verbatim.
+        let mut oracle: Vec<(u32, f32)> = Vec::with_capacity(n_items);
+        for item in 0..n_items as u32 {
+            let item_codes: Vec<u16> = vocab.indices().of(item).to_vec();
+            let mut cache = lm.new_cache();
+            let mut logits = lm.prefill(&mut cache, &prompt);
+            let mut lp = 0.0f32;
+            for (level, &code) in item_codes.iter().enumerate() {
+                let lz = beam_log_z(&logits);
+                let tok = vocab.index_token(level, code);
+                lp = lp + logits[tok as usize] - lz;
+                logits = lm.advance(&mut cache, tok);
+            }
+            oracle.push((item, lp));
+        }
+
+        // Beam wide enough to hold every item: level-wise truncation can
+        // never prune (candidates per level ≤ |items|), so the search is
+        // exhaustive and must reproduce the oracle bit for bit.
+        let hyps = constrained_beam_search(&lm, &vocab, &trie, &prompt, n_items);
+        assert_eq!(hyps.len(), n_items, "case {case}: beam must surface every item");
+        let mut got: Vec<(u32, u32)> =
+            hyps.iter().map(|h| (h.item, h.logprob.to_bits())).collect();
+        let mut want: Vec<(u32, u32)> =
+            oracle.iter().map(|&(i, lp)| (i, lp.to_bits())).collect();
+        // Canonical order (score desc, item asc) on both sides: ranking and
+        // scores must agree exactly; only tie order is normalized away.
+        got.sort_by(|a, b| {
+            f32::from_bits(b.1)
+                .partial_cmp(&f32::from_bits(a.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        want.sort_by(|a, b| {
+            f32::from_bits(b.1)
+                .partial_cmp(&f32::from_bits(a.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        assert_eq!(got, want, "case {case}: beam ranking must equal exhaustive scoring");
+        // And the beam's own order must already be sorted by score.
+        for w in hyps.windows(2) {
+            assert!(w[0].logprob >= w[1].logprob);
+        }
+    }
+}
+
 #[test]
 fn extended_vocab_item_tokens_round_trip_for_all_items() {
     // Deterministic exhaustive check over a real learned index set.
