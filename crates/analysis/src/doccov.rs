@@ -1,5 +1,7 @@
 //! Doc-coverage pass: every public `fn`, `struct` and `enum` in the
-//! covered crates must carry a `///` doc comment.
+//! covered crates must carry a `///` doc comment, and the workspace's main
+//! entry points ([`EXAMPLE_REQUIRED`]) must additionally ship a
+//! `# Examples` doc-test.
 //!
 //! Built on the same comment/string-aware scanner as the lint pass
 //! ([`crate::parse`]): declarations are matched on stripped source (so a
@@ -19,9 +21,23 @@ use std::path::{Path, PathBuf};
 /// Crates whose public items must be documented, relative to the workspace
 /// root. The tensor/core/par trio is the load-bearing API surface (autograd
 /// ops, constrained decoding, the parallel subsystem); obs is the
-/// observability contract every instrumented crate programs against.
+/// observability contract every instrumented crate programs against; serve
+/// is the public serving API.
 pub const DOC_COVERED_CRATES: &[&str] =
-    &["crates/par", "crates/tensor", "crates/core", "crates/obs"];
+    &["crates/par", "crates/tensor", "crates/core", "crates/obs", "crates/serve"];
+
+/// Entry points whose doc block must contain a `# Examples` section with a
+/// runnable doc-test: `(file relative to the workspace root, item name)`.
+/// These are the front doors of the workspace — the first thing a new user
+/// calls — so their docs must show working code, not just describe it.
+/// A missing *declaration* is reported too, so renaming an entry point
+/// without updating this table fails the gate visibly.
+pub const EXAMPLE_REQUIRED: &[(&str, &str)] = &[
+    ("crates/core/src/lm.rs", "greedy"),
+    ("crates/par/src/lib.rs", "Pool"),
+    ("crates/rqvae/src/indices.rs", "IndexTrie"),
+    ("crates/serve/src/lib.rs", "Engine"),
+];
 
 /// One undocumented public item.
 #[derive(Debug, Clone)]
@@ -147,6 +163,94 @@ pub fn missing_docs_workspace(root: &Path) -> Vec<MissingDoc> {
     out
 }
 
+/// An [`EXAMPLE_REQUIRED`] entry point whose doc block lacks a `# Examples`
+/// section (or whose declaration could not be found at all).
+#[derive(Debug, Clone)]
+pub struct MissingExample {
+    /// File the entry point should be declared in.
+    pub file: PathBuf,
+    /// Entry-point name from [`EXAMPLE_REQUIRED`].
+    pub name: String,
+    /// What went wrong: the declaration is missing, or its docs have no
+    /// `# Examples` section.
+    pub problem: &'static str,
+}
+
+impl fmt::Display for MissingExample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: `{}` {}", self.file.display(), self.name, self.problem)
+    }
+}
+
+/// True when the doc block attached to the declaration at `decl_idx`
+/// contains a `# Examples` heading. Walks the raw lines upward through the
+/// contiguous run of doc comments, attributes and blank lines, exactly as
+/// [`has_doc_above`] does.
+fn doc_has_examples(raw_lines: &[&str], decl_idx: usize) -> bool {
+    for i in (0..decl_idx).rev() {
+        let t = raw_lines[i].trim();
+        if let Some(doc) = t.strip_prefix("///") {
+            if doc.trim() == "# Examples" {
+                return true;
+            }
+            continue;
+        }
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#![") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Checks one file's source for the named entry point: its declaration must
+/// exist and carry a `# Examples` doc section. `relative` is the path
+/// reported in findings.
+pub fn missing_example_source(
+    relative: &Path,
+    source: &str,
+    name: &str,
+) -> Option<MissingExample> {
+    let stripped = strip_comments_and_strings(source);
+    let mask = crate::lint::test_code_mask(&stripped);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    for (i, line) in stripped.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some((_, decl_name)) = public_item_decl(line) else { continue };
+        if decl_name != name {
+            continue;
+        }
+        if doc_has_examples(&raw_lines, i) {
+            return None;
+        }
+        return Some(MissingExample {
+            file: relative.to_path_buf(),
+            name: name.to_string(),
+            problem: "has no `# Examples` doc section",
+        });
+    }
+    Some(MissingExample {
+        file: relative.to_path_buf(),
+        name: name.to_string(),
+        problem: "declaration not found (update EXAMPLE_REQUIRED?)",
+    })
+}
+
+/// Checks every [`EXAMPLE_REQUIRED`] entry point under `root`.
+pub fn missing_examples_workspace(root: &Path) -> Vec<MissingExample> {
+    let mut out = Vec::new();
+    for (rel, name) in EXAMPLE_REQUIRED {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path).unwrap_or_default();
+        if let Some(m) = missing_example_source(Path::new(rel), &source, name) {
+            out.push(m);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +291,22 @@ mod tests {
         assert!(missing_docs_source(Path::new("a.rs"), src).is_empty());
         let src = "/// Doc.\npub fn f() { g(\"pub fn fake\"); }\n";
         assert!(missing_docs_source(Path::new("a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn example_section_is_detected() {
+        let src = "/// Doc.\n///\n/// # Examples\n///\n/// ```\n/// f();\n/// ```\npub fn f() {}\n";
+        assert!(missing_example_source(Path::new("a.rs"), src, "f").is_none());
+        let src = "/// Doc without example.\npub fn f() {}\n";
+        let m = missing_example_source(Path::new("a.rs"), src, "f").expect("flagged");
+        assert!(m.problem.contains("# Examples"), "{m}");
+    }
+
+    #[test]
+    fn missing_declaration_is_reported_not_skipped() {
+        let m = missing_example_source(Path::new("a.rs"), "pub fn other() {}\n", "gone")
+            .expect("flagged");
+        assert!(m.problem.contains("not found"), "{m}");
     }
 
     #[test]

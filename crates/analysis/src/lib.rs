@@ -14,14 +14,20 @@
 //!   it from the CLI (`cargo run -p lcrec-analysis -- lint`) or from a test
 //!   via [`lint::lint_workspace`].
 //! * [`doccov`] — a doc-coverage pass: every public `fn`/`struct`/`enum`
-//!   in the covered crates (`lcrec-par`, `lcrec-tensor`, `lcrec-core`)
-//!   must carry a `///` doc comment. Run it from the CLI
-//!   (`cargo run -p lcrec-analysis -- doccov`) or from a test via
-//!   [`doccov::missing_docs_workspace`]; the tier-1 test in
-//!   `tests/doccov.rs` enforces it.
+//!   in the covered crates (`lcrec-par`, `lcrec-tensor`, `lcrec-core`,
+//!   `lcrec-obs`, `lcrec-serve`) must carry a `///` doc comment, and the
+//!   main entry points must ship `# Examples` doc-tests. Run it from the
+//!   CLI (`cargo run -p lcrec-analysis -- doccov`) or from a test via
+//!   [`doccov::missing_docs_workspace`] /
+//!   [`doccov::missing_examples_workspace`]; the tier-1 test in
+//!   `tests/correctness.rs` enforces it.
+//! * [`envdoc`] — an env-var documentation gate: every `LCREC_*`
+//!   environment variable the sources read must have a row in
+//!   `docs/ENVIRONMENT.md` (`cargo run -p lcrec-analysis -- envdoc`).
 
 #![warn(missing_docs)]
 
 pub mod doccov;
+pub mod envdoc;
 pub mod lint;
 pub mod parse;

@@ -1,9 +1,9 @@
-//! CLI entry point: `cargo run -p lcrec-analysis -- <lint|doccov> [ROOT]`.
+//! CLI entry point: `cargo run -p lcrec-analysis -- <lint|doccov|envdoc> [ROOT]`.
 //!
-//! Exits non-zero when any finding is reported, so both commands can gate
+//! Exits non-zero when any finding is reported, so every command can gate
 //! CI and `scripts/check.sh`.
 
-use lcrec_analysis::{doccov, lint};
+use lcrec_analysis::{doccov, envdoc, lint};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -34,19 +34,41 @@ fn main() -> ExitCode {
         Some("doccov") => {
             let root = args.get(1).map(PathBuf::from).unwrap_or_else(workspace_root);
             let missing = doccov::missing_docs_workspace(&root);
-            if missing.is_empty() {
+            let examples = doccov::missing_examples_workspace(&root);
+            if missing.is_empty() && examples.is_empty() {
                 println!("doccov: clean ({})", root.display());
                 ExitCode::SUCCESS
             } else {
                 for m in &missing {
                     eprintln!("{m}");
                 }
-                eprintln!("doccov: {} undocumented public item(s)", missing.len());
+                for m in &examples {
+                    eprintln!("{m}");
+                }
+                eprintln!(
+                    "doccov: {} undocumented public item(s), {} entry point(s) without examples",
+                    missing.len(),
+                    examples.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some("envdoc") => {
+            let root = args.get(1).map(PathBuf::from).unwrap_or_else(workspace_root);
+            let missing = envdoc::undocumented_env_reads(&root);
+            if missing.is_empty() {
+                println!("envdoc: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for m in &missing {
+                    eprintln!("{m}");
+                }
+                eprintln!("envdoc: {} undocumented env read(s)", missing.len());
                 ExitCode::FAILURE
             }
         }
         _ => {
-            eprintln!("usage: lcrec-analysis <lint|doccov> [ROOT]");
+            eprintln!("usage: lcrec-analysis <lint|doccov|envdoc> [ROOT]");
             ExitCode::from(2)
         }
     }

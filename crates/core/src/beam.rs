@@ -12,6 +12,14 @@
 //! `advance` step fans out over the pruned candidates. Every fan-out
 //! reassembles its results in input order, so parallel and serial runs
 //! return bit-identical hypotheses (see DESIGN.md "Threading model").
+//!
+//! The serving path adds a second axis of batching:
+//! [`multi_constrained_beam_search_with`] decodes many prompts at once,
+//! sharing each transformer step across *every* request's surviving
+//! candidates via [`CausalLm::advance_batch`]. Scoring, pruning and
+//! finalization reuse the single-request helpers, so the batched decode is
+//! bit-identical to running [`constrained_beam_search_with`] once per
+//! request — the contract `tests/serving.rs` pins.
 
 use crate::lm::{CausalLm, KvCache};
 use crate::vocab::ExtendedVocab;
@@ -32,6 +40,47 @@ struct Beam {
     logits: Vec<f32>,
     prefix: Vec<u16>,
     logprob: f32,
+}
+
+/// Scores one beam's legal continuations: the beam's log-softmax over the
+/// full vocabulary restricted to the codes that extend a real item prefix
+/// (illegal tokens get probability 0). Returns `(code, cumulative
+/// logprob)` pairs in trie order — both decode paths share this exact
+/// arithmetic, which keeps them bit-identical.
+fn score_beam(trie: &IndexTrie, vocab: &ExtendedVocab, beam: &Beam) -> Vec<(u16, f32)> {
+    let allowed = trie.allowed(&beam.prefix);
+    if allowed.is_empty() {
+        return Vec::new();
+    }
+    let level = beam.prefix.len();
+    let mx = beam.logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = beam.logits.iter().map(|&v| (v - mx).exp()).sum();
+    let lz = z.ln() + mx;
+    allowed
+        .iter()
+        .map(|&code| {
+            let tok = vocab.index_token(level, code);
+            (code, beam.logprob + beam.logits[tok as usize] - lz)
+        })
+        .collect()
+}
+
+/// The shared pruning rule: a *stable* descending sort on score followed by
+/// truncation to the beam width. Candidates must arrive flattened in beam
+/// order, so equal scores resolve identically on every path.
+fn prune(candidates: &mut Vec<(usize, u16, f32)>, beam_size: usize) {
+    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.truncate(beam_size);
+}
+
+/// Maps finished beams to ranked hypotheses (descending log-probability).
+fn finalize(trie: &IndexTrie, beams: Vec<Beam>) -> Vec<Hypothesis> {
+    let mut out: Vec<Hypothesis> = beams
+        .into_iter()
+        .filter_map(|b| trie.item_at(&b.prefix).map(|item| Hypothesis { item, logprob: b.logprob }))
+        .collect();
+    out.sort_by(|a, b| b.logprob.partial_cmp(&a.logprob).unwrap_or(std::cmp::Ordering::Equal));
+    out
 }
 
 /// Runs constrained beam search and returns up to `beam_size` items ranked
@@ -77,20 +126,9 @@ pub fn constrained_beam_search_with(
         // Each beam's log-softmax over the full vocabulary is restricted to
         // legal codes (illegal tokens get probability 0).
         let per_beam: Vec<Vec<(usize, u16, f32)>> = pool.map(&beams, |bi, beam| {
-            let allowed = trie.allowed(&beam.prefix);
-            if allowed.is_empty() {
-                return Vec::new();
-            }
-            let level = beam.prefix.len();
-            let mx = beam.logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let z: f32 = beam.logits.iter().map(|&v| (v - mx).exp()).sum();
-            let lz = z.ln() + mx;
-            allowed
-                .iter()
-                .map(|&code| {
-                    let tok = vocab.index_token(level, code);
-                    (bi, code, beam.logprob + beam.logits[tok as usize] - lz)
-                })
+            score_beam(trie, vocab, beam)
+                .into_iter()
+                .map(|(code, logprob)| (bi, code, logprob))
                 .collect()
         });
         // (beam, code, logprob), flattened in beam order exactly as the
@@ -105,8 +143,7 @@ pub fn constrained_beam_search_with(
             lcrec_obs::counter_add("beam.expansions", candidates.len() as u64);
             lcrec_obs::hist_record("beam.candidates_per_level", candidates.len() as f64);
         }
-        candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        candidates.truncate(beam_size);
+        prune(&mut candidates, beam_size);
         if obs_on {
             lcrec_obs::counter_add("beam.cache_advances", candidates.len() as u64);
         }
@@ -125,12 +162,125 @@ pub fn constrained_beam_search_with(
         });
         advance_watch.stop("beam.advance_s");
     }
-    let mut out: Vec<Hypothesis> = beams
+    finalize(trie, beams)
+}
+
+/// Decodes several prompts at once with a uniform beam width; see
+/// [`multi_constrained_beam_search_with`]. Parallelism comes from the
+/// ambient [`Pool::from_env`] (`LCREC_THREADS`).
+pub fn multi_constrained_beam_search(
+    lm: &CausalLm,
+    vocab: &ExtendedVocab,
+    trie: &IndexTrie,
+    prompts: &[Vec<u32>],
+    beam_size: usize,
+) -> Vec<Vec<Hypothesis>> {
+    let widths = vec![beam_size; prompts.len()];
+    multi_constrained_beam_search_with(&Pool::from_env(), lm, vocab, trie, prompts, &widths)
+}
+
+/// Multi-request trie-constrained beam search: decodes `prompts[i]` at
+/// width `beam_sizes[i]`, all at once, and returns one ranked hypothesis
+/// list per prompt (in prompt order).
+///
+/// The requests share the model's weight passes — prefill runs all prompts
+/// in position lockstep through [`CausalLm::prefill_batch`], and each
+/// decode level runs *every* request's surviving candidates through a
+/// single [`CausalLm::advance_batch`] call — but never share any state:
+/// each request has its own KV caches, its own candidate list and its own
+/// pruning cut. Scoring/pruning reuse the single-request helpers and the
+/// batched transformer step is bit-identical per row, so the output equals
+/// calling [`constrained_beam_search_with`] once per prompt, bit for bit,
+/// at any batch composition and any thread count.
+pub fn multi_constrained_beam_search_with(
+    pool: &Pool,
+    lm: &CausalLm,
+    vocab: &ExtendedVocab,
+    trie: &IndexTrie,
+    prompts: &[Vec<u32>],
+    beam_sizes: &[usize],
+) -> Vec<Vec<Hypothesis>> {
+    assert_eq!(prompts.len(), beam_sizes.len(), "one beam width per prompt");
+    assert!(beam_sizes.iter().all(|&w| w > 0), "beam widths must be positive");
+    let n = prompts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let obs_on = lcrec_obs::enabled();
+    let _span = lcrec_obs::span("beam.decode_batch");
+    // Batched prefill: every prompt advances through its own cache while
+    // sharing each step's weight pass.
+    let mut caches: Vec<KvCache> = (0..n).map(|_| lm.new_cache()).collect();
+    let seqs: Vec<&[u32]> = prompts.iter().map(|p| p.as_slice()).collect();
+    let first_logits = lm.prefill_batch(&mut caches, &seqs);
+    let mut requests: Vec<Vec<Beam>> = caches
         .into_iter()
-        .filter_map(|b| trie.item_at(&b.prefix).map(|item| Hypothesis { item, logprob: b.logprob }))
+        .zip(first_logits)
+        .map(|(cache, logits)| vec![Beam { cache, logits, prefix: Vec::new(), logprob: 0.0 }])
         .collect();
-    out.sort_by(|a, b| b.logprob.partial_cmp(&a.logprob).unwrap_or(std::cmp::Ordering::Equal));
-    out
+    for _level in 0..trie.levels() {
+        // Phase 1 — score every (request, beam) pair, parallel over the
+        // flattened pair list; results reassemble in pair order, which is
+        // exactly each request's serial beam order.
+        let pairs: Vec<(usize, usize)> = requests
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, beams)| (0..beams.len()).map(move |bi| (ri, bi)))
+            .collect();
+        if pairs.is_empty() {
+            break;
+        }
+        if obs_on {
+            lcrec_obs::counter_add("beam.trie_visits", pairs.len() as u64);
+        }
+        let score_watch = lcrec_obs::stopwatch();
+        let scored: Vec<Vec<(u16, f32)>> =
+            pool.map(&pairs, |_, &(ri, bi)| score_beam(trie, vocab, &requests[ri][bi]));
+        score_watch.stop("beam.score_s");
+        let mut per_req: Vec<Vec<(usize, u16, f32)>> = vec![Vec::new(); n];
+        for (&(ri, bi), cands) in pairs.iter().zip(&scored) {
+            for &(code, logprob) in cands {
+                per_req[ri].push((bi, code, logprob));
+            }
+        }
+        // Jobs for the shared transformer step: (request, beam, code, lp),
+        // each request pruned to its own width first.
+        let mut jobs: Vec<(usize, usize, u16, f32)> = Vec::new();
+        for (ri, mut cands) in per_req.into_iter().enumerate() {
+            if obs_on && !cands.is_empty() {
+                lcrec_obs::counter_add("beam.expansions", cands.len() as u64);
+                lcrec_obs::hist_record("beam.candidates_per_level", cands.len() as f64);
+            }
+            prune(&mut cands, beam_sizes[ri]);
+            jobs.extend(cands.into_iter().map(|(bi, code, logprob)| (ri, bi, code, logprob)));
+        }
+        if obs_on {
+            lcrec_obs::counter_add("beam.cache_advances", jobs.len() as u64);
+        }
+        let advance_watch = lcrec_obs::stopwatch();
+        // Phase 2 — one batched transformer step over every surviving
+        // candidate of every request, each on a clone of its source cache.
+        let mut new_caches: Vec<KvCache> =
+            jobs.iter().map(|&(ri, bi, _, _)| requests[ri][bi].cache.clone()).collect();
+        let toks: Vec<u32> = jobs
+            .iter()
+            .map(|&(ri, bi, code, _)| vocab.index_token(requests[ri][bi].prefix.len(), code))
+            .collect();
+        let mut slots: Vec<&mut KvCache> = new_caches.iter_mut().collect();
+        let all_logits = lm.advance_batch(&mut slots, &toks);
+        advance_watch.stop("beam.advance_s");
+        let mut next: Vec<Vec<Beam>> = Vec::with_capacity(n);
+        next.resize_with(n, Vec::new);
+        for ((&(ri, bi, code, logprob), cache), logits) in
+            jobs.iter().zip(new_caches).zip(all_logits)
+        {
+            let mut prefix = requests[ri][bi].prefix.clone();
+            prefix.push(code);
+            next[ri].push(Beam { cache, logits, prefix, logprob });
+        }
+        requests = next;
+    }
+    requests.into_iter().map(|beams| finalize(trie, beams)).collect()
 }
 
 #[cfg(test)]
@@ -182,6 +332,43 @@ mod tests {
         let prompt = vocab.render(&[lcrec_data::Seg::Text("something".into())]);
         let hyps = constrained_beam_search(&lm, &vocab, &trie, &prompt, 1);
         assert_eq!(hyps.len(), 1);
+    }
+
+    #[test]
+    fn multi_request_matches_single_request_bit_for_bit() {
+        let (lm, vocab, trie) = setup();
+        let prompts: Vec<Vec<u32>> = ["recommend something", "recommend", "something"]
+            .iter()
+            .map(|t| vocab.render(&[lcrec_data::Seg::Text((*t).into())]))
+            .collect();
+        let widths = [4usize, 2, 3];
+        for pool in [Pool::serial(), Pool::new(4)] {
+            let batched =
+                multi_constrained_beam_search_with(&pool, &lm, &vocab, &trie, &prompts, &widths);
+            assert_eq!(batched.len(), prompts.len());
+            for ((prompt, &w), got) in prompts.iter().zip(&widths).zip(&batched) {
+                let solo = constrained_beam_search_with(&pool, &lm, &vocab, &trie, prompt, w);
+                assert_eq!(got.len(), solo.len());
+                for (a, b) in got.iter().zip(&solo) {
+                    assert_eq!(a.item, b.item, "rankings must agree");
+                    assert_eq!(a.logprob.to_bits(), b.logprob.to_bits(), "scores to the bit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_request_handles_empty_and_single_inputs() {
+        let (lm, vocab, trie) = setup();
+        assert!(multi_constrained_beam_search(&lm, &vocab, &trie, &[], 4).is_empty());
+        let prompt = vocab.render(&[lcrec_data::Seg::Text("recommend".into())]);
+        let one = multi_constrained_beam_search(&lm, &vocab, &trie, &[prompt.clone()], 4);
+        let solo = constrained_beam_search(&lm, &vocab, &trie, &prompt, 4);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].len(), solo.len());
+        for (a, b) in one[0].iter().zip(&solo) {
+            assert_eq!((a.item, a.logprob.to_bits()), (b.item, b.logprob.to_bits()));
+        }
     }
 
     #[test]

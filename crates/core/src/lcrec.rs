@@ -119,6 +119,11 @@ impl LcRec {
         &self.lm
     }
 
+    /// The index trie constraining generation (serving, benchmarks).
+    pub fn trie(&self) -> &IndexTrie {
+        &self.trie
+    }
+
     /// Caps an `Items` segment to the configured history budget.
     fn cap_segs(&self, segs: &[Seg]) -> Vec<Seg> {
         segs.iter()

@@ -10,7 +10,12 @@
 //! * **training** — define-by-run autograd graphs with teacher forcing and
 //!   response-only loss (Eqn. 7);
 //! * **inference** — a raw, allocation-light path with a per-sequence
-//!   [`KvCache`], the optimization the paper highlights in §III-D2.
+//!   [`KvCache`], the optimization the paper highlights in §III-D2. The
+//!   single-token step comes in two shapes sharing one implementation:
+//!   [`CausalLm::advance`] (one sequence) and [`CausalLm::advance_batch`]
+//!   (many sequences through one weight pass, each with its own cache
+//!   slot). Per-row arithmetic is identical, so batched serving
+//!   (`lcrec-serve`) is bit-identical to sequential decoding.
 
 use lcrec_tensor::{
     init, matmul_acc, softmax_rows, AdamW, Graph, ParamId, ParamStore, Schedule, Tensor, Var,
@@ -229,88 +234,123 @@ impl CausalLm {
 
     /// Feeds one token through the raw inference path, appending to the
     /// cache and returning the logits for the next position.
+    ///
+    /// This *is* [`CausalLm::advance_batch`] with a single slot, so the
+    /// one-request path and the batched serving path share every
+    /// instruction — there is no separate arithmetic to drift apart.
     pub fn advance(&self, cache: &mut KvCache, token: u32) -> Vec<f32> {
+        let mut slots = [cache];
+        self.advance_batch(&mut slots, &[token]).pop().unwrap_or_default()
+    }
+
+    /// Feeds one token into each of `b` independent sequences through a
+    /// **single weight pass**: `caches[i]` receives `tokens[i]`, and slots
+    /// may sit at different positions. Returns one logit row per slot, in
+    /// slot order.
+    ///
+    /// The per-row arithmetic (RMS norm, attention over the slot's own
+    /// cache, gated FFN, tied-head logits) is exactly the batch-1 path —
+    /// the batched matmul accumulates strictly row by row — so batched and
+    /// sequential decoding produce bit-identical logits. That contract is
+    /// what lets the serving engine (`lcrec-serve`) batch requests without
+    /// changing any ranking; `tests/serving.rs` pins it.
+    pub fn advance_batch(&self, caches: &mut [&mut KvCache], tokens: &[u32]) -> Vec<Vec<f32>> {
+        assert_eq!(caches.len(), tokens.len(), "one token per cache slot");
+        let b = caches.len();
+        if b == 0 {
+            return Vec::new();
+        }
         let obs_watch = lcrec_obs::stopwatch();
         let d = self.cfg.dim;
         let h = self.cfg.heads;
         let dh = d / h;
-        let pos = cache.len.min(self.cfg.max_seq - 1);
         let tok_table = self.ps.value(self.tok_emb);
         let pos_table = self.ps.value(self.pos_emb);
-        let mut x: Vec<f32> = tok_table.row(token as usize).to_vec();
-        for (xi, pi) in x.iter_mut().zip(pos_table.row(pos)) {
-            *xi += pi;
+        let mut xs = vec![0.0f32; b * d];
+        for (r, (&token, cache)) in tokens.iter().zip(caches.iter()).enumerate() {
+            let pos = cache.len.min(self.cfg.max_seq - 1);
+            let row = &mut xs[r * d..(r + 1) * d];
+            row.copy_from_slice(tok_table.row(token as usize));
+            for (xi, pi) in row.iter_mut().zip(pos_table.row(pos)) {
+                *xi += pi;
+            }
         }
         for (l, blk) in self.blocks.iter().enumerate() {
-            let xn = rms_vec(&x, self.ps.value(blk.norm1).data());
-            let q = vecmat(&xn, self.ps.value(blk.wq));
-            let k = vecmat(&xn, self.ps.value(blk.wk));
-            let v = vecmat(&xn, self.ps.value(blk.wv));
-            cache.k[l].extend_from_slice(&k);
-            cache.v[l].extend_from_slice(&v);
-            let t = cache.len + 1;
+            let xn = rms_rows(&xs, self.ps.value(blk.norm1).data(), b);
+            let q = batmat(&xn, self.ps.value(blk.wq), b);
+            let k = batmat(&xn, self.ps.value(blk.wk), b);
+            let v = batmat(&xn, self.ps.value(blk.wv), b);
             let scale = 1.0 / (dh as f32).sqrt();
-            let mut ctx = vec![0.0f32; d];
-            for head in 0..h {
-                let qh = &q[head * dh..(head + 1) * dh];
-                // Scores over all cached positions for this head.
-                let mut scores = Vec::with_capacity(t);
-                for ti in 0..t {
-                    let kh = &cache.k[l][ti * d + head * dh..ti * d + (head + 1) * dh];
-                    let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
-                    scores.push(dot * scale);
-                }
-                let mut probs = vec![0.0f32; t];
-                softmax_rows(&scores, &mut probs, t);
-                let out = &mut ctx[head * dh..(head + 1) * dh];
-                for (ti, &p) in probs.iter().enumerate() {
-                    let vh = &cache.v[l][ti * d + head * dh..ti * d + (head + 1) * dh];
-                    for (o, &vv) in out.iter_mut().zip(vh) {
-                        *o += p * vv;
+            let mut ctx = vec![0.0f32; b * d];
+            for (r, cache) in caches.iter_mut().enumerate() {
+                cache.k[l].extend_from_slice(&k[r * d..(r + 1) * d]);
+                cache.v[l].extend_from_slice(&v[r * d..(r + 1) * d]);
+                let t = cache.len + 1;
+                for head in 0..h {
+                    let qh = &q[r * d + head * dh..r * d + (head + 1) * dh];
+                    // Scores over all of this slot's cached positions.
+                    let mut scores = Vec::with_capacity(t);
+                    for ti in 0..t {
+                        let kh = &cache.k[l][ti * d + head * dh..ti * d + (head + 1) * dh];
+                        let dot: f32 = qh.iter().zip(kh).map(|(qv, kv)| qv * kv).sum();
+                        scores.push(dot * scale);
+                    }
+                    let mut probs = vec![0.0f32; t];
+                    softmax_rows(&scores, &mut probs, t);
+                    let out = &mut ctx[r * d + head * dh..r * d + (head + 1) * dh];
+                    for (ti, &p) in probs.iter().enumerate() {
+                        let vh = &cache.v[l][ti * d + head * dh..ti * d + (head + 1) * dh];
+                        for (o, &vv) in out.iter_mut().zip(vh) {
+                            *o += p * vv;
+                        }
                     }
                 }
             }
-            let att = vecmat(&ctx, self.ps.value(blk.wo));
-            for (xi, a) in x.iter_mut().zip(&att) {
+            let att = batmat(&ctx, self.ps.value(blk.wo), b);
+            for (xi, a) in xs.iter_mut().zip(&att) {
                 *xi += a;
             }
-            let xn2 = rms_vec(&x, self.ps.value(blk.norm2).data());
-            let gate = vecmat(&xn2, self.ps.value(blk.w_gate));
-            let up = vecmat(&xn2, self.ps.value(blk.w_up));
+            let xn2 = rms_rows(&xs, self.ps.value(blk.norm2).data(), b);
+            let gate = batmat(&xn2, self.ps.value(blk.w_gate), b);
+            let up = batmat(&xn2, self.ps.value(blk.w_up), b);
             let hid: Vec<f32> = gate
                 .iter()
                 .zip(&up)
                 .map(|(&gv, &uv)| gv * lcrec_tensor::sigmoid(gv) * uv)
                 .collect();
-            let down = vecmat(&hid, self.ps.value(blk.w_down));
-            for (xi, dv) in x.iter_mut().zip(&down) {
+            let down = batmat(&hid, self.ps.value(blk.w_down), b);
+            for (xi, dv) in xs.iter_mut().zip(&down) {
                 *xi += dv;
             }
         }
-        cache.len += 1;
-        let xf = rms_vec(&x, self.ps.value(self.final_norm).data());
-        // Tied head: logits = xf @ tok_emb^T.
-        let mut logits = vec![0.0f32; self.cfg.vocab];
-        for (vi, logit) in logits.iter_mut().enumerate() {
-            let row = tok_table.row(vi);
-            let mut acc = 0.0;
-            for (a, b) in xf.iter().zip(row) {
-                acc += a * b;
+        let mut out = Vec::with_capacity(b);
+        for (r, cache) in caches.iter_mut().enumerate() {
+            cache.len += 1;
+            let xf = rms_vec(&xs[r * d..(r + 1) * d], self.ps.value(self.final_norm).data());
+            // Tied head: logits = xf @ tok_emb^T.
+            let mut logits = vec![0.0f32; self.cfg.vocab];
+            for (vi, logit) in logits.iter_mut().enumerate() {
+                let row = tok_table.row(vi);
+                let mut acc = 0.0;
+                for (a, w) in xf.iter().zip(row) {
+                    acc += a * w;
+                }
+                *logit = acc;
             }
-            *logit = acc;
+            out.push(logits);
         }
         if obs_watch.running() {
             // Prefill steps and decode steps share this path; split the
             // tokens/sec accounting by the phase flag prefill() sets.
             if IN_PREFILL.with(|c| c.get()) {
-                lcrec_obs::counter_add("lm.prefill_tokens", 1);
+                lcrec_obs::counter_add("lm.prefill_tokens", b as u64);
                 obs_watch.stop("lm.prefill_s");
             } else {
-                lcrec_obs::counter_add("lm.decode_tokens", 1);
+                lcrec_obs::counter_add("lm.decode_tokens", b as u64);
                 obs_watch.stop("lm.decode_s");
             }
         }
-        logits
+        out
     }
 
     /// Runs all `tokens` through the cache; returns the logits after the
@@ -324,6 +364,42 @@ impl CausalLm {
         }
         IN_PREFILL.with(|c| c.set(was));
         logits
+    }
+
+    /// Batched [`CausalLm::prefill`]: runs each sequence through its own
+    /// cache in position lockstep — step `t` feeds token `t` of every
+    /// sequence that still has one, sharing a single weight pass per step.
+    /// Ragged lengths simply drop finished slots from later steps, so each
+    /// slot sees exactly the arithmetic of a solo prefill (bit-identical
+    /// logits and cache contents).
+    ///
+    /// Returns the logits after each sequence's last token, in slot order.
+    /// An empty sequence yields an empty logit row (its cache untouched).
+    pub fn prefill_batch(&self, caches: &mut [KvCache], seqs: &[&[u32]]) -> Vec<Vec<f32>> {
+        assert_eq!(caches.len(), seqs.len(), "one cache per sequence");
+        let was = IN_PREFILL.with(|c| c.replace(true));
+        let longest = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
+        let mut outs = vec![Vec::new(); seqs.len()];
+        for t in 0..longest {
+            let mut slots: Vec<&mut KvCache> = Vec::new();
+            let mut toks: Vec<u32> = Vec::new();
+            let mut live: Vec<usize> = Vec::new();
+            for (i, cache) in caches.iter_mut().enumerate() {
+                if t < seqs[i].len() {
+                    slots.push(cache);
+                    toks.push(seqs[i][t]);
+                    live.push(i);
+                }
+            }
+            let logits = self.advance_batch(&mut slots, &toks);
+            for (row, &i) in logits.into_iter().zip(&live) {
+                if t + 1 == seqs[i].len() {
+                    outs[i] = row;
+                }
+            }
+        }
+        IN_PREFILL.with(|c| c.set(was));
+        outs
     }
 
     /// Log-probability of `continuation` given `prefix` (sums per-token
@@ -340,6 +416,17 @@ impl CausalLm {
     }
 
     /// Greedy decoding until `stop` returns true or `max_new` tokens.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcrec_core::{CausalLm, LmConfig};
+    ///
+    /// let lm = CausalLm::new(LmConfig::test(16));
+    /// let out = lm.greedy(&[1, 2, 3], 4, |_| false);
+    /// assert_eq!(out.len(), 4, "no stop token: decode all 4 requested");
+    /// assert!(out.iter().all(|&t| (t as usize) < lm.config().vocab));
+    /// ```
     pub fn greedy(&self, prefix: &[u32], max_new: usize, stop: impl Fn(u32) -> bool) -> Vec<u32> {
         let mut cache = self.new_cache();
         let mut logits = self.prefill(&mut cache, prefix);
@@ -376,11 +463,27 @@ fn rms_vec(x: &[f32], gamma: &[f32]) -> Vec<f32> {
     x.iter().zip(gamma).map(|(&v, &g)| v * r * g).collect()
 }
 
-fn vecmat(x: &[f32], w: &Tensor) -> Vec<f32> {
+/// Row-wise [`rms_vec`] over `b` packed rows of width `gamma.len()`.
+fn rms_rows(xs: &[f32], gamma: &[f32], b: usize) -> Vec<f32> {
+    let d = gamma.len();
+    debug_assert_eq!(xs.len(), b * d);
+    let mut out = Vec::with_capacity(b * d);
+    for r in 0..b {
+        out.extend(rms_vec(&xs[r * d..(r + 1) * d], gamma));
+    }
+    out
+}
+
+/// `b` packed row-vectors times one weight matrix in a single `matmul_acc`
+/// call. The kernel accumulates each output row independently, in the same
+/// element order as the `m = 1` case, so a batch of `b` rows is
+/// bit-identical to `b` separate single-row multiplies — the foundation of
+/// the batched-equals-sequential decoding contract.
+fn batmat(xs: &[f32], w: &Tensor, b: usize) -> Vec<f32> {
     let (rows, cols) = (w.dim(0), w.dim(1));
-    debug_assert_eq!(x.len(), rows);
-    let mut out = vec![0.0f32; cols];
-    matmul_acc(x, w.data(), &mut out, 1, rows, cols);
+    debug_assert_eq!(xs.len(), b * rows);
+    let mut out = vec![0.0f32; b * cols];
+    matmul_acc(xs, w.data(), &mut out, b, rows, cols);
     out
 }
 
@@ -410,7 +513,15 @@ pub struct LmTrainConfig {
     pub lr: f32,
     /// Epochs over the instruction data.
     pub epochs: usize,
-    /// Sequences per step.
+    /// Sequences per optimizer step.
+    ///
+    /// Batches are **not** i.i.d. draws from the epoch: each epoch the
+    /// examples are shuffled and then *stably* sorted by token length (see
+    /// [`dense_batch_order`]), and consecutive ranks form a batch. Batches
+    /// therefore pack examples of similar length — "dense batches" with
+    /// minimal padding, since the padded width is the longest example in
+    /// the batch — while the shuffle still moves equal-length examples
+    /// between batches from epoch to epoch.
     pub batch: usize,
     /// Warmup steps of the cosine schedule.
     pub warmup: usize,
@@ -431,6 +542,23 @@ impl LmTrainConfig {
 /// One tokenized training example: tokens plus the prompt length whose
 /// positions are excluded from the loss.
 pub type LmExample = (Vec<u32>, usize);
+
+/// The epoch ordering used by [`train_lm_epochs`]: a Fisher–Yates shuffle
+/// followed by a **stable** sort on example length. Consecutive ranks form
+/// a batch (see [`LmTrainConfig::batch`]), so batches stay *dense* —
+/// examples of similar length share a batch and little padding is wasted —
+/// while equal-length examples keep a fresh random order every epoch.
+///
+/// The returned vector is a permutation of `0..lengths.len()` with
+/// `lengths[order[j]]` non-decreasing in `j`.
+pub fn dense_batch_order(lengths: &[usize], rng: &mut StdRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..lengths.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    order.sort_by_key(|&i| lengths[i]);
+    order
+}
 
 /// Instruction-tunes the LM on a fixed example set (Eqn. 7: next-token CE
 /// on response positions only). Returns mean loss per epoch.
@@ -469,12 +597,8 @@ pub fn train_lm_epochs(
             epoch_losses.push(0.0);
             continue;
         }
-        let mut order: Vec<usize> = (0..examples.len()).collect();
-        // Sort by length with shuffled ties: batches stay dense.
-        for i in (1..order.len()).rev() {
-            order.swap(i, rng.random_range(0..=i));
-        }
-        order.sort_by_key(|&i| examples[i].0.len());
+        let lengths: Vec<usize> = examples.iter().map(|e| e.0.len()).collect();
+        let order = dense_batch_order(&lengths, &mut rng);
         let mut sum = 0.0;
         let mut nb = 0usize;
         for chunk in order.chunks(cfg.batch) {
@@ -581,6 +705,73 @@ mod tests {
         let cfg = LmTrainConfig { lr: 1e-3, epochs: 50, batch: 4, warmup: 2, max_steps: Some(3), seed: 3 };
         let losses = train_lm(&mut lm, &examples, &cfg);
         assert_eq!(losses.len(), 1, "training must stop within the first epoch");
+    }
+
+    #[test]
+    fn batched_prefill_is_bit_identical_to_sequential() {
+        let lm = CausalLm::new(LmConfig::test(30));
+        let seqs: [&[u32]; 4] = [&[1, 7, 3], &[2, 4, 9, 5, 6], &[8], &[]];
+        // Sequential reference: each sequence through its own solo prefill.
+        let mut solo: Vec<Vec<f32>> = Vec::new();
+        let mut solo_caches: Vec<KvCache> = Vec::new();
+        for s in seqs {
+            let mut cache = lm.new_cache();
+            solo.push(if s.is_empty() { Vec::new() } else { lm.prefill(&mut cache, s) });
+            solo_caches.push(cache);
+        }
+        // Batched: ragged lengths in one lockstep pass.
+        let mut caches: Vec<KvCache> = (0..seqs.len()).map(|_| lm.new_cache()).collect();
+        let batched = lm.prefill_batch(&mut caches, &seqs);
+        for ((a, b), (ca, cb)) in batched.iter().zip(&solo).zip(caches.iter().zip(&solo_caches)) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "logits must match bit for bit");
+            }
+            assert_eq!(ca.len(), cb.len(), "cache positions must agree");
+        }
+        // Continue decoding from the batched caches: still bit-identical.
+        let next: Vec<u32> = vec![3, 1, 2];
+        let mut slots: Vec<&mut KvCache> = caches.iter_mut().take(3).collect();
+        let step = lm.advance_batch(&mut slots, &next);
+        for (i, row) in step.iter().enumerate() {
+            let reference = lm.advance(&mut solo_caches[i], next[i]);
+            for (x, y) in row.iter().zip(&reference) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn advance_batch_with_empty_batch_is_a_no_op() {
+        let lm = CausalLm::new(LmConfig::test(10));
+        let mut slots: Vec<&mut KvCache> = Vec::new();
+        assert!(lm.advance_batch(&mut slots, &[]).is_empty());
+    }
+
+    #[test]
+    fn dense_batch_order_is_a_length_sorted_permutation() {
+        let lengths: Vec<usize> = (0..40).map(|i| (i * 7 + 3) % 11).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let order = dense_batch_order(&lengths, &mut rng);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>(), "must be a permutation");
+        for w in order.windows(2) {
+            assert!(lengths[w[0]] <= lengths[w[1]], "lengths must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn dense_batch_order_shuffles_ties() {
+        // All-equal lengths: the stable sort preserves the shuffle, so the
+        // order must be a non-identity permutation (seeded, deterministic).
+        let lengths = vec![5usize; 32];
+        let mut rng = StdRng::seed_from_u64(7);
+        let order = dense_batch_order(&lengths, &mut rng);
+        assert_ne!(order, (0..32).collect::<Vec<_>>(), "ties must be shuffled");
+        // Same seed → same order: the epoch ordering is reproducible.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        assert_eq!(order, dense_batch_order(&lengths, &mut rng2));
     }
 
     #[test]

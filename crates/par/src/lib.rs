@@ -55,6 +55,24 @@ pub fn default_threads() -> usize {
 /// `Pool` is a lightweight handle (just a thread count); workers are
 /// spawned per call via `std::thread::scope`, so a `Pool` can be freely
 /// copied, stored in configs, or created ad hoc around a hot loop.
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_par::Pool;
+///
+/// let items: Vec<f32> = (0..100).map(|i| i as f32 * 0.1).collect();
+/// let work = |i: usize, x: &f32| x.sin() * (i as f32 + 1.0);
+///
+/// // Results are in input order and bit-identical at any thread count.
+/// let serial: Vec<f32> = Pool::serial().map(&items, work);
+/// let parallel: Vec<f32> = Pool::new(4).map(&items, work);
+/// assert_eq!(serial, parallel);
+///
+/// // Ordered reduction: same guarantee for fold-style aggregation.
+/// let sum = Pool::new(4).map_reduce(items.len(), |i| items[i], 0.0f32, |a, b| a + b);
+/// assert_eq!(sum.to_bits(), items.iter().sum::<f32>().to_bits());
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Pool {
     threads: usize,

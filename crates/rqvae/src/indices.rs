@@ -112,6 +112,29 @@ impl ItemIndices {
 /// search: at each generation step only children of the current prefix are
 /// legal, so every completed beam is a real item ("probabilities of tokens
 /// that may result in illegal item indices will be assigned 0").
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_rqvae::{IndexTrie, ItemIndices};
+///
+/// // Three items with 2-level semantic IDs; items 0 and 1 share a prefix.
+/// let indices = ItemIndices::new(vec![4, 4], vec![
+///     vec![0, 0],
+///     vec![0, 3],
+///     vec![2, 1],
+/// ]);
+/// let trie = IndexTrie::build(&indices);
+///
+/// // Only learned code paths are legal at each step...
+/// assert_eq!(trie.allowed(&[]), &[0, 2]);
+/// assert_eq!(trie.allowed(&[0]), &[0, 3]);
+/// assert!(trie.allowed(&[1]).is_empty(), "no item starts with code 1");
+///
+/// // ...so every completed path resolves to a real item.
+/// assert_eq!(trie.item_at(&[0, 3]), Some(1));
+/// assert_eq!(trie.item_at(&[2, 3]), None);
+/// ```
 #[derive(Debug)]
 pub struct IndexTrie {
     levels: usize,

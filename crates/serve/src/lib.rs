@@ -1,0 +1,458 @@
+//! # lcrec-serve
+//!
+//! A batched inference engine for LC-Rec: recommendation requests (user
+//! history → top-K item indices) are admitted into a bounded queue, grouped
+//! by a max-batch-size / max-wait policy, and decoded **together** — one
+//! weight pass per transformer step shared across every request's prefill
+//! tokens and beam candidates ([`lcrec_core::multi_constrained_beam_search_with`]).
+//!
+//! Design contract (see `docs/SERVING.md` for the full lifecycle):
+//!
+//! * **Bit-identical to sequential decoding.** The batched LM step does
+//!   per-row arithmetic identical to the one-request path, so a request's
+//!   ranking and log-probabilities never depend on which other requests
+//!   share its batch — at batch size 1, 3 or 8, answers match bit for bit
+//!   (`tests/serving.rs`).
+//! * **Graceful degradation.** `max_batch = 1` turns the engine into a
+//!   plain sequential server; nothing else changes.
+//! * **Backpressure, not buffering.** The admission queue is bounded
+//!   ([`ServeConfig::queue_cap`]); a full queue rejects new requests with a
+//!   typed reason ([`Reject::QueueFull`]) instead of growing without bound.
+//! * **Observable.** Every batch records a `serve.batch` span, batch-size
+//!   histogram and per-request latency under the `LCREC_OBS` gate.
+//!
+//! Batching knobs come from [`ServeConfig`] or the `LCREC_SERVE_BATCH`,
+//! `LCREC_SERVE_QUEUE` and `LCREC_SERVE_WAIT_MS` environment variables
+//! (documented in `docs/ENVIRONMENT.md`).
+
+#![warn(missing_docs)]
+
+use lcrec_core::{
+    multi_constrained_beam_search_with, CausalLm, ExtendedVocab, Hypothesis, LcRec,
+};
+use lcrec_data::Seg;
+use lcrec_par::Pool;
+use lcrec_rqvae::IndexTrie;
+use lcrec_text::token::BOS;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Instant;
+
+/// Environment variable overriding [`ServeConfig::max_batch`].
+pub const BATCH_ENV: &str = "LCREC_SERVE_BATCH";
+/// Environment variable overriding [`ServeConfig::queue_cap`].
+pub const QUEUE_ENV: &str = "LCREC_SERVE_QUEUE";
+/// Environment variable overriding [`ServeConfig::max_wait_ms`].
+pub const WAIT_ENV: &str = "LCREC_SERVE_WAIT_MS";
+
+/// Batching and admission policy for an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Most requests decoded in one shared weight pass. `1` degrades the
+    /// engine to plain sequential serving (same answers, bit for bit).
+    pub max_batch: usize,
+    /// Admission-queue capacity; a full queue rejects new requests with
+    /// [`Reject::QueueFull`] instead of buffering unboundedly.
+    pub queue_cap: usize,
+    /// Oldest-request wait (milliseconds) that forces dispatch of a
+    /// partial batch. `0` means any queued request is immediately ready.
+    pub max_wait_ms: u64,
+    /// Beam width floor: each request decodes at `max(beam, k)` so the
+    /// top-K cut always comes from a full-width ranked list.
+    pub beam: usize,
+    /// Instruction text rendered in front of the history items.
+    pub template: String,
+    /// History items kept per request (context-window budget; mirrors
+    /// `LcRecConfig::max_hist_items`).
+    pub max_hist_items: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            queue_cap: 64,
+            max_wait_ms: 5,
+            beam: 10,
+            template: "recommend the next item".to_string(),
+            max_hist_items: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by the `LCREC_SERVE_BATCH`, `LCREC_SERVE_QUEUE`
+    /// and `LCREC_SERVE_WAIT_MS` environment variables (unset or
+    /// unparsable values keep the default; batch and queue clamp to ≥ 1).
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = env_usize(BATCH_ENV) {
+            cfg.max_batch = v.max(1);
+        }
+        if let Some(v) = env_usize(QUEUE_ENV) {
+            cfg.queue_cap = v.max(1);
+        }
+        if let Some(v) = env_usize(WAIT_ENV) {
+            cfg.max_wait_ms = v as u64;
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse::<usize>().ok())
+}
+
+/// Why a request was not admitted. Returned by [`Engine::submit`] so
+/// callers can shed load explicitly instead of blocking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// The bounded admission queue is at capacity.
+    QueueFull {
+        /// The configured [`ServeConfig::queue_cap`] that was hit.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for Reject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reject::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity}); retry later")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Reject {}
+
+/// One completed request: the ranked recommendations plus serving metadata.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The ticket returned by [`Engine::submit`].
+    pub id: u64,
+    /// Top-K items, best first (K as requested at submit time).
+    pub ranked: Vec<Hypothesis>,
+    /// Seconds from admission to completion (queue wait + decode).
+    pub latency_s: f64,
+    /// How many requests shared this request's batch.
+    pub batch_size: usize,
+}
+
+struct Pending {
+    id: u64,
+    history: Vec<u32>,
+    k: usize,
+    enqueued: Instant,
+}
+
+/// The batched inference engine.
+///
+/// Borrows a trained model's parts (LM, extended vocabulary, index trie) —
+/// the engine adds no model state of its own, only the admission queue.
+/// Requests go in via [`Engine::submit`]; batches come out via
+/// [`Engine::step`] (policy-gated) or [`Engine::flush`] (drain everything).
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_core::{CausalLm, ExtendedVocab, LmConfig};
+/// use lcrec_rqvae::{IndexTrie, ItemIndices};
+/// use lcrec_serve::{Engine, ServeConfig};
+/// use lcrec_text::Vocab;
+///
+/// // A miniature model: 4 items with 2-level semantic IDs.
+/// let base = Vocab::build(["recommend the next item"], 1);
+/// let indices = ItemIndices::new(
+///     vec![3, 3],
+///     vec![vec![0, 0], vec![0, 1], vec![1, 2], vec![2, 2]],
+/// );
+/// let trie = IndexTrie::build(&indices);
+/// let vocab = ExtendedVocab::new(base, indices);
+/// let lm = CausalLm::new(LmConfig::test(vocab.len()));
+///
+/// let mut engine = Engine::new(&lm, &vocab, &trie, ServeConfig::default());
+/// let id = engine.submit(&[0, 2], 3).expect("queue has room");
+/// let responses = engine.flush();
+/// assert_eq!(responses.len(), 1);
+/// assert_eq!(responses[0].id, id);
+/// assert_eq!(responses[0].ranked.len(), 3, "top-3 of the 4 items");
+/// ```
+#[derive(Debug)]
+pub struct Engine<'a> {
+    lm: &'a CausalLm,
+    vocab: &'a ExtendedVocab,
+    trie: &'a IndexTrie,
+    cfg: ServeConfig,
+    pool: Pool,
+    queue: VecDeque<Pending>,
+    next_id: u64,
+}
+
+impl fmt::Debug for Pending {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pending").field("id", &self.id).field("k", &self.k).finish()
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// An engine over explicit model parts, with parallelism from the
+    /// ambient [`Pool::from_env`] (`LCREC_THREADS`).
+    pub fn new(
+        lm: &'a CausalLm,
+        vocab: &'a ExtendedVocab,
+        trie: &'a IndexTrie,
+        cfg: ServeConfig,
+    ) -> Self {
+        Engine::with_pool(lm, vocab, trie, cfg, Pool::from_env())
+    }
+
+    /// [`Engine::new`] with an explicit thread pool.
+    pub fn with_pool(
+        lm: &'a CausalLm,
+        vocab: &'a ExtendedVocab,
+        trie: &'a IndexTrie,
+        cfg: ServeConfig,
+        pool: Pool,
+    ) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_cap >= 1, "queue_cap must be at least 1");
+        assert!(cfg.beam >= 1, "beam must be at least 1");
+        Engine { lm, vocab, trie, cfg, pool, queue: VecDeque::new(), next_id: 0 }
+    }
+
+    /// An engine over a trained [`LcRec`] model's LM, vocabulary and trie.
+    pub fn for_model(model: &'a LcRec, cfg: ServeConfig) -> Self {
+        Engine::new(model.lm(), model.vocab(), model.trie(), cfg)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Requests currently waiting for a batch.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admits a request (user `history` → top-`k` items) into the queue and
+    /// returns its ticket, or rejects it when the queue is at capacity —
+    /// bounded-queue backpressure instead of unbounded buffering.
+    pub fn submit(&mut self, history: &[u32], k: usize) -> Result<u64, Reject> {
+        if self.queue.len() >= self.cfg.queue_cap {
+            lcrec_obs::counter_add("serve.rejected", 1);
+            return Err(Reject::QueueFull { capacity: self.cfg.queue_cap });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        lcrec_obs::counter_add("serve.requests", 1);
+        self.queue.push_back(Pending {
+            id,
+            history: history.to_vec(),
+            k,
+            enqueued: Instant::now(),
+        });
+        Ok(id)
+    }
+
+    /// True when the batching policy would dispatch now: the queue holds a
+    /// full batch, or the oldest request has waited at least
+    /// [`ServeConfig::max_wait_ms`].
+    pub fn ready(&self) -> bool {
+        if self.queue.len() >= self.cfg.max_batch {
+            return true;
+        }
+        match self.queue.front() {
+            Some(oldest) => {
+                oldest.enqueued.elapsed().as_millis() as u64 >= self.cfg.max_wait_ms
+            }
+            None => false,
+        }
+    }
+
+    /// Dispatches **one** batch (the oldest `max_batch` requests) if the
+    /// policy says so; returns the completed responses, or an empty vector
+    /// when [`Engine::ready`] is false. Drive this from a serving loop;
+    /// tests and offline use can call [`Engine::flush`] instead.
+    pub fn step(&mut self) -> Vec<Response> {
+        if !self.ready() {
+            return Vec::new();
+        }
+        let n = self.queue.len().min(self.cfg.max_batch);
+        let batch: Vec<Pending> = self.queue.drain(..n).collect();
+        self.dispatch(batch)
+    }
+
+    /// Drains the whole queue in [`ServeConfig::max_batch`]-sized batches
+    /// (ignoring the wait policy) and returns all responses in admission
+    /// order.
+    pub fn flush(&mut self) -> Vec<Response> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            let n = self.queue.len().min(self.cfg.max_batch);
+            let batch: Vec<Pending> = self.queue.drain(..n).collect();
+            out.extend(self.dispatch(batch));
+        }
+        out
+    }
+
+    /// Renders one request's prompt exactly as `LcRec::render_prompt`
+    /// does: history capped to [`ServeConfig::max_hist_items`], BOS +
+    /// template text + item-index tokens, then front-truncated (dropping
+    /// the oldest tokens after BOS) so prompt + one full index fits the
+    /// LM's context window. Public so bit-identity tests can compare the
+    /// engine against direct beam-search calls on the same tokens.
+    pub fn render_prompt(&self, history: &[u32]) -> Vec<u32> {
+        let capped = if history.len() > self.cfg.max_hist_items {
+            &history[history.len() - self.cfg.max_hist_items..]
+        } else {
+            history
+        };
+        let segs =
+            [Seg::Text(self.cfg.template.clone()), Seg::Items(capped.to_vec())];
+        let mut tokens = vec![BOS];
+        tokens.extend(self.vocab.render(&segs));
+        let max_seq = self.lm.config().max_seq;
+        let budget = max_seq - self.vocab.indices().levels - 1;
+        if tokens.len() > budget {
+            let excess = tokens.len() - budget;
+            tokens.drain(1..1 + excess);
+        }
+        tokens
+    }
+
+    fn dispatch(&mut self, batch: Vec<Pending>) -> Vec<Response> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let _span = lcrec_obs::span("serve.batch");
+        let obs_on = lcrec_obs::enabled();
+        if obs_on {
+            lcrec_obs::counter_add("serve.batches", 1);
+            lcrec_obs::hist_record("serve.batch_size", batch.len() as f64);
+        }
+        let prompts: Vec<Vec<u32>> =
+            batch.iter().map(|p| self.render_prompt(&p.history)).collect();
+        let widths: Vec<usize> = batch.iter().map(|p| p.k.max(self.cfg.beam)).collect();
+        let ranked_lists = multi_constrained_beam_search_with(
+            &self.pool,
+            self.lm,
+            self.vocab,
+            self.trie,
+            &prompts,
+            &widths,
+        );
+        let batch_size = batch.len();
+        batch
+            .into_iter()
+            .zip(ranked_lists)
+            .map(|(pending, mut ranked)| {
+                ranked.truncate(pending.k);
+                let latency_s = pending.enqueued.elapsed().as_secs_f64();
+                if obs_on {
+                    lcrec_obs::profile_record("serve.request_s", latency_s);
+                }
+                Response { id: pending.id, ranked, latency_s, batch_size }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrec_core::LmConfig;
+    use lcrec_rqvae::ItemIndices;
+    use lcrec_text::Vocab;
+
+    fn setup() -> (CausalLm, ExtendedVocab, IndexTrie) {
+        let base = Vocab::build(["recommend the next item please"], 1);
+        let indices = ItemIndices::new(
+            vec![3, 3],
+            vec![vec![0, 0], vec![0, 1], vec![1, 2], vec![2, 2]],
+        );
+        let trie = IndexTrie::build(&indices);
+        let vocab = ExtendedVocab::new(base, indices);
+        let lm = CausalLm::new(LmConfig::test(vocab.len()));
+        (lm, vocab, trie)
+    }
+
+    #[test]
+    fn queue_full_rejects_with_capacity() {
+        let (lm, vocab, trie) = setup();
+        let cfg = ServeConfig { queue_cap: 2, ..ServeConfig::default() };
+        let mut engine = Engine::new(&lm, &vocab, &trie, cfg);
+        assert!(engine.submit(&[0], 1).is_ok());
+        assert!(engine.submit(&[1], 1).is_ok());
+        let err = engine.submit(&[2], 1).unwrap_err();
+        assert_eq!(err, Reject::QueueFull { capacity: 2 });
+        assert!(err.to_string().contains("capacity 2"));
+        // Draining the queue frees capacity again.
+        engine.flush();
+        assert!(engine.submit(&[2], 1).is_ok());
+    }
+
+    #[test]
+    fn step_respects_batch_and_wait_policy() {
+        let (lm, vocab, trie) = setup();
+        // A full batch dispatches immediately; a partial one only after
+        // the (here: effectively infinite) wait.
+        let cfg = ServeConfig { max_batch: 2, max_wait_ms: u64::MAX, ..ServeConfig::default() };
+        let mut engine = Engine::new(&lm, &vocab, &trie, cfg);
+        engine.submit(&[0], 2).expect("admitted");
+        assert!(!engine.ready(), "partial batch must wait");
+        assert!(engine.step().is_empty());
+        engine.submit(&[1], 2).expect("admitted");
+        assert!(engine.ready(), "full batch dispatches");
+        let out = engine.step();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].batch_size, 2);
+        assert_eq!(engine.queue_len(), 0);
+        // max_wait_ms = 0: anything queued is immediately ready.
+        let cfg = ServeConfig { max_batch: 8, max_wait_ms: 0, ..ServeConfig::default() };
+        let mut engine = Engine::new(&lm, &vocab, &trie, cfg);
+        engine.submit(&[0], 1).expect("admitted");
+        assert!(engine.ready());
+        assert_eq!(engine.step().len(), 1);
+    }
+
+    #[test]
+    fn responses_keep_admission_order_and_ids() {
+        let (lm, vocab, trie) = setup();
+        let cfg = ServeConfig { max_batch: 2, ..ServeConfig::default() };
+        let mut engine = Engine::new(&lm, &vocab, &trie, cfg);
+        let ids: Vec<u64> =
+            (0..5).map(|i| engine.submit(&[i as u32 % 4], 2).expect("admitted")).collect();
+        let out = engine.flush();
+        assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), ids);
+        // 5 requests at max_batch 2 → batches of 2, 2, 1.
+        assert_eq!(out.iter().map(|r| r.batch_size).collect::<Vec<_>>(), vec![2, 2, 2, 2, 1]);
+        assert!(out.iter().all(|r| r.latency_s >= 0.0));
+    }
+
+    #[test]
+    fn top_k_truncates_the_full_width_ranking() {
+        let (lm, vocab, trie) = setup();
+        let mut engine = Engine::new(&lm, &vocab, &trie, ServeConfig::default());
+        engine.submit(&[0, 1], 2).expect("admitted");
+        engine.submit(&[0, 1], 4).expect("admitted");
+        let out = engine.flush();
+        assert_eq!(out[0].ranked.len(), 2);
+        assert_eq!(out[1].ranked.len(), 4, "all 4 items exist");
+        // Same history → the k=2 list is a prefix of the k=4 list.
+        for (a, b) in out[0].ranked.iter().zip(&out[1].ranked) {
+            assert_eq!(a.item, b.item);
+            assert_eq!(a.logprob.to_bits(), b.logprob.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_env_falls_back_to_defaults() {
+        // The test runner may or may not have the vars set; either way the
+        // config must be well-formed (clamped to ≥ 1 where required).
+        let cfg = ServeConfig::from_env();
+        assert!(cfg.max_batch >= 1);
+        assert!(cfg.queue_cap >= 1);
+    }
+}

@@ -1,12 +1,12 @@
 //! Central-finite-difference gradient checking.
 //!
-//! [`check`] verifies autograd gradients of an arbitrary scalar-valued graph
+//! [`check`](crate::gradcheck::check) verifies autograd gradients of an arbitrary scalar-valued graph
 //! function against numerical central differences with a relative-error
 //! criterion tuned for `f32` (perturbation `h = 1e-2`; errors are measured
 //! against `max(|numeric|, |analytic|, 1)` so tiny gradients do not inflate
 //! relative error).
 //!
-//! [`cases`] is the table-driven suite covering **every** differentiable
+//! [`cases`](crate::gradcheck::cases) is the table-driven suite covering **every** differentiable
 //! public op of [`crate::Graph`]. Each entry names the ops it exercises; the
 //! completeness test (in this crate's tests and in the workspace root's
 //! tier-1 tests) diffs those names against the `pub fn`s of `graph.rs` —

@@ -15,7 +15,7 @@
 //! * otherwise it defaults to on in debug-assertion builds — which includes
 //!   `cargo test` under the dev profile — and off in release builds.
 //!
-//! [`set_enabled`] overrides the cached decision programmatically (used by
+//! [`set_enabled`](crate::sanitize::set_enabled) overrides the cached decision programmatically (used by
 //! tests that intentionally build non-finite tensors).
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -3,7 +3,7 @@
 //! preference summaries).
 //!
 //! All generators draw words from the item's category fields in the
-//! [`Taxonomy`](crate::taxonomy::Taxonomy), so textual similarity between two
+//! [`Taxonomy`], so textual similarity between two
 //! items reflects their category proximity — coarse category words are
 //! shared broadly, sub-category words narrowly. This mirrors how real
 //! Amazon titles/descriptions cluster, and is exactly the signal the paper's

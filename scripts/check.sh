@@ -11,8 +11,13 @@
 #   3. the suite once more with the observability gate forced on
 #      (LCREC_OBS=1) so the instrumented hot paths stay under test — the
 #      results must not change when recording is active;
-#   4. the dependency-free workspace lint pass and the public-API
-#      doc-coverage gate.
+#   4. a serve smoke-run: the batched-inference experiment end-to-end at
+#      tiny scale (admission queue, batched prefill + decode, the
+#      bit-identity column) into a scratch directory;
+#   5. the dependency-free workspace lint pass, the public-API
+#      doc-coverage gate (including required `# Examples` on entry
+#      points), and the env-var documentation gate; and
+#   6. a warning-free `cargo doc` build of the whole workspace.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -30,10 +35,25 @@ LCREC_SANITIZE=1 LCREC_THREADS=4 cargo test --workspace --quiet
 echo "== tests (LCREC_OBS=1, LCREC_SANITIZE=1, LCREC_THREADS=4) =="
 LCREC_OBS=1 LCREC_SANITIZE=1 LCREC_THREADS=4 cargo test --workspace --quiet
 
+echo "== serve smoke-run (tiny scale) =="
+cargo run --release --quiet -p lcrec-bench --bin repro -- \
+  --exp serve --scale tiny --out target/check-serve > /dev/null
+grep -q "bit-identical" target/check-serve/serve.md
+if grep -q "| NO |" target/check-serve/serve.md; then
+  echo "serve smoke-run: batched decode diverged from the sequential baseline" >&2
+  exit 1
+fi
+
 echo "== lint =="
 cargo run --quiet -p lcrec-analysis -- lint
 
 echo "== doc coverage =="
 cargo run --quiet -p lcrec-analysis -- doccov
+
+echo "== env-var docs =="
+cargo run --quiet -p lcrec-analysis -- envdoc
+
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "All checks passed."

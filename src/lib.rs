@@ -60,6 +60,7 @@ pub use lcrec_obs as obs;
 pub use lcrec_par as par;
 pub use lcrec_rqvae as rqvae;
 pub use lcrec_seqrec as seqrec;
+pub use lcrec_serve as serve;
 pub use lcrec_tensor as tensor;
 pub use lcrec_text as text;
 
@@ -78,6 +79,7 @@ pub mod prelude {
         build_indices, IndexTrie, IndexerKind, ItemIndices, RqVae, RqVaeConfig,
     };
     pub use lcrec_seqrec::{RecConfig, SasRec, ScoreModel, ScoreRanker, TrainingPairs};
+    pub use lcrec_serve::{Engine, Reject, Response, ServeConfig};
     pub use lcrec_tensor::{Graph, ParamStore, Tensor};
     pub use lcrec_text::{TextEncoder, TextGen, Vocab};
 }

@@ -6,9 +6,12 @@
 //! 2. the coverage gate that fails when a new public op in `graph.rs` lacks
 //!    a gradcheck entry, and
 //! 3. the workspace lint pass (no panic paths on decoding hot paths, no
-//!    scaffolding macros, no `unsafe`) over the repository sources, and
-//! 4. the doc-coverage gate: every public `fn`/`struct`/`enum` in
-//!    `lcrec-par`, `lcrec-tensor` and `lcrec-core` must carry `///` docs.
+//!    scaffolding macros, no `unsafe`) over the repository sources,
+//! 4. the doc-coverage gate: every public `fn`/`struct`/`enum` in the
+//!    covered crates (par, tensor, core, obs, serve) must carry `///`
+//!    docs, and the main entry points must ship `# Examples` doc-tests, and
+//! 5. the env-var gate: every `LCREC_*` environment read must be
+//!    documented in `docs/ENVIRONMENT.md`.
 
 use lcrec_tensor::gradcheck;
 use std::collections::BTreeSet;
@@ -58,6 +61,28 @@ fn public_api_is_fully_documented() {
     assert!(
         missing.is_empty(),
         "undocumented public items (add `///` docs):\n{}",
+        missing.iter().map(|m| format!("  {m}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn entry_points_have_examples() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let missing = lcrec_analysis::doccov::missing_examples_workspace(root);
+    assert!(
+        missing.is_empty(),
+        "entry points without `# Examples` doc-tests:\n{}",
+        missing.iter().map(|m| format!("  {m}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn env_reads_are_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let missing = lcrec_analysis::envdoc::undocumented_env_reads(root);
+    assert!(
+        missing.is_empty(),
+        "env reads missing from docs/ENVIRONMENT.md:\n{}",
         missing.iter().map(|m| format!("  {m}\n")).collect::<String>()
     );
 }

@@ -87,6 +87,19 @@ fn profile_emits_obs_artifact_with_nonzero_phases() {
 }
 
 #[test]
+fn serve_reports_throughput_and_stays_bit_identical() {
+    let out = exp::serve(Scale::Tiny);
+    for col in ["max batch", "req/s", "mean latency", "bit-identical"] {
+        assert!(out.markdown.contains(col), "missing column {col}\n{}", out.markdown);
+    }
+    assert!(
+        !out.markdown.contains("NO"),
+        "batched serving must stay bit-identical to the sequential baseline:\n{}",
+        out.markdown
+    );
+}
+
+#[test]
 fn fig5_and_fig6_render_case_studies() {
     let f5 = exp::fig5(Scale::Tiny);
     assert!(f5.markdown.contains("titles from index prefixes"));

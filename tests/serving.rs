@@ -1,0 +1,174 @@
+//! Serving-path equivalence and edge cases: the batched engine must return
+//! **bit-identical** rankings and log-probs to direct one-request-at-a-time
+//! constrained beam search, at every batch size, over mixed request loads —
+//! plus the admission edge cases (empty history, overlong history,
+//! queue-full rejection).
+
+use lc_rec::prelude::*;
+use lc_rec::serve::Reject;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn tiny_model() -> (Dataset, LcRec) {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let mut enc = TextEncoder::new(24, 42);
+    let texts: Vec<String> = ds.catalog.items.iter().map(|i| i.full_text()).collect();
+    let emb = enc.encode_batch(texts.iter().map(String::as_str));
+    let mut rq = RqVaeConfig::small(24, ds.num_items());
+    rq.levels = 3;
+    rq.codebook_size = 8;
+    rq.latent_dim = 8;
+    rq.hidden = vec![16];
+    rq.epochs = 6;
+    let indices = build_indices(IndexerKind::LcRec, &emb, &rq);
+    // Untrained weights are deterministic and exercise the same decode
+    // arithmetic; training time would buy these tests nothing.
+    let model = LcRec::build(&ds, indices, LcRecConfig::test());
+    (ds, model)
+}
+
+/// A random mix of request histories (varying lengths, arbitrary items).
+fn request_mix(ds: &Dataset, n: usize, seed: u64) -> Vec<(Vec<u32>, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(1..12);
+            let hist: Vec<u32> =
+                (0..len).map(|_| rng.random_range(0..ds.num_items() as u32)).collect();
+            let k = rng.random_range(1..6);
+            (hist, k)
+        })
+        .collect()
+}
+
+fn ranked_bits(ranked: &[lc_rec::core::Hypothesis]) -> Vec<(u32, u32)> {
+    ranked.iter().map(|h| (h.item, h.logprob.to_bits())).collect()
+}
+
+#[test]
+fn engine_matches_direct_beam_search_bit_for_bit() {
+    let (ds, model) = tiny_model();
+    let cfg = ServeConfig { max_batch: 4, beam: 6, ..ServeConfig::default() };
+    let mut engine = Engine::for_model(&model, cfg.clone());
+    let requests = request_mix(&ds, 6, 7);
+
+    for (hist, k) in &requests {
+        engine.submit(hist, *k).expect("queue has room");
+    }
+    let responses = engine.flush();
+    assert_eq!(responses.len(), requests.len());
+
+    // The reference path: render the same prompt, run single-request
+    // constrained beam search at the same width, cut to top-k.
+    let probe = Engine::for_model(&model, cfg.clone());
+    for (resp, (hist, k)) in responses.iter().zip(&requests) {
+        let prompt = probe.render_prompt(hist);
+        let mut direct = lc_rec::core::constrained_beam_search_with(
+            &Pool::new(1),
+            model.lm(),
+            model.vocab(),
+            model.trie(),
+            &prompt,
+            k.max(&cfg.beam).to_owned(),
+        );
+        direct.truncate(*k);
+        assert_eq!(
+            ranked_bits(&resp.ranked),
+            ranked_bits(&direct),
+            "engine diverges from direct decode for history {hist:?} k={k}"
+        );
+        assert!(!resp.ranked.is_empty());
+    }
+}
+
+#[test]
+fn batch_size_never_changes_answers() {
+    let (ds, model) = tiny_model();
+    let requests = request_mix(&ds, 8, 13);
+
+    let run = |max_batch: usize, threads: usize| -> Vec<Vec<(u32, u32)>> {
+        let cfg = ServeConfig { max_batch, beam: 5, ..ServeConfig::default() };
+        let mut engine = lc_rec::serve::Engine::with_pool(
+            model.lm(),
+            model.vocab(),
+            model.trie(),
+            cfg,
+            Pool::new(threads),
+        );
+        for (hist, k) in &requests {
+            engine.submit(hist, *k).expect("queue has room");
+        }
+        let responses = engine.flush();
+        // flush preserves admission order, so rows line up across runs.
+        responses.iter().map(|r| ranked_bits(&r.ranked)).collect()
+    };
+
+    let sequential = run(1, 1);
+    for max_batch in [3, 8] {
+        for threads in [1, 4] {
+            let batched = run(max_batch, threads);
+            assert_eq!(
+                sequential, batched,
+                "rankings/log-probs diverge at max_batch={max_batch} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_history_is_served() {
+    let (_ds, model) = tiny_model();
+    let mut engine = Engine::for_model(&model, ServeConfig::default());
+    engine.submit(&[], 3).expect("queue has room");
+    let out = engine.flush();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].ranked.len(), 3, "an empty history still ranks the catalog");
+}
+
+#[test]
+fn overlong_history_is_front_truncated_to_the_context_window() {
+    let (ds, model) = tiny_model();
+    let mut cfg = ServeConfig::default();
+    // Let far more items through than the LM context can hold so the
+    // token-level front-truncation (not just the item cap) must engage.
+    cfg.max_hist_items = 512;
+    let engine = Engine::for_model(&model, cfg.clone());
+    let long: Vec<u32> = (0..600).map(|i| (i % ds.num_items()) as u32).collect();
+
+    let prompt = engine.render_prompt(&long);
+    let max_seq = model.lm().config().max_seq;
+    let levels = model.vocab().indices().levels;
+    assert_eq!(prompt.len(), max_seq - levels - 1, "prompt fills exactly the budget");
+    assert_eq!(prompt[0], lc_rec::text::token::BOS, "BOS survives truncation");
+
+    let mut engine = Engine::for_model(&model, cfg);
+    engine.submit(&long, 4).expect("queue has room");
+    let out = engine.flush();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].ranked.len(), 4);
+    // Identical to decoding the truncated prompt directly.
+    let mut direct = lc_rec::core::constrained_beam_search_with(
+        &Pool::new(1),
+        model.lm(),
+        model.vocab(),
+        model.trie(),
+        &prompt,
+        10,
+    );
+    direct.truncate(4);
+    assert_eq!(ranked_bits(&out[0].ranked), ranked_bits(&direct));
+}
+
+#[test]
+fn queue_full_rejection_reports_capacity_and_recovers() {
+    let (_ds, model) = tiny_model();
+    let cfg = ServeConfig { queue_cap: 3, ..ServeConfig::default() };
+    let mut engine = Engine::for_model(&model, cfg);
+    for i in 0..3 {
+        engine.submit(&[i], 1).expect("under capacity");
+    }
+    assert_eq!(engine.submit(&[9], 1), Err(Reject::QueueFull { capacity: 3 }));
+    // Draining restores capacity; rejected work can be resubmitted.
+    assert_eq!(engine.flush().len(), 3);
+    assert!(engine.submit(&[9], 1).is_ok());
+    assert_eq!(engine.flush().len(), 1);
+}
