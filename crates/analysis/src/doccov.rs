@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 /// observability contract every instrumented crate programs against; serve
 /// is the public serving API.
 pub const DOC_COVERED_CRATES: &[&str] =
-    &["crates/par", "crates/tensor", "crates/core", "crates/obs", "crates/serve"];
+    &["crates/par", "crates/tensor", "crates/core", "crates/obs", "crates/serve", "crates/fault"];
 
 /// Entry points whose doc block must contain a `# Examples` section with a
 /// runnable doc-test: `(file relative to the workspace root, item name)`.
@@ -37,6 +37,7 @@ pub const EXAMPLE_REQUIRED: &[(&str, &str)] = &[
     ("crates/par/src/lib.rs", "Pool"),
     ("crates/rqvae/src/indices.rs", "IndexTrie"),
     ("crates/serve/src/lib.rs", "Engine"),
+    ("crates/fault/src/lib.rs", "FaultPlan"),
 ];
 
 /// One undocumented public item.

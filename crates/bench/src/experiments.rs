@@ -749,6 +749,124 @@ pub fn serve(scale: Scale) -> ExpOutput {
     ExpOutput::text(md)
 }
 
+// ------------------------------------------------------- extra: chaos
+
+/// Chaos experiment (`lcrec-fault` + `lcrec-serve`): pushes a fixed
+/// request load through the serving engine under seeded chaos fault
+/// plans — injected admission shedding, deadline expiries and decode
+/// failures — and reports the typed-outcome mix per seed. Each seed is
+/// run twice and the two outcome sequences (ids, rejections, rankings,
+/// timeout reasons — everything except wall-clock) are bit-compared:
+/// fault injection must be perfectly reproducible. The accounting
+/// column checks that every admitted request resolved in exactly one
+/// typed outcome — chaos may degrade answers, never lose one.
+pub fn chaos(scale: Scale) -> ExpOutput {
+    use lcrec_fault::FaultPlan;
+    use lcrec_serve::Outcome;
+
+    let ds = dataset(scale, "Games");
+    let emb = item_embeddings(&ds);
+    let idx = indices(scale, &ds, &emb, IndexerKind::LcRec);
+    let model = LcRec::build(&ds, idx, crate::setup::lcrec_config(scale, TaskSet::seq_only()));
+
+    let (total, seeds) = match scale {
+        Scale::Small => (48usize, 8u64),
+        Scale::Tiny => (12, 4),
+    };
+    let users = ds.num_users().min(24).max(1);
+    let histories: Vec<Vec<u32>> =
+        (0..total).map(|r| ds.test_example(r % users).0.to_vec()).collect();
+    let k = 10usize;
+
+    // One run's wall-clock-free canonical trace: per submission either the
+    // typed rejection or the resolved outcome (rankings down to the bit).
+    #[derive(PartialEq)]
+    enum Ev {
+        Rejected(String),
+        Completed(u64, Vec<(u32, u32)>),
+        TimedOut(u64, String),
+    }
+    let run = |seed: u64| -> Vec<Ev> {
+        let cfg = lcrec_serve::ServeConfig {
+            max_batch: 4,
+            queue_cap: 8,
+            max_wait_ms: 0,
+            ..lcrec_serve::ServeConfig::default()
+        };
+        let mut engine = lcrec_serve::Engine::for_model(&model, cfg)
+            .with_fault_plan(FaultPlan::chaos(seed).with_rate(4));
+        let mut events = Vec::new();
+        let mut admitted = 0usize;
+        for (i, hist) in histories.iter().enumerate() {
+            match engine.submit(hist, k) {
+                Ok(_) => admitted += 1,
+                Err(e) => events.push(Ev::Rejected(format!("{e}"))),
+            }
+            if i % 6 == 5 {
+                for o in engine.flush_outcomes() {
+                    events.push(match o {
+                        Outcome::Completed(r) => Ev::Completed(
+                            r.id,
+                            r.ranked.iter().map(|h| (h.item, h.logprob.to_bits())).collect(),
+                        ),
+                        Outcome::TimedOut { id, reason, .. } => {
+                            Ev::TimedOut(id, format!("{reason}"))
+                        }
+                    });
+                }
+            }
+        }
+        for o in engine.flush_outcomes() {
+            events.push(match o {
+                Outcome::Completed(r) => Ev::Completed(
+                    r.id,
+                    r.ranked.iter().map(|h| (h.item, h.logprob.to_bits())).collect(),
+                ),
+                Outcome::TimedOut { id, reason, .. } => Ev::TimedOut(id, format!("{reason}")),
+            });
+        }
+        let resolved =
+            events.iter().filter(|e| !matches!(e, Ev::Rejected(_))).count();
+        assert_eq!(resolved, admitted, "chaos lost a request (seed {seed})");
+        events
+    };
+
+    let mut rows = Vec::new();
+    for seed in 0..seeds {
+        let a = run(seed);
+        let b = run(seed);
+        let deterministic = a == b;
+        let shed = a.iter().filter(|e| matches!(e, Ev::Rejected(_))).count();
+        let completed = a.iter().filter(|e| matches!(e, Ev::Completed(..))).count();
+        let timeouts = a.iter().filter(|e| matches!(e, Ev::TimedOut(..))).count();
+        rows.push(vec![
+            seed.to_string(),
+            total.to_string(),
+            completed.to_string(),
+            shed.to_string(),
+            timeouts.to_string(),
+            "yes".to_string(),
+            if deterministic { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    let md = format!(
+        "## Extra — chaos fault injection (`lcrec-fault` + `lcrec-serve`, Games)\n\n\
+         {total} test-user requests (top-{k}) through the serving engine under\n\
+         a seeded chaos fault plan (`FaultPlan::chaos(seed)`, 1-in-4 rate):\n\
+         injected admission shedding, forced deadline expiries and transient\n\
+         decode failures. `accounted` checks every admitted request resolved\n\
+         in exactly one typed outcome; `deterministic` bit-compares two runs\n\
+         of the same seed (ids, rejections, rankings, timeout reasons —\n\
+         wall-clock excluded). See docs/ROBUSTNESS.md for the seam taxonomy.\n\n{}",
+        markdown_table(
+            &["seed", "requests", "completed", "shed", "timeouts", "accounted", "deterministic"],
+            &rows
+        )
+    );
+    ExpOutput::text(md)
+}
+
 // ------------------------------------------------------- extra: obs profile
 
 /// Instrumentation profile (`LCREC_OBS`): forces the observability gate on,

@@ -110,7 +110,12 @@ pub fn constrained_beam_search_with(
     prompt: &[u32],
     beam_size: usize,
 ) -> Vec<Hypothesis> {
-    assert!(beam_size > 0);
+    // A zero-width beam asks for nothing: return nothing rather than panic.
+    // (The serving layer rejects `k = 0` with a typed error before it gets
+    // here; this keeps the library call total for direct users too.)
+    if beam_size == 0 {
+        return Vec::new();
+    }
     let obs_on = lcrec_obs::enabled();
     let _span = lcrec_obs::span("beam.decode");
     let mut cache = lm.new_cache();
@@ -181,7 +186,8 @@ pub fn multi_constrained_beam_search(
 
 /// Multi-request trie-constrained beam search: decodes `prompts[i]` at
 /// width `beam_sizes[i]`, all at once, and returns one ranked hypothesis
-/// list per prompt (in prompt order).
+/// list per prompt (in prompt order). A zero width yields an empty list
+/// for that prompt without disturbing the others.
 ///
 /// The requests share the model's weight passes — prefill runs all prompts
 /// in position lockstep through [`CausalLm::prefill_batch`], and each
@@ -201,7 +207,6 @@ pub fn multi_constrained_beam_search_with(
     beam_sizes: &[usize],
 ) -> Vec<Vec<Hypothesis>> {
     assert_eq!(prompts.len(), beam_sizes.len(), "one beam width per prompt");
-    assert!(beam_sizes.iter().all(|&w| w > 0), "beam widths must be positive");
     let n = prompts.len();
     if n == 0 {
         return Vec::new();
@@ -256,6 +261,12 @@ pub fn multi_constrained_beam_search_with(
         }
         if obs_on {
             lcrec_obs::counter_add("beam.cache_advances", jobs.len() as u64);
+        }
+        // Every request pruned to nothing (e.g. all widths zero): skip the
+        // batched step this level; the empty beam lists end the loop above.
+        if jobs.is_empty() {
+            requests = (0..n).map(|_| Vec::new()).collect();
+            continue;
         }
         let advance_watch = lcrec_obs::stopwatch();
         // Phase 2 — one batched transformer step over every surviving
@@ -367,6 +378,40 @@ mod tests {
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].len(), solo.len());
         for (a, b) in one[0].iter().zip(&solo) {
+            assert_eq!((a.item, a.logprob.to_bits()), (b.item, b.logprob.to_bits()));
+        }
+    }
+
+    #[test]
+    fn zero_width_degrades_to_empty_without_panicking() {
+        let (lm, vocab, trie) = setup();
+        let prompt = vocab.render(&[lcrec_data::Seg::Text("recommend".into())]);
+        assert!(constrained_beam_search(&lm, &vocab, &trie, &prompt, 0).is_empty());
+        // All widths zero: the batched step is skipped entirely.
+        let all_zero = multi_constrained_beam_search_with(
+            &Pool::new(1),
+            &lm,
+            &vocab,
+            &trie,
+            &[prompt.clone(), prompt.clone()],
+            &[0, 0],
+        );
+        assert_eq!(all_zero.len(), 2);
+        assert!(all_zero.iter().all(Vec::is_empty));
+        // A mixed batch: the zero-width slot is empty, the live slot is
+        // bit-identical to decoding alone.
+        let mixed = multi_constrained_beam_search_with(
+            &Pool::new(1),
+            &lm,
+            &vocab,
+            &trie,
+            &[prompt.clone(), prompt.clone()],
+            &[0, 4],
+        );
+        assert!(mixed[0].is_empty());
+        let solo = constrained_beam_search(&lm, &vocab, &trie, &prompt, 4);
+        assert_eq!(mixed[1].len(), solo.len());
+        for (a, b) in mixed[1].iter().zip(&solo) {
             assert_eq!((a.item, a.logprob.to_bits()), (b.item, b.logprob.to_bits()));
         }
     }

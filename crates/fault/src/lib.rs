@@ -1,0 +1,534 @@
+//! # lcrec-fault
+//!
+//! Deterministic fault injection and recovery primitives for the workspace:
+//! a seeded [`FaultPlan`] that decides, reproducibly, where simulated
+//! failures strike, and a bounded [`Backoff`] schedule that the recovery
+//! paths use to retry them.
+//!
+//! Design rules (see `docs/ROBUSTNESS.md` for the full policy):
+//!
+//! * **Default off, zero surprise.** With `LCREC_FAULT` unset (or `0`) the
+//!   plan is inert: every `should_fail` call returns `false` and every
+//!   output of the workspace is bit-identical to a build without this crate.
+//! * **Deterministic by seed.** A decision depends only on the plan's seed,
+//!   the seam's name and a per-seam call counter (or an explicit caller
+//!   index) — never on wall-clock, thread scheduling or memory addresses.
+//!   Two runs with the same seed see the same faults in the same places.
+//! * **Two seam classes.** [`Class::Transient`] seams simulate failures the
+//!   library recovers from *internally* (worker hiccups, transient decode
+//!   errors, torn checkpoint writes retried in place); results never change,
+//!   so the whole test suite stays green with them enabled. [`Class::Outcome`]
+//!   seams change typed outcomes (shed admissions, deadline expiries) and
+//!   only fire in [`Mode::Chaos`], which the chaos tests opt into with an
+//!   explicit plan.
+//! * **Bounded bursts.** In [`Mode::Transient`] a seam never fires more than
+//!   [`FaultPlan::BURST_CAP`] consecutive times, so any retry loop of at
+//!   least `BURST_CAP + 1` attempts provably succeeds — the property that
+//!   lets `scripts/check.sh` run the entire suite under `LCREC_FAULT=1`.
+//!
+//! Environment gate (documented in `docs/ENVIRONMENT.md`): `LCREC_FAULT`
+//! selects the mode (`1` = transient, `all` = chaos), `LCREC_FAULT_SEED`
+//! the seed.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable selecting the fault-injection mode: unset/`0` off,
+/// `1` transient seams only (safe: results never change), `all` every seam.
+pub const FAULT_ENV: &str = "LCREC_FAULT";
+/// Environment variable seeding the env-gated plan (default `0`).
+pub const FAULT_SEED_ENV: &str = "LCREC_FAULT_SEED";
+
+/// How a seam's injected failure relates to observable behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Recovered internally (retries); results stay bit-identical.
+    Transient,
+    /// Changes a typed outcome (shed, timeout); chaos mode only.
+    Outcome,
+}
+
+/// A named fault-injection point. Seams are declared as constants in
+/// [`seams`] so call sites and tests agree on names and classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Seam {
+    /// Stable name, used in hashing and diagnostics (`"serve.decode"`).
+    pub name: &'static str,
+    /// Whether injection here can change typed outcomes.
+    pub class: Class,
+}
+
+/// The workspace's named fault seams.
+pub mod seams {
+    use super::{Class, Seam};
+
+    /// Spurious admission pressure: `Engine::submit` sheds the request.
+    pub const SERVE_ADMISSION: Seam =
+        Seam { name: "serve.admission", class: Class::Outcome };
+    /// Forced per-request deadline expiry at dispatch time.
+    pub const SERVE_DEADLINE: Seam =
+        Seam { name: "serve.deadline", class: Class::Outcome };
+    /// Transient batch-decode failure, retried with bounded backoff.
+    pub const SERVE_DECODE: Seam =
+        Seam { name: "serve.decode", class: Class::Transient };
+    /// Torn checkpoint write, retried by the atomic save helper.
+    pub const CKPT_WRITE: Seam = Seam { name: "ckpt.write", class: Class::Transient };
+    /// Transient worker error in the thread pool; the chunk is recomputed.
+    pub const PAR_WORKER: Seam = Seam { name: "par.worker", class: Class::Transient };
+}
+
+/// Injection mode of a [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// No seam ever fires.
+    Off,
+    /// Only [`Class::Transient`] seams fire, burst-capped — safe to enable
+    /// for the whole test suite.
+    Transient,
+    /// Every seam fires, uncapped — for chaos tests with explicit plans.
+    Chaos,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SeamState {
+    calls: u64,
+    consecutive: u32,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Library code asks the plan whether a named seam should fail right now
+/// ([`FaultPlan::should_fail`], counter-based) or at an explicit index
+/// ([`FaultPlan::should_fail_at`], stateless — used where calls race across
+/// worker threads but decisions must not). Both are pure functions of
+/// `(seed, seam, position)`, so a seed pins the entire fault schedule.
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_fault::{seams, FaultPlan};
+///
+/// // Inert by default: no seam ever fires.
+/// let off = FaultPlan::disabled();
+/// assert!(!off.should_fail(seams::SERVE_DECODE));
+///
+/// // A chaos plan fires deterministically: same seed, same schedule.
+/// let a = FaultPlan::chaos(7);
+/// let b = FaultPlan::chaos(7);
+/// let run = |p: &FaultPlan| -> Vec<bool> {
+///     (0..64).map(|_| p.should_fail(seams::SERVE_DEADLINE)).collect()
+/// };
+/// let schedule = run(&a);
+/// assert_eq!(schedule, run(&b));
+/// assert!(schedule.iter().any(|&f| f), "some faults fire");
+/// assert!(!schedule.iter().all(|&f| f), "but not everywhere");
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    mode: Mode,
+    seed: u64,
+    /// Inject when `hash % rate_den == 0`.
+    rate_den: u64,
+    counters: Mutex<BTreeMap<&'static str, SeamState>>,
+}
+
+impl FaultPlan {
+    /// Most consecutive injections a seam can produce in
+    /// [`Mode::Transient`]; retry loops with more attempts than this always
+    /// succeed.
+    pub const BURST_CAP: u32 = 2;
+
+    /// Default injection rate: one call in `DEFAULT_RATE` fires.
+    pub const DEFAULT_RATE: u64 = 8;
+
+    fn new(mode: Mode, seed: u64) -> Self {
+        FaultPlan {
+            mode,
+            seed,
+            rate_den: Self::DEFAULT_RATE,
+            counters: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A plan where no seam ever fires.
+    pub fn disabled() -> Self {
+        Self::new(Mode::Off, 0)
+    }
+
+    /// A transient-only plan: recoverable seams fire (burst-capped), typed
+    /// outcomes never change.
+    pub fn transient(seed: u64) -> Self {
+        Self::new(Mode::Transient, seed)
+    }
+
+    /// A chaos plan: every seam fires, uncapped.
+    pub fn chaos(seed: u64) -> Self {
+        Self::new(Mode::Chaos, seed)
+    }
+
+    /// The plan selected by `LCREC_FAULT` / `LCREC_FAULT_SEED`: unset or
+    /// `0` → [`FaultPlan::disabled`], `1` → [`FaultPlan::transient`],
+    /// `all` (or `2`) → [`FaultPlan::chaos`]. Unparsable values are off.
+    pub fn from_env() -> Self {
+        let seed = std::env::var(FAULT_SEED_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        match std::env::var(FAULT_ENV).ok().as_deref().map(str::trim) {
+            Some("1") => Self::transient(seed),
+            Some("all") | Some("2") => Self::chaos(seed),
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Overrides the injection rate: roughly one call in `den` fires
+    /// (clamped to ≥ 2 so a plan can never fire on every call).
+    pub fn with_rate(mut self, den: u64) -> Self {
+        self.rate_den = den.max(2);
+        self
+    }
+
+    /// The plan's mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when at least one seam class can fire.
+    pub fn is_active(&self) -> bool {
+        self.mode != Mode::Off
+    }
+
+    fn class_enabled(&self, class: Class) -> bool {
+        match self.mode {
+            Mode::Off => false,
+            Mode::Transient => class == Class::Transient,
+            Mode::Chaos => true,
+        }
+    }
+
+    fn decide(&self, seam: Seam, position: u64) -> bool {
+        mix(self.seed ^ fnv1a64(seam.name.as_bytes()), position) % self.rate_den == 0
+    }
+
+    /// Counter-based injection decision: each call advances the seam's
+    /// private counter, so a single-threaded call sequence sees a schedule
+    /// that depends only on the seed. In [`Mode::Transient`] a burst of
+    /// `true`s is capped at [`FaultPlan::BURST_CAP`].
+    pub fn should_fail(&self, seam: Seam) -> bool {
+        if !self.class_enabled(seam.class) {
+            return false;
+        }
+        let mut guard = match self.counters.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let st = guard.entry(seam.name).or_default();
+        let call = st.calls;
+        st.calls += 1;
+        let mut fire = self.decide(seam, call);
+        if fire && self.mode == Mode::Transient && st.consecutive >= Self::BURST_CAP {
+            fire = false;
+        }
+        st.consecutive = if fire { st.consecutive + 1 } else { 0 };
+        fire
+    }
+
+    /// Stateless injection decision at an explicit `index` — for seams
+    /// consulted concurrently from worker threads, where a shared counter
+    /// would make the schedule depend on scheduling. The decision is a pure
+    /// function of `(seed, seam, index)`; callers embed the attempt number
+    /// in `index` when retrying.
+    pub fn should_fail_at(&self, seam: Seam, index: u64) -> bool {
+        self.class_enabled(seam.class) && self.decide(seam, index)
+    }
+
+    /// For an injected torn write of a `len`-byte payload: the deterministic
+    /// number of bytes that "reach disk" before the simulated crash
+    /// (always `< len`, and `0` for empty payloads).
+    pub fn torn_len(&self, seam: Seam, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (mix(self.seed ^ fnv1a64(seam.name.as_bytes()), len as u64) % len as u64) as usize
+    }
+
+    /// Calls made so far against `seam` through [`FaultPlan::should_fail`].
+    pub fn calls(&self, seam: Seam) -> u64 {
+        let guard = match self.counters.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.get(seam.name).map(|s| s.calls).unwrap_or(0)
+    }
+}
+
+impl Clone for FaultPlan {
+    /// Clones the configuration *and* the current seam counters, so a clone
+    /// continues the original's schedule rather than restarting it.
+    fn clone(&self) -> Self {
+        let counters = match self.counters.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        FaultPlan {
+            mode: self.mode,
+            seed: self.seed,
+            rate_den: self.rate_den,
+            counters: Mutex::new(counters),
+        }
+    }
+}
+
+/// The process-wide plan read once from the environment — used by seams in
+/// code without a natural place to thread a plan through (the thread pool,
+/// the checkpoint writer). Engines and chaos tests construct their own.
+pub fn env_plan() -> &'static FaultPlan {
+    static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+    PLAN.get_or_init(FaultPlan::from_env)
+}
+
+/// A bounded exponential-backoff schedule: `base_ms << attempt`, capped at
+/// `cap_ms`, for at most `max_attempts` attempts. Delays are advisory — the
+/// serving engine records rather than sleeps them, so tests stay fast and
+/// deterministic.
+///
+/// The schedule is monotone non-decreasing and saturating: attempt numbers
+/// far beyond the shift width return `cap_ms`, never wrap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    max_attempts: u32,
+}
+
+impl Backoff {
+    /// A schedule with the given base delay, cap and attempt budget
+    /// (`base_ms` clamped to ≥ 1, `cap_ms` to ≥ `base_ms`, `max_attempts`
+    /// to ≥ 1).
+    pub fn new(base_ms: u64, cap_ms: u64, max_attempts: u32) -> Self {
+        let base_ms = base_ms.max(1);
+        Backoff { base_ms, cap_ms: cap_ms.max(base_ms), max_attempts: max_attempts.max(1) }
+    }
+
+    /// The delay before retry number `attempt` (0-based), in milliseconds.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_ms.saturating_mul(factor).min(self.cap_ms)
+    }
+
+    /// Total attempts allowed (initial try + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The full schedule: one delay per allowed retry.
+    pub fn delays(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.max_attempts.saturating_sub(1)).map(|a| self.delay_ms(a))
+    }
+
+    /// Sum of every delay the schedule can impose, in milliseconds.
+    pub fn total_budget_ms(&self) -> u64 {
+        self.delays().sum()
+    }
+}
+
+impl Default for Backoff {
+    /// The serving/checkpoint default: 1 ms base, 50 ms cap, 4 attempts —
+    /// more attempts than [`FaultPlan::BURST_CAP`] consecutive transient
+    /// faults, so transient-mode retries always succeed.
+    fn default() -> Self {
+        Backoff::new(1, 50, 4)
+    }
+}
+
+impl fmt::Display for Backoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backoff(base {}ms, cap {}ms, {} attempts)",
+            self.base_ms, self.cap_ms, self.max_attempts
+        )
+    }
+}
+
+/// Deadline accounting used by the serving engine: a request that has
+/// waited `waited_ms` against a budget of `deadline_ms` has expired exactly
+/// when `waited_ms >= deadline_ms`. A zero budget therefore *always*
+/// expires and a `u64::MAX` budget effectively never does — the two
+/// deterministic extremes the tests pin.
+pub fn deadline_expired(waited_ms: u64, deadline_ms: u64) -> bool {
+    waited_ms >= deadline_ms
+}
+
+/// FNV-1a over `bytes` — the workspace's dependency-free stable hash, also
+/// used by the checkpoint checksum trailer.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer over two words — the decision hash behind every
+/// seam. Pure, stable across platforms.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let p = FaultPlan::disabled();
+        for _ in 0..200 {
+            assert!(!p.should_fail(seams::SERVE_DECODE));
+            assert!(!p.should_fail(seams::SERVE_ADMISSION));
+            assert!(!p.should_fail_at(seams::PAR_WORKER, 3));
+        }
+    }
+
+    #[test]
+    fn transient_mode_gates_outcome_seams() {
+        let p = FaultPlan::transient(1);
+        let mut transient_fired = false;
+        for _ in 0..500 {
+            transient_fired |= p.should_fail(seams::SERVE_DECODE);
+            assert!(!p.should_fail(seams::SERVE_ADMISSION), "outcome seam in transient mode");
+            assert!(!p.should_fail(seams::SERVE_DEADLINE));
+        }
+        assert!(transient_fired, "transient seams must fire at this rate over 500 calls");
+    }
+
+    #[test]
+    fn transient_bursts_are_capped() {
+        for seed in 0..32 {
+            let p = FaultPlan::transient(seed).with_rate(2); // aggressive
+            let mut consecutive = 0u32;
+            for _ in 0..2000 {
+                if p.should_fail(seams::CKPT_WRITE) {
+                    consecutive += 1;
+                    assert!(consecutive <= FaultPlan::BURST_CAP, "seed {seed}");
+                } else {
+                    consecutive = 0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic_and_seed_sensitive() {
+        let run = |seed: u64| -> Vec<bool> {
+            let p = FaultPlan::chaos(seed);
+            (0..256).map(|_| p.should_fail(seams::SERVE_DEADLINE)).collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds must produce different schedules");
+    }
+
+    #[test]
+    fn seams_are_independent_streams() {
+        let p = FaultPlan::chaos(9);
+        let a: Vec<bool> = (0..128).map(|_| p.should_fail(seams::SERVE_DECODE)).collect();
+        let q = FaultPlan::chaos(9);
+        let b: Vec<bool> = (0..128).map(|_| q.should_fail(seams::SERVE_ADMISSION)).collect();
+        assert_ne!(a, b, "seam name must enter the hash");
+    }
+
+    #[test]
+    fn stateless_decisions_ignore_call_order() {
+        let p = FaultPlan::chaos(5);
+        let forward: Vec<bool> =
+            (0..64).map(|i| p.should_fail_at(seams::PAR_WORKER, i)).collect();
+        let backward: Vec<bool> =
+            (0..64).rev().map(|i| p.should_fail_at(seams::PAR_WORKER, i)).collect();
+        let mut backward = backward;
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn torn_len_is_a_strict_truncation() {
+        let p = FaultPlan::chaos(11);
+        assert_eq!(p.torn_len(seams::CKPT_WRITE, 0), 0);
+        for len in [1usize, 2, 17, 4096] {
+            let t = p.torn_len(seams::CKPT_WRITE, len);
+            assert!(t < len, "torn write must lose at least one byte (len {len}, torn {t})");
+            assert_eq!(t, p.torn_len(seams::CKPT_WRITE, len), "deterministic per length");
+        }
+    }
+
+    #[test]
+    fn clone_continues_the_schedule() {
+        let p = FaultPlan::chaos(13);
+        let head: Vec<bool> = (0..32).map(|_| p.should_fail(seams::SERVE_DECODE)).collect();
+        let fork = p.clone();
+        let a: Vec<bool> = (0..32).map(|_| p.should_fail(seams::SERVE_DECODE)).collect();
+        let b: Vec<bool> = (0..32).map(|_| fork.should_fail(seams::SERVE_DECODE)).collect();
+        assert_eq!(a, b, "clone must resume at the same counter, not restart");
+        assert_eq!(head.len(), 32);
+    }
+
+    #[test]
+    fn backoff_is_monotone_capped_and_bounded() {
+        let b = Backoff::new(2, 40, 6);
+        let delays: Vec<u64> = b.delays().collect();
+        assert_eq!(delays.len(), 5, "attempts bound the schedule");
+        for w in delays.windows(2) {
+            assert!(w[0] <= w[1], "monotone non-decreasing: {delays:?}");
+        }
+        assert!(delays.iter().all(|&d| d <= 40), "capped: {delays:?}");
+        assert_eq!(b.delay_ms(0), 2);
+        assert_eq!(b.delay_ms(1), 4);
+        // Saturation far beyond the shift width: caps, never wraps or panics.
+        assert_eq!(b.delay_ms(63), 40);
+        assert_eq!(b.delay_ms(200), 40);
+        assert_eq!(b.total_budget_ms(), delays.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn backoff_clamps_degenerate_configs() {
+        let b = Backoff::new(0, 0, 0);
+        assert_eq!(b.max_attempts(), 1);
+        assert_eq!(b.delays().count(), 0, "one attempt means zero retries");
+        assert_eq!(b.delay_ms(5), 1, "cap clamps up to base");
+    }
+
+    #[test]
+    fn deadline_math_extremes() {
+        assert!(deadline_expired(0, 0), "zero budget always expires");
+        assert!(deadline_expired(5, 5));
+        assert!(!deadline_expired(4, 5));
+        assert!(!deadline_expired(u64::MAX - 1, u64::MAX));
+    }
+
+    #[test]
+    fn env_plan_is_stable() {
+        // Whatever the environment says, repeated calls return the same
+        // plan instance with the same configuration.
+        let a = env_plan();
+        let b = env_plan();
+        assert_eq!(a.mode(), b.mode());
+        assert_eq!(a.seed(), b.seed());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -151,15 +151,45 @@ impl Pool {
             lcrec_obs::counter_add("par.jobs", 1);
             lcrec_obs::counter_add("par.chunks", n_chunks as u64);
         }
+        // Transient worker faults (`LCREC_FAULT`, default off): a chunk's
+        // output can be "lost" and recomputed. Decisions are a stateless
+        // function of the chunk index — never of which worker ran it or a
+        // shared call counter — so the retry schedule, the final outputs
+        // and the `par.fault_retries` counter are identical at any thread
+        // count, including the inline serial path. The third attempt
+        // always keeps its output, bounding the injected work.
+        let plan = lcrec_fault::env_plan();
+        let compute_chunk = |c: usize| -> Vec<U> {
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            let mut failures = 0u64;
+            loop {
+                let out: Vec<U> = (start..end).map(&f).collect();
+                if failures >= 2
+                    || !plan.should_fail_at(
+                        lcrec_fault::seams::PAR_WORKER,
+                        ((c as u64) << 2) | failures,
+                    )
+                {
+                    return out;
+                }
+                failures += 1;
+                lcrec_obs::counter_add("par.fault_retries", 1);
+            }
+        };
         if self.threads == 1 || n_chunks == 1 {
-            return (0..n).map(f).collect();
+            let mut out = Vec::with_capacity(n);
+            for c in 0..n_chunks {
+                out.append(&mut compute_chunk(c));
+            }
+            return out;
         }
         let workers = self.threads.min(n_chunks);
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n_chunks));
         let locals: Mutex<Vec<(usize, lcrec_obs::LocalObs)>> = Mutex::new(Vec::new());
         std::thread::scope(|s| {
-            let (next, done, locals, f) = (&next, &done, &locals, &f);
+            let (next, done, locals, compute_chunk) = (&next, &done, &locals, &compute_chunk);
             for wi in 0..workers {
                 s.spawn(move || {
                     let spawned = if obs_on { Some(Instant::now()) } else { None };
@@ -177,9 +207,7 @@ impl Pool {
                             local.profile_record("par.queue_depth", (n_chunks - c) as f64);
                         }
                         let t0 = if obs_on { Some(Instant::now()) } else { None };
-                        let start = c * chunk;
-                        let end = (start + chunk).min(n);
-                        let out: Vec<U> = (start..end).map(f).collect();
+                        let out: Vec<U> = compute_chunk(c);
                         if let Some(t0) = t0 {
                             busy += t0.elapsed().as_secs_f64();
                         }

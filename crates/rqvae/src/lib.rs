@@ -17,5 +17,5 @@ pub mod sinkhorn;
 
 pub use indexers::{build_indices, IndexerKind};
 pub use indices::{IndexTrie, ItemIndices};
-pub use model::{RqVae, RqVaeConfig, TrainReport};
+pub use model::{RqVae, RqVaeConfig, TrainCursor, TrainReport};
 pub use sinkhorn::{sinkhorn_plan, uniform_assign, SinkhornConfig};

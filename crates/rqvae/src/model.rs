@@ -105,6 +105,120 @@ pub struct TrainReport {
     pub final_recon: f32,
 }
 
+/// Everything the RQ-VAE training loop carries across batches, packaged
+/// so training can stop after any [`RqVae::train_tick`] and resume from a
+/// checkpoint bit-identically to an uninterrupted run: the optimizer
+/// (moments + schedule step), the shuffle RNG stream, the persistent
+/// item order, the epoch/batch position, and the partial report.
+#[derive(Debug)]
+pub struct TrainCursor {
+    opt: AdamW,
+    rng: StdRng,
+    order: Vec<usize>,
+    epoch: usize,
+    chunk: usize,
+    epoch_loss: f32,
+    batches: usize,
+    report: TrainReport,
+}
+
+impl TrainCursor {
+    /// The epoch the next [`RqVae::train_tick`] will work in.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// The batch index within the current epoch the next tick will run.
+    pub fn batch_in_epoch(&self) -> usize {
+        self.chunk
+    }
+
+    /// The report accumulated so far (complete once ticking returns false).
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Consumes the cursor, yielding the final [`TrainReport`].
+    pub fn into_report(self) -> TrainReport {
+        self.report
+    }
+
+    /// Serializes the non-tensor loop state (the tensor state — params and
+    /// AdamW moments — travels in the enclosing train-state sections).
+    fn to_blob(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        for s in self.rng.state() {
+            b.extend_from_slice(&s.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.epoch as u64).to_le_bytes());
+        b.extend_from_slice(&(self.chunk as u64).to_le_bytes());
+        b.extend_from_slice(&self.epoch_loss.to_le_bytes());
+        b.extend_from_slice(&(self.batches as u64).to_le_bytes());
+        b.extend_from_slice(&self.report.final_recon.to_le_bytes());
+        b.extend_from_slice(&(self.report.epoch_losses.len() as u64).to_le_bytes());
+        for &l in &self.report.epoch_losses {
+            b.extend_from_slice(&l.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.order.len() as u64).to_le_bytes());
+        for &i in &self.order {
+            b.extend_from_slice(&(i as u32).to_le_bytes());
+        }
+        b
+    }
+
+    fn from_blob(opt: AdamW, b: &[u8]) -> Option<TrainCursor> {
+        let mut pos = 0usize;
+        let u64_at = |pos: &mut usize| -> Option<u64> {
+            let s = b.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(u64::from_le_bytes(s.try_into().ok()?))
+        };
+        let f32_at = |pos: &mut usize| -> Option<f32> {
+            let s = b.get(*pos..*pos + 4)?;
+            *pos += 4;
+            Some(f32::from_le_bytes(s.try_into().ok()?))
+        };
+        let rng_state =
+            [u64_at(&mut pos)?, u64_at(&mut pos)?, u64_at(&mut pos)?, u64_at(&mut pos)?];
+        let epoch = u64_at(&mut pos)? as usize;
+        let chunk = u64_at(&mut pos)? as usize;
+        let epoch_loss = f32_at(&mut pos)?;
+        let batches = u64_at(&mut pos)? as usize;
+        let final_recon = f32_at(&mut pos)?;
+        let n_losses = u64_at(&mut pos)? as usize;
+        if n_losses > b.len() {
+            return None;
+        }
+        let mut epoch_losses = Vec::with_capacity(n_losses);
+        for _ in 0..n_losses {
+            epoch_losses.push(f32_at(&mut pos)?);
+        }
+        let n_order = u64_at(&mut pos)? as usize;
+        if n_order > b.len() {
+            return None;
+        }
+        let mut order = Vec::with_capacity(n_order);
+        for _ in 0..n_order {
+            let s = b.get(pos..pos + 4)?;
+            pos += 4;
+            order.push(u32::from_le_bytes(s.try_into().ok()?) as usize);
+        }
+        if pos != b.len() {
+            return None;
+        }
+        Some(TrainCursor {
+            opt,
+            rng: StdRng::from_state(rng_state),
+            order,
+            epoch,
+            chunk,
+            epoch_loss,
+            batches,
+            report: TrainReport { epoch_losses, final_recon },
+        })
+    }
+}
+
 impl RqVae {
     /// Builds an untrained model.
     pub fn new(cfg: RqVaeConfig) -> Self {
@@ -261,34 +375,112 @@ impl RqVae {
     /// bit-identical at every thread count: micro-batch boundaries are a
     /// pure function of the batch size and gradients are summed in
     /// micro-batch order (see DESIGN.md "Threading model").
+    ///
+    /// Implemented as [`RqVae::train_begin`] + [`RqVae::train_tick`] run
+    /// to completion, so an uninterrupted run and a
+    /// checkpoint-and-resume run execute the exact same sequence of
+    /// shuffles and optimizer steps.
     pub fn train_with(&mut self, pool: &Pool, embeddings: &Tensor) -> TrainReport {
         let _span = lcrec_obs::span("rqvae.train");
+        let mut cursor = self.train_begin(embeddings);
+        while self.train_tick(pool, embeddings, &mut cursor) {}
+        cursor.into_report()
+    }
+
+    /// Warm-starts the codebooks and returns a fresh [`TrainCursor`] at
+    /// epoch 0, batch 0. Drive it with [`RqVae::train_tick`]; checkpoint
+    /// it at any batch boundary with [`RqVae::save_train_checkpoint`].
+    pub fn train_begin(&mut self, embeddings: &Tensor) -> TrainCursor {
         {
             let _warm = lcrec_obs::span("warm_start");
             self.warm_start(embeddings);
         }
-        let n = embeddings.rows();
-        let mut opt = AdamW::new(self.cfg.lr);
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7777);
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut report = TrainReport::default();
-        for _epoch in 0..self.cfg.epochs {
-            let _epoch_span = lcrec_obs::span("epoch");
-            for i in (1..n).rev() {
-                order.swap(i, rng.random_range(0..=i));
-            }
-            let mut epoch_loss = 0.0;
-            let mut batches = 0;
-            for chunk in order.chunks(self.cfg.batch) {
-                let batch = gather(embeddings, chunk);
-                let (loss, recon) = self.train_step(pool, &batch, &mut opt);
-                epoch_loss += loss;
-                report.final_recon = recon;
-                batches += 1;
-            }
-            report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        TrainCursor {
+            opt: AdamW::new(self.cfg.lr),
+            rng: StdRng::seed_from_u64(self.cfg.seed ^ 0x7777),
+            order: (0..embeddings.rows()).collect(),
+            epoch: 0,
+            chunk: 0,
+            epoch_loss: 0.0,
+            batches: 0,
+            report: TrainReport::default(),
         }
-        report
+    }
+
+    /// Runs **one** training batch (re-shuffling at each epoch boundary,
+    /// exactly like the uninterrupted loop) and returns `true` while more
+    /// work remains. The cursor captures everything the loop carries
+    /// across batches — optimizer moments, RNG stream, shuffled order,
+    /// partial epoch statistics — so stopping after any tick and resuming
+    /// from a checkpoint is bit-identical to never stopping.
+    pub fn train_tick(
+        &mut self,
+        pool: &Pool,
+        embeddings: &Tensor,
+        cursor: &mut TrainCursor,
+    ) -> bool {
+        if cursor.epoch >= self.cfg.epochs {
+            return false;
+        }
+        let n = embeddings.rows();
+        if cursor.chunk == 0 {
+            for i in (1..n).rev() {
+                cursor.order.swap(i, cursor.rng.random_range(0..=i));
+            }
+            cursor.epoch_loss = 0.0;
+            cursor.batches = 0;
+        }
+        if n > 0 {
+            let lo = cursor.chunk * self.cfg.batch;
+            let hi = (lo + self.cfg.batch).min(n);
+            let batch = gather(embeddings, &cursor.order[lo..hi]);
+            let (loss, recon) = self.train_step(pool, &batch, &mut cursor.opt);
+            cursor.epoch_loss += loss;
+            cursor.report.final_recon = recon;
+            cursor.batches += 1;
+            cursor.chunk += 1;
+        }
+        if cursor.chunk * self.cfg.batch >= n {
+            cursor
+                .report
+                .epoch_losses
+                .push(cursor.epoch_loss / cursor.batches.max(1) as f32);
+            cursor.epoch += 1;
+            cursor.chunk = 0;
+        }
+        cursor.epoch < self.cfg.epochs
+    }
+
+    /// Writes a crash-safe mid-training snapshot: model parameters, AdamW
+    /// state and the cursor (epoch, batch, RNG stream, shuffled order,
+    /// partial report), sealed with the checkpoint trailer from
+    /// `lcrec_tensor::serialize`.
+    pub fn save_train_checkpoint(
+        &self,
+        cursor: &TrainCursor,
+        w: &mut impl std::io::Write,
+    ) -> std::io::Result<()> {
+        lcrec_tensor::serialize::save_train_state(&self.ps, &cursor.opt, &cursor.to_blob(), w)
+    }
+
+    /// Restores a snapshot written by [`RqVae::save_train_checkpoint`]
+    /// into this (architecturally identical) model and returns the cursor
+    /// to continue [`RqVae::train_tick`]-ing from. On any corruption the
+    /// model is left untouched and a typed error is returned. Resuming
+    /// skips [`RqVae::warm_start`] — the checkpointed parameters already
+    /// contain its effect.
+    pub fn load_train_checkpoint(
+        &mut self,
+        r: &mut impl std::io::Read,
+    ) -> std::io::Result<TrainCursor> {
+        let mut opt = AdamW::new(self.cfg.lr);
+        let extra = lcrec_tensor::serialize::load_train_state(&mut self.ps, &mut opt, r)?;
+        TrainCursor::from_blob(opt, &extra).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed RQ-VAE training cursor in checkpoint",
+            )
+        })
     }
 
     /// One optimization step on a batch; returns (total loss, recon loss).

@@ -200,6 +200,9 @@ pub trait NextItemModel: Sync {
     /// Builds logits `[b, num_items]` for a batch of histories.
     fn forward_logits(&self, g: &mut lcrec_tensor::Graph, batch: &Batch) -> lcrec_tensor::Var;
 
+    /// The parameter store (read-only, for checkpointing).
+    fn store(&self) -> &lcrec_tensor::ParamStore;
+
     /// The parameter store (mutable, for optimization).
     fn store_mut(&mut self) -> &mut lcrec_tensor::ParamStore;
 
@@ -234,40 +237,179 @@ pub fn train_next_item_with<M: NextItemModel>(
     model: &mut M,
     pairs: &TrainingPairs,
 ) -> Vec<f32> {
-    let cfg = model.config().clone();
-    let mut opt = lcrec_tensor::AdamW::new(cfg.lr);
-    let mut losses = Vec::with_capacity(cfg.epochs);
     let _span = lcrec_obs::span("seqrec.train");
-    for epoch in 0..cfg.epochs {
-        let _epoch_span = lcrec_obs::span("epoch");
-        let batches = epoch_batches(pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 1));
-        let mut sum = 0.0;
-        for batch in &batches {
-            let ranges = lcrec_par::micro_ranges(batch.b, MICRO_ROWS);
-            lcrec_obs::counter_add("seqrec.micro_steps", ranges.len() as u64);
-            lcrec_obs::counter_add("seqrec.batches", 1);
-            let shared: &M = model;
-            let parts = pool.map(&ranges, |ci, &(lo, hi)| {
-                let sub = batch.slice_rows(lo, hi);
-                let mut g = lcrec_tensor::Graph::new();
-                g.seed(cfg.seed ^ (epoch as u64) << 20 ^ (ci as u64) << 40);
-                let logits = shared.forward_logits(&mut g, &sub);
-                let loss = g.cross_entropy(logits, &sub.targets, u32::MAX);
-                let scaled = g.scale(loss, (hi - lo) as f32 / batch.b as f32);
-                (g.value(scaled).item(), g.backward_collect(scaled))
-            });
-            let ps = model.store_mut();
-            ps.zero_grads();
-            for (loss_val, grads) in &parts {
-                sum += loss_val;
-                ps.accumulate_grads(grads);
-            }
-            ps.clip_grad_norm(5.0);
-            opt.step(ps);
-        }
-        losses.push(sum / batches.len().max(1) as f32);
+    let mut cursor = train_begin(model);
+    while train_tick(pool, model, pairs, &mut cursor) {}
+    cursor.into_losses()
+}
+
+/// Everything the next-item training loop carries across batches —
+/// optimizer state, epoch/batch position and partial loss statistics —
+/// so training can stop after any [`train_tick`] and resume from a
+/// checkpoint bit-identically to an uninterrupted run. The per-epoch
+/// batch order needs no RNG snapshot: [`epoch_batches`] re-derives it
+/// from the config seed and the epoch number.
+#[derive(Debug)]
+pub struct SeqTrainCursor {
+    opt: lcrec_tensor::AdamW,
+    epoch: usize,
+    batch: usize,
+    sum: f32,
+    losses: Vec<f32>,
+}
+
+impl SeqTrainCursor {
+    /// The epoch the next [`train_tick`] will work in.
+    pub fn epoch(&self) -> usize {
+        self.epoch
     }
-    losses
+
+    /// The batch index within the current epoch the next tick will run.
+    pub fn batch_in_epoch(&self) -> usize {
+        self.batch
+    }
+
+    /// Per-epoch mean losses so far (complete once ticking returns false).
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Consumes the cursor, yielding the per-epoch mean losses.
+    pub fn into_losses(self) -> Vec<f32> {
+        self.losses
+    }
+
+    fn to_blob(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&(self.epoch as u64).to_le_bytes());
+        b.extend_from_slice(&(self.batch as u64).to_le_bytes());
+        b.extend_from_slice(&self.sum.to_le_bytes());
+        b.extend_from_slice(&(self.losses.len() as u64).to_le_bytes());
+        for &l in &self.losses {
+            b.extend_from_slice(&l.to_le_bytes());
+        }
+        b
+    }
+
+    fn from_blob(opt: lcrec_tensor::AdamW, b: &[u8]) -> Option<SeqTrainCursor> {
+        let u64_at = |pos: &mut usize| -> Option<u64> {
+            let s = b.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(u64::from_le_bytes(s.try_into().ok()?))
+        };
+        let mut pos = 0usize;
+        let epoch = u64_at(&mut pos)? as usize;
+        let batch = u64_at(&mut pos)? as usize;
+        let sum = f32::from_le_bytes(b.get(pos..pos + 4)?.try_into().ok()?);
+        pos += 4;
+        let n = u64_at(&mut pos)? as usize;
+        if n > b.len() {
+            return None;
+        }
+        let mut losses = Vec::with_capacity(n);
+        for _ in 0..n {
+            losses.push(f32::from_le_bytes(b.get(pos..pos + 4)?.try_into().ok()?));
+            pos += 4;
+        }
+        if pos != b.len() {
+            return None;
+        }
+        Some(SeqTrainCursor { opt, epoch, batch, sum, losses })
+    }
+}
+
+/// Starts a resumable training run at epoch 0, batch 0. Drive it with
+/// [`train_tick`]; checkpoint at any batch boundary with
+/// [`save_train_checkpoint`].
+pub fn train_begin<M: NextItemModel>(model: &M) -> SeqTrainCursor {
+    SeqTrainCursor {
+        opt: lcrec_tensor::AdamW::new(model.config().lr),
+        epoch: 0,
+        batch: 0,
+        sum: 0.0,
+        losses: Vec::new(),
+    }
+}
+
+/// Runs **one** training batch and returns `true` while more work
+/// remains. Executes the exact computation of the corresponding batch in
+/// [`train_next_item_with`]'s uninterrupted loop — same batch order
+/// (re-derived per epoch from the seed), same dropout streams, same
+/// gradient summation order — so any stop/resume sequence produces
+/// bit-identical parameters.
+pub fn train_tick<M: NextItemModel>(
+    pool: &Pool,
+    model: &mut M,
+    pairs: &TrainingPairs,
+    cursor: &mut SeqTrainCursor,
+) -> bool {
+    let cfg = model.config().clone();
+    if cursor.epoch >= cfg.epochs {
+        return false;
+    }
+    let epoch = cursor.epoch;
+    let batches = epoch_batches(pairs, cfg.batch, cfg.seed ^ (epoch as u64 + 1));
+    if cursor.batch < batches.len() {
+        let batch = &batches[cursor.batch];
+        let ranges = lcrec_par::micro_ranges(batch.b, MICRO_ROWS);
+        lcrec_obs::counter_add("seqrec.micro_steps", ranges.len() as u64);
+        lcrec_obs::counter_add("seqrec.batches", 1);
+        let shared: &M = model;
+        let parts = pool.map(&ranges, |ci, &(lo, hi)| {
+            let sub = batch.slice_rows(lo, hi);
+            let mut g = lcrec_tensor::Graph::new();
+            g.seed(cfg.seed ^ (epoch as u64) << 20 ^ (ci as u64) << 40);
+            let logits = shared.forward_logits(&mut g, &sub);
+            let loss = g.cross_entropy(logits, &sub.targets, u32::MAX);
+            let scaled = g.scale(loss, (hi - lo) as f32 / batch.b as f32);
+            (g.value(scaled).item(), g.backward_collect(scaled))
+        });
+        let ps = model.store_mut();
+        ps.zero_grads();
+        for (loss_val, grads) in &parts {
+            cursor.sum += loss_val;
+            ps.accumulate_grads(grads);
+        }
+        ps.clip_grad_norm(5.0);
+        cursor.opt.step(ps);
+        cursor.batch += 1;
+    }
+    if cursor.batch >= batches.len() {
+        cursor.losses.push(cursor.sum / batches.len().max(1) as f32);
+        cursor.sum = 0.0;
+        cursor.batch = 0;
+        cursor.epoch += 1;
+    }
+    cursor.epoch < cfg.epochs
+}
+
+/// Writes a crash-safe mid-training snapshot of `model` and `cursor`
+/// (parameters, AdamW state, loop position), sealed with the checkpoint
+/// trailer from `lcrec_tensor::serialize`.
+pub fn save_train_checkpoint<M: NextItemModel>(
+    model: &M,
+    cursor: &SeqTrainCursor,
+    w: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    lcrec_tensor::serialize::save_train_state(model.store(), &cursor.opt, &cursor.to_blob(), w)
+}
+
+/// Restores a snapshot written by [`save_train_checkpoint`] into an
+/// architecturally identical model and returns the cursor to continue
+/// [`train_tick`]-ing from. On any corruption the model is left
+/// untouched and a typed error is returned.
+pub fn load_train_checkpoint<M: NextItemModel>(
+    model: &mut M,
+    r: &mut impl std::io::Read,
+) -> std::io::Result<SeqTrainCursor> {
+    let mut opt = lcrec_tensor::AdamW::new(model.config().lr);
+    let extra = lcrec_tensor::serialize::load_train_state(model.store_mut(), &mut opt, r)?;
+    SeqTrainCursor::from_blob(opt, &extra).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed seqrec training cursor in checkpoint",
+        )
+    })
 }
 
 /// Scores every item for a single history using `forward_logits` with a

@@ -114,6 +114,10 @@ impl NextItemModel for Fdsa {
         g.matmul_nt(rep, table)
     }
 
+    fn store(&self) -> &ParamStore {
+        &self.ps
+    }
+
     fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.ps
     }

@@ -152,6 +152,10 @@ impl NextItemModel for FmlpRec {
         g.matmul_nt(rep, table)
     }
 
+    fn store(&self) -> &ParamStore {
+        &self.ps
+    }
+
     fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.ps
     }

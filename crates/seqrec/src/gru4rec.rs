@@ -57,6 +57,10 @@ impl NextItemModel for Gru4Rec {
         g.matmul_nt(rep, table)
     }
 
+    fn store(&self) -> &ParamStore {
+        &self.ps
+    }
+
     fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.ps
     }

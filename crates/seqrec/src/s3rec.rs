@@ -155,6 +155,10 @@ impl NextItemModel for S3Rec {
         g.matmul_nt(rep, items_only)
     }
 
+    fn store(&self) -> &ParamStore {
+        &self.ps
+    }
+
     fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.ps
     }

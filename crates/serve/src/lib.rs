@@ -18,12 +18,20 @@
 //! * **Backpressure, not buffering.** The admission queue is bounded
 //!   ([`ServeConfig::queue_cap`]); a full queue rejects new requests with a
 //!   typed reason ([`Reject::QueueFull`]) instead of growing without bound.
+//! * **Every request ends in exactly one typed outcome.** Submission either
+//!   returns a ticket or a typed [`Reject`] (queue full, load shed, invalid
+//!   `k`); a ticketed request later resolves to exactly one [`Outcome`] —
+//!   [`Outcome::Completed`] or [`Outcome::TimedOut`] — never a panic and
+//!   never silence (`docs/ROBUSTNESS.md`).
 //! * **Observable.** Every batch records a `serve.batch` span, batch-size
-//!   histogram and per-request latency under the `LCREC_OBS` gate.
+//!   histogram and per-request latency under the `LCREC_OBS` gate; faults,
+//!   retries, sheds and timeouts have counters of their own.
 //!
 //! Batching knobs come from [`ServeConfig`] or the `LCREC_SERVE_BATCH`,
 //! `LCREC_SERVE_QUEUE` and `LCREC_SERVE_WAIT_MS` environment variables
-//! (documented in `docs/ENVIRONMENT.md`).
+//! (documented in `docs/ENVIRONMENT.md`). Fault injection for the chaos
+//! suite is wired through [`lcrec_fault::FaultPlan`] (`LCREC_FAULT`,
+//! default off).
 
 #![warn(missing_docs)]
 
@@ -31,6 +39,7 @@ use lcrec_core::{
     multi_constrained_beam_search_with, CausalLm, ExtendedVocab, Hypothesis, LcRec,
 };
 use lcrec_data::Seg;
+use lcrec_fault::{deadline_expired, seams, Backoff, FaultPlan};
 use lcrec_par::Pool;
 use lcrec_rqvae::IndexTrie;
 use lcrec_text::token::BOS;
@@ -65,6 +74,17 @@ pub struct ServeConfig {
     /// History items kept per request (context-window budget; mirrors
     /// `LcRecConfig::max_hist_items`).
     pub max_hist_items: usize,
+    /// Default per-request deadline in milliseconds, measured from
+    /// admission. A request still queued (or reached in a batch) past its
+    /// deadline resolves as [`Outcome::TimedOut`] instead of decoding.
+    /// `None` (the default) disables deadlines entirely, preserving the
+    /// pre-robustness behaviour bit for bit.
+    pub deadline_ms: Option<u64>,
+    /// Load-shedding watermark: when set and the queue already holds at
+    /// least this many requests, `submit` rejects with [`Reject::Shed`]
+    /// before the hard [`ServeConfig::queue_cap`] is reached. `None` (the
+    /// default) disables shedding.
+    pub shed_watermark: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +96,8 @@ impl Default for ServeConfig {
             beam: 10,
             template: "recommend the next item".to_string(),
             max_hist_items: 8,
+            deadline_ms: None,
+            shed_watermark: None,
         }
     }
 }
@@ -112,6 +134,19 @@ pub enum Reject {
         /// The configured [`ServeConfig::queue_cap`] that was hit.
         capacity: usize,
     },
+    /// The engine shed the request before the hard capacity: either the
+    /// [`ServeConfig::shed_watermark`] was reached or admission pressure
+    /// was injected by the active [`FaultPlan`].
+    Shed {
+        /// Requests already queued when the request was shed.
+        queued: usize,
+    },
+    /// The requested `k` is unusable: zero asks for an empty ranking.
+    /// (`k` larger than the catalog is clamped, not rejected.)
+    InvalidK {
+        /// The `k` the caller passed to [`Engine::submit`].
+        k: usize,
+    },
 }
 
 impl fmt::Display for Reject {
@@ -120,11 +155,77 @@ impl fmt::Display for Reject {
             Reject::QueueFull { capacity } => {
                 write!(f, "admission queue full (capacity {capacity}); retry later")
             }
+            Reject::Shed { queued } => {
+                write!(f, "request shed under load ({queued} queued); retry later")
+            }
+            Reject::InvalidK { k } => {
+                write!(f, "invalid top-k request (k = {k}); k must be at least 1")
+            }
         }
     }
 }
 
 impl std::error::Error for Reject {}
+
+/// Why a ticketed request timed out instead of completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeoutReason {
+    /// The per-request deadline expired before decoding started.
+    Deadline,
+    /// Transient decode faults exhausted the bounded retry budget.
+    RetriesExhausted,
+}
+
+impl fmt::Display for TimeoutReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeoutReason::Deadline => write!(f, "deadline expired"),
+            TimeoutReason::RetriesExhausted => write!(f, "retries exhausted"),
+        }
+    }
+}
+
+/// The final, typed resolution of one admitted request. Every ticket
+/// returned by [`Engine::submit`] resolves to exactly one `Outcome` from
+/// [`Engine::step_outcomes`] / [`Engine::flush_outcomes`] — the engine
+/// never panics on a request and never drops one silently.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The request decoded successfully.
+    Completed(Response),
+    /// The request was abandoned with a typed reason.
+    TimedOut {
+        /// The ticket returned by [`Engine::submit`].
+        id: u64,
+        /// Seconds from admission to abandonment.
+        waited_s: f64,
+        /// Why the request did not complete.
+        reason: TimeoutReason,
+    },
+}
+
+impl Outcome {
+    /// The ticket this outcome resolves.
+    pub fn id(&self) -> u64 {
+        match self {
+            Outcome::Completed(r) => r.id,
+            Outcome::TimedOut { id, .. } => *id,
+        }
+    }
+
+    /// True for [`Outcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed(_))
+    }
+
+    /// The response, when the request completed.
+    pub fn completed(self) -> Option<Response> {
+        match self {
+            Outcome::Completed(r) => Some(r),
+            Outcome::TimedOut { .. } => None,
+        }
+    }
+}
 
 /// One completed request: the ranked recommendations plus serving metadata.
 #[derive(Clone, Debug)]
@@ -144,6 +245,7 @@ struct Pending {
     history: Vec<u32>,
     k: usize,
     enqueued: Instant,
+    deadline_ms: Option<u64>,
 }
 
 /// The batched inference engine.
@@ -187,6 +289,8 @@ pub struct Engine<'a> {
     pool: Pool,
     queue: VecDeque<Pending>,
     next_id: u64,
+    plan: FaultPlan,
+    backoff: Backoff,
 }
 
 impl fmt::Debug for Pending {
@@ -218,7 +322,33 @@ impl<'a> Engine<'a> {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.queue_cap >= 1, "queue_cap must be at least 1");
         assert!(cfg.beam >= 1, "beam must be at least 1");
-        Engine { lm, vocab, trie, cfg, pool, queue: VecDeque::new(), next_id: 0 }
+        Engine {
+            lm,
+            vocab,
+            trie,
+            cfg,
+            pool,
+            queue: VecDeque::new(),
+            next_id: 0,
+            plan: FaultPlan::from_env(),
+            backoff: Backoff::default(),
+        }
+    }
+
+    /// Replaces the engine's fault plan (defaults to
+    /// [`FaultPlan::from_env`], i.e. disabled unless `LCREC_FAULT` is
+    /// set). The chaos suite uses this to run explicit seeded plans
+    /// without touching the environment.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replaces the bounded retry policy used for transient decode
+    /// faults (defaults to [`Backoff::default`]).
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
     }
 
     /// An engine over a trained [`LcRec`] model's LM, vocabulary and trie.
@@ -237,12 +367,40 @@ impl<'a> Engine<'a> {
     }
 
     /// Admits a request (user `history` → top-`k` items) into the queue and
-    /// returns its ticket, or rejects it when the queue is at capacity —
-    /// bounded-queue backpressure instead of unbounded buffering.
+    /// returns its ticket, or rejects it with a typed reason: the bounded
+    /// queue is at capacity ([`Reject::QueueFull`]), the engine is
+    /// shedding load ([`Reject::Shed`]), or `k` is zero
+    /// ([`Reject::InvalidK`]). A `k` beyond the catalog size is clamped to
+    /// the catalog — every item ranked is still a real item. The request
+    /// carries the config-default deadline ([`ServeConfig::deadline_ms`]);
+    /// use [`Engine::submit_with_deadline`] for a per-request override.
     pub fn submit(&mut self, history: &[u32], k: usize) -> Result<u64, Reject> {
+        self.submit_with_deadline(history, k, self.cfg.deadline_ms)
+    }
+
+    /// [`Engine::submit`] with an explicit per-request deadline
+    /// (milliseconds from admission; `None` means no deadline), overriding
+    /// [`ServeConfig::deadline_ms`].
+    pub fn submit_with_deadline(
+        &mut self,
+        history: &[u32],
+        k: usize,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, Reject> {
+        if k == 0 {
+            lcrec_obs::counter_add("serve.rejected", 1);
+            return Err(Reject::InvalidK { k });
+        }
+        let k = k.min(self.vocab.indices().len());
         if self.queue.len() >= self.cfg.queue_cap {
             lcrec_obs::counter_add("serve.rejected", 1);
             return Err(Reject::QueueFull { capacity: self.cfg.queue_cap });
+        }
+        let watermark_hit =
+            self.cfg.shed_watermark.is_some_and(|w| self.queue.len() >= w);
+        if watermark_hit || self.plan.should_fail(seams::SERVE_ADMISSION) {
+            lcrec_obs::counter_add("serve.shed", 1);
+            return Err(Reject::Shed { queued: self.queue.len() });
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -252,6 +410,7 @@ impl<'a> Engine<'a> {
             history: history.to_vec(),
             k,
             enqueued: Instant::now(),
+            deadline_ms,
         });
         Ok(id)
     }
@@ -275,7 +434,16 @@ impl<'a> Engine<'a> {
     /// policy says so; returns the completed responses, or an empty vector
     /// when [`Engine::ready`] is false. Drive this from a serving loop;
     /// tests and offline use can call [`Engine::flush`] instead.
+    ///
+    /// Timed-out requests are dropped from this view; use
+    /// [`Engine::step_outcomes`] for full typed-outcome accounting.
     pub fn step(&mut self) -> Vec<Response> {
+        self.step_outcomes().into_iter().filter_map(Outcome::completed).collect()
+    }
+
+    /// Like [`Engine::step`], but returns **every** request's typed
+    /// [`Outcome`] — completions and timeouts — in admission order.
+    pub fn step_outcomes(&mut self) -> Vec<Outcome> {
         if !self.ready() {
             return Vec::new();
         }
@@ -287,7 +455,16 @@ impl<'a> Engine<'a> {
     /// Drains the whole queue in [`ServeConfig::max_batch`]-sized batches
     /// (ignoring the wait policy) and returns all responses in admission
     /// order.
+    ///
+    /// Timed-out requests are dropped from this view; use
+    /// [`Engine::flush_outcomes`] for full typed-outcome accounting.
     pub fn flush(&mut self) -> Vec<Response> {
+        self.flush_outcomes().into_iter().filter_map(Outcome::completed).collect()
+    }
+
+    /// Like [`Engine::flush`], but returns **every** request's typed
+    /// [`Outcome`] — completions and timeouts — in admission order.
+    pub fn flush_outcomes(&mut self) -> Vec<Outcome> {
         let mut out = Vec::new();
         while !self.queue.is_empty() {
             let n = self.queue.len().min(self.cfg.max_batch);
@@ -322,7 +499,7 @@ impl<'a> Engine<'a> {
         tokens
     }
 
-    fn dispatch(&mut self, batch: Vec<Pending>) -> Vec<Response> {
+    fn dispatch(&mut self, batch: Vec<Pending>) -> Vec<Outcome> {
         if batch.is_empty() {
             return Vec::new();
         }
@@ -332,9 +509,60 @@ impl<'a> Engine<'a> {
             lcrec_obs::counter_add("serve.batches", 1);
             lcrec_obs::hist_record("serve.batch_size", batch.len() as f64);
         }
+        let batch_size = batch.len();
+        // Deadline sweep, in admission order: a request whose deadline has
+        // already expired (or whose deadline seam fires under a chaos
+        // plan) is abandoned before it costs any decode work.
+        let mut slots: Vec<Option<Outcome>> = Vec::with_capacity(batch_size);
+        slots.resize_with(batch_size, || None);
+        let mut live: Vec<(usize, Pending)> = Vec::with_capacity(batch_size);
+        for (i, p) in batch.into_iter().enumerate() {
+            let waited_ms = p.enqueued.elapsed().as_millis() as u64;
+            let expired = p.deadline_ms.is_some_and(|dl| deadline_expired(waited_ms, dl))
+                || self.plan.should_fail(seams::SERVE_DEADLINE);
+            if expired {
+                lcrec_obs::counter_add("serve.timeouts", 1);
+                slots[i] = Some(Outcome::TimedOut {
+                    id: p.id,
+                    waited_s: p.enqueued.elapsed().as_secs_f64(),
+                    reason: TimeoutReason::Deadline,
+                });
+            } else {
+                live.push((i, p));
+            }
+        }
+        if live.is_empty() {
+            return slots.into_iter().flatten().collect();
+        }
+        // Bounded retry against transient decode faults. Decoding itself
+        // is deterministic, so a "failed attempt" costs one schedule slot
+        // and one counter tick, never a repeated weight pass or a sleep —
+        // the backoff delay is accounted, not slept. Under a transient
+        // plan the burst cap guarantees success within the budget; only a
+        // chaos plan can exhaust it.
+        let mut failed = 0u32;
+        while failed < self.backoff.max_attempts()
+            && self.plan.should_fail(seams::SERVE_DECODE)
+        {
+            lcrec_obs::counter_add("serve.retries", 1);
+            lcrec_obs::counter_add("serve.backoff_ms", self.backoff.delay_ms(failed));
+            failed += 1;
+        }
+        if failed >= self.backoff.max_attempts() {
+            for (i, p) in live {
+                lcrec_obs::counter_add("serve.timeouts", 1);
+                slots[i] = Some(Outcome::TimedOut {
+                    id: p.id,
+                    waited_s: p.enqueued.elapsed().as_secs_f64(),
+                    reason: TimeoutReason::RetriesExhausted,
+                });
+            }
+            return slots.into_iter().flatten().collect();
+        }
         let prompts: Vec<Vec<u32>> =
-            batch.iter().map(|p| self.render_prompt(&p.history)).collect();
-        let widths: Vec<usize> = batch.iter().map(|p| p.k.max(self.cfg.beam)).collect();
+            live.iter().map(|(_, p)| self.render_prompt(&p.history)).collect();
+        let widths: Vec<usize> =
+            live.iter().map(|(_, p)| p.k.max(self.cfg.beam)).collect();
         let ranked_lists = multi_constrained_beam_search_with(
             &self.pool,
             self.lm,
@@ -343,19 +571,20 @@ impl<'a> Engine<'a> {
             &prompts,
             &widths,
         );
-        let batch_size = batch.len();
-        batch
-            .into_iter()
-            .zip(ranked_lists)
-            .map(|(pending, mut ranked)| {
-                ranked.truncate(pending.k);
-                let latency_s = pending.enqueued.elapsed().as_secs_f64();
-                if obs_on {
-                    lcrec_obs::profile_record("serve.request_s", latency_s);
-                }
-                Response { id: pending.id, ranked, latency_s, batch_size }
-            })
-            .collect()
+        for ((i, pending), mut ranked) in live.into_iter().zip(ranked_lists) {
+            ranked.truncate(pending.k);
+            let latency_s = pending.enqueued.elapsed().as_secs_f64();
+            if obs_on {
+                lcrec_obs::profile_record("serve.request_s", latency_s);
+            }
+            slots[i] = Some(Outcome::Completed(Response {
+                id: pending.id,
+                ranked,
+                latency_s,
+                batch_size,
+            }));
+        }
+        slots.into_iter().flatten().collect()
     }
 }
 

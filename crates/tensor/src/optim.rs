@@ -231,6 +231,22 @@ impl AdamW {
         self.lr * self.schedule.factor(self.step)
     }
 
+    /// Optimizer state for checkpointing: the step count plus the first
+    /// and second moment buffers, in parameter-registration order. Paired
+    /// with [`AdamW::restore`] by `serialize::save_train_state`.
+    pub fn moments(&self) -> (usize, &[Tensor], &[Tensor]) {
+        (self.step, &self.m, &self.v)
+    }
+
+    /// Restores state captured by [`AdamW::moments`]: a resumed optimizer
+    /// continues the schedule and moment estimates exactly where the
+    /// checkpoint left them, making resumed training bit-identical.
+    pub fn restore(&mut self, step: usize, m: Vec<Tensor>, v: Vec<Tensor>) {
+        self.step = step;
+        self.m = m;
+        self.v = v;
+    }
+
     /// Applies one update using the gradients in `store`, then advances the
     /// schedule. Gradients are left untouched (call
     /// [`ParamStore::zero_grads`] before the next accumulation).

@@ -1,111 +1,362 @@
 //! Parameter persistence: a minimal, dependency-free binary format for
-//! saving and restoring a [`ParamStore`](crate::ParamStore)'s values.
+//! saving and restoring a [`ParamStore`](crate::ParamStore)'s values,
+//! hardened against torn writes and bit corruption (`docs/ROBUSTNESS.md`).
 //!
 //! Format (little-endian):
 //!
 //! ```text
-//! magic  "LCR1"            4 bytes
-//! count  u32               number of parameters
-//! per parameter:
-//!   name_len u32, name bytes (UTF-8)
-//!   ndim u32, dims u32 × ndim
-//!   data f32 × numel
+//! payload:
+//!   magic  "LCR1"            4 bytes
+//!   count  u32               number of parameters
+//!   per parameter:
+//!     name_len u32, name bytes (UTF-8)
+//!     ndim u32, dims u32 × ndim
+//!     data f32 × numel
+//! trailer:
+//!   payload_len u64          length of everything before the trailer
+//!   checksum    u64          FNV-1a 64 over the payload
 //! ```
+//!
+//! The trailer makes interrupted writes detectable: a torn write fails the
+//! length check, a bit flip fails the checksum, and both surface as typed
+//! [`std::io::Error`]s instead of garbage tensors. [`load_params`]
+//! additionally stages the entire checkpoint before touching the store, so
+//! a corrupt stream can never leave a `ParamStore` half-restored.
 //!
 //! Loading restores values **by name** into an architecture-compatible
 //! store (the model must be rebuilt with the same configuration first);
-//! gradients and optimizer state are not persisted, matching common
-//! checkpoint practice for inference-oriented checkpoints.
+//! [`save_params`]/[`load_params`] persist values only, matching common
+//! practice for inference-oriented checkpoints, while
+//! [`save_train_state`]/[`load_train_state`] additionally carry AdamW
+//! moments and an opaque resume blob for mid-epoch train/resume.
+//!
+//! [`load_params`]: crate::serialize::load_params
+//! [`save_params`]: crate::serialize::save_params
+//! [`save_train_state`]: crate::serialize::save_train_state
+//! [`load_train_state`]: crate::serialize::load_train_state
 
-use crate::optim::ParamStore;
+use crate::optim::{AdamW, ParamId, ParamStore};
 use crate::tensor::Tensor;
+use lcrec_fault::{fnv1a64, seams, Backoff, FaultPlan};
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"LCR1";
+const TRAIN_MAGIC: &[u8; 4] = b"LCRT";
+const TRAILER_LEN: usize = 16;
 
-/// Serializes all parameter values of `store` into `w`.
-pub fn save_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&(store.len() as u32).to_le_bytes())?;
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Appends the length + checksum trailer to a payload.
+fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+    let len = payload.len() as u64;
+    let sum = fnv1a64(&payload);
+    payload.extend_from_slice(&len.to_le_bytes());
+    payload.extend_from_slice(&sum.to_le_bytes());
+    payload
+}
+
+/// Verifies the trailer and returns the payload slice.
+fn unseal(buf: &[u8]) -> io::Result<&[u8]> {
+    if buf.len() < TRAILER_LEN {
+        return Err(bad("truncated checkpoint (torn write?)"));
+    }
+    let (payload, trailer) = buf.split_at(buf.len() - TRAILER_LEN);
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&trailer[..8]);
+    let len = u64::from_le_bytes(b);
+    b.copy_from_slice(&trailer[8..]);
+    let sum = u64::from_le_bytes(b);
+    if len != payload.len() as u64 {
+        return Err(bad(format!(
+            "truncated checkpoint (torn write?): trailer says {len} payload bytes, found {}",
+            payload.len()
+        )));
+    }
+    if sum != fnv1a64(payload) {
+        return Err(bad("checkpoint checksum mismatch (corrupted bytes)"));
+    }
+    Ok(payload)
+}
+
+/// Bounds-checked reader over a checkpoint payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if n > self.buf.len() - self.pos {
+            return Err(bad("truncated checkpoint payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(bad(format!("{} trailing bytes after checkpoint data", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+fn write_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.ndim() as u32).to_le_bytes());
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &x in t.data() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn read_tensor(cur: &mut Cursor<'_>) -> io::Result<Tensor> {
+    let ndim = cur.u32()? as usize;
+    if ndim > 8 {
+        return Err(bad("unreasonable rank"));
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        shape.push(cur.u32()? as usize);
+    }
+    let numel = shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| bad("tensor element count overflows"))?;
+    if numel > cur.remaining() / 4 {
+        return Err(bad("truncated checkpoint payload: tensor data cut short"));
+    }
+    let bytes = cur.take(numel * 4)?;
+    let mut data = Vec::with_capacity(numel);
+    for c in bytes.chunks_exact(4) {
+        data.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+    }
+    Ok(Tensor::new(&shape, data))
+}
+
+/// Serializes the payload section (magic + named tensors) of `store`.
+fn params_payload(store: &ParamStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for id in store.ids() {
         let name = store.name(id).as_bytes();
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(name)?;
-        let value = store.value(id);
-        w.write_all(&(value.ndim() as u32).to_le_bytes())?;
-        for &d in value.shape() {
-            w.write_all(&(d as u32).to_le_bytes())?;
-        }
-        for &x in value.data() {
-            w.write_all(&x.to_le_bytes())?;
-        }
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        write_tensor(&mut out, store.value(id));
     }
-    Ok(())
+    out
+}
+
+/// Parses and validates every parameter in `payload` against `store`
+/// **without mutating it** — the staged list is only committed by the
+/// caller once the whole stream has been proven well-formed.
+fn parse_params(payload: &[u8], store: &ParamStore) -> io::Result<Vec<(ParamId, Tensor)>> {
+    let mut cur = Cursor::new(payload);
+    if cur.take(4)? != MAGIC {
+        return Err(bad("bad magic (not an LCR1 checkpoint)"));
+    }
+    let count = cur.u32()? as usize;
+    let ids: std::collections::HashMap<String, ParamId> =
+        store.ids().map(|id| (store.name(id).to_string(), id)).collect();
+    let mut staged = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = cur.u32()? as usize;
+        if name_len > 1 << 20 {
+            return Err(bad("unreasonable name length"));
+        }
+        let name = String::from_utf8(cur.take(name_len)?.to_vec()).map_err(|e| bad(e.to_string()))?;
+        let tensor = read_tensor(&mut cur)?;
+        let id = *ids
+            .get(&name)
+            .ok_or_else(|| bad(format!("unknown parameter {name:?}")))?;
+        if store.value(id).shape() != tensor.shape() {
+            return Err(bad(format!(
+                "shape mismatch for {name:?}: checkpoint {:?} vs model {:?}",
+                tensor.shape(),
+                store.value(id).shape()
+            )));
+        }
+        staged.push((id, tensor));
+    }
+    cur.finish()?;
+    Ok(staged)
+}
+
+/// Serializes all parameter values of `store` into `w`, including the
+/// crash-detection trailer.
+pub fn save_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(&seal(params_payload(store)))
 }
 
 /// Restores parameter values into `store` by name.
 ///
+/// The entire stream is parsed and validated (trailer, magic, names,
+/// shapes) before the first tensor is written back, so on **any** error
+/// the store is bit-for-bit untouched.
+///
 /// # Errors
-/// Fails on a bad magic/truncated stream, on a name absent from `store`,
-/// or on a shape mismatch. Parameters present in `store` but missing from
-/// the stream are left untouched (and reported in the returned count).
+/// Fails on a truncated stream or checksum mismatch (torn write / bit
+/// corruption), a bad magic, a name absent from `store`, or a shape
+/// mismatch. Parameters present in `store` but missing from the stream
+/// are left untouched (and reported in the returned count).
 pub fn load_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<usize> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic (not an LCR1 checkpoint)"));
-    }
-    let count = read_u32(r)? as usize;
-    // Name → id map.
-    let ids: std::collections::HashMap<String, crate::ParamId> =
-        store.ids().map(|id| (store.name(id).to_string(), id)).collect();
-    let mut restored = 0usize;
-    for _ in 0..count {
-        let name_len = read_u32(r)? as usize;
-        if name_len > 1 << 20 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable name length"));
-        }
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let ndim = read_u32(r)? as usize;
-        if ndim > 8 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable rank"));
-        }
-        let mut shape = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            shape.push(read_u32(r)? as usize);
-        }
-        let numel: usize = shape.iter().product();
-        let mut data = vec![0.0f32; numel];
-        let mut buf = [0u8; 4];
-        for x in &mut data {
-            r.read_exact(&mut buf)?;
-            *x = f32::from_le_bytes(buf);
-        }
-        let id = *ids.get(&name).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("unknown parameter {name:?}"))
-        })?;
-        if store.value(id).shape() != shape.as_slice() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "shape mismatch for {name:?}: checkpoint {shape:?} vs model {:?}",
-                    store.value(id).shape()
-                ),
-            ));
-        }
-        *store.value_mut(id) = Tensor::new(&shape, data);
-        restored += 1;
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    let staged = parse_params(unseal(&buf)?, store)?;
+    let restored = staged.len();
+    for (id, tensor) in staged {
+        *store.value_mut(id) = tensor;
     }
     Ok(restored)
 }
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+/// [`save_params`] to a file, crash-safely: bytes land in a `.tmp`
+/// sibling first and only an atomic rename publishes them, so `path`
+/// always holds either the previous checkpoint or the complete new one —
+/// never a torn intermediate. Uses the ambient
+/// [`lcrec_fault::env_plan`] and default [`Backoff`].
+pub fn save_params_atomic(store: &ParamStore, path: &Path) -> io::Result<()> {
+    save_params_atomic_with(store, path, lcrec_fault::env_plan(), &Backoff::default())
+}
+
+/// [`save_params_atomic`] under an explicit fault plan and retry policy
+/// (the chaos suite injects torn writes here).
+pub fn save_params_atomic_with(
+    store: &ParamStore,
+    path: &Path,
+    plan: &FaultPlan,
+    backoff: &Backoff,
+) -> io::Result<()> {
+    write_atomic(path, &seal(params_payload(store)), plan, backoff)
+}
+
+fn write_atomic(path: &Path, bytes: &[u8], plan: &FaultPlan, backoff: &Backoff) -> io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    for _ in 0..backoff.max_attempts() {
+        if plan.should_fail(seams::CKPT_WRITE) {
+            // Simulated torn write: only a prefix reaches the temp file
+            // before the "crash". The published path is never touched, and
+            // the next attempt rewrites the temp file from scratch.
+            let n = plan.torn_len(seams::CKPT_WRITE, bytes.len());
+            std::fs::write(&tmp, &bytes[..n])?;
+            lcrec_obs::counter_add("ckpt.retries", 1);
+            continue;
+        }
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)?;
+        return Ok(());
+    }
+    let _ = std::fs::remove_file(&tmp);
+    Err(io::Error::other("checkpoint write retries exhausted (injected faults)"))
+}
+
+/// Serializes a full training snapshot — parameter values, AdamW step and
+/// moment buffers, and an opaque `extra` blob for loop-specific resume
+/// state (epoch, batch cursor, RNG state…) — into `w`, sealed with the
+/// same length + checksum trailer as [`save_params`].
+pub fn save_train_state(
+    store: &ParamStore,
+    opt: &AdamW,
+    extra: &[u8],
+    w: &mut impl Write,
+) -> io::Result<()> {
+    let mut p = Vec::new();
+    p.extend_from_slice(TRAIN_MAGIC);
+    let params = seal(params_payload(store));
+    p.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    p.extend_from_slice(&params);
+    let (step, m, v) = opt.moments();
+    p.extend_from_slice(&(step as u64).to_le_bytes());
+    p.extend_from_slice(&(m.len() as u32).to_le_bytes());
+    for t in m.iter().chain(v.iter()) {
+        write_tensor(&mut p, t);
+    }
+    p.extend_from_slice(&(extra.len() as u64).to_le_bytes());
+    p.extend_from_slice(extra);
+    w.write_all(&seal(p))
+}
+
+/// Restores a training snapshot written by [`save_train_state`] and
+/// returns the opaque `extra` blob. Like [`load_params`], everything is
+/// staged and validated first: on any error neither `store` nor `opt` is
+/// touched.
+pub fn load_train_state(
+    store: &mut ParamStore,
+    opt: &mut AdamW,
+    r: &mut impl Read,
+) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    let payload = unseal(&buf)?;
+    let mut cur = Cursor::new(payload);
+    if cur.take(4)? != TRAIN_MAGIC {
+        return Err(bad("bad magic (not an LCRT train state)"));
+    }
+    let plen = cur.u64()? as usize;
+    let staged = parse_params(unseal(cur.take(plen)?)?, store)?;
+    let step = cur.u64()? as usize;
+    let n = cur.u32()? as usize;
+    if n > store.len() {
+        return Err(bad(format!(
+            "optimizer has {n} moment buffers but the model has {} parameters",
+            store.len()
+        )));
+    }
+    let mut m = Vec::with_capacity(n);
+    for _ in 0..n {
+        m.push(read_tensor(&mut cur)?);
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(read_tensor(&mut cur)?);
+    }
+    for (i, t) in m.iter().chain(v.iter()).enumerate() {
+        let id = ParamId(i % n.max(1));
+        if t.shape() != store.value(id).shape() {
+            return Err(bad(format!(
+                "moment shape mismatch for {:?}: checkpoint {:?} vs model {:?}",
+                store.name(id),
+                t.shape(),
+                store.value(id).shape()
+            )));
+        }
+    }
+    let extra_len = cur.u64()? as usize;
+    let extra = cur.take(extra_len)?.to_vec();
+    cur.finish()?;
+    for (id, tensor) in staged {
+        *store.value_mut(id) = tensor;
+    }
+    opt.restore(step, m, v);
+    Ok(extra)
 }
 
 #[cfg(test)]
@@ -122,6 +373,10 @@ mod tests {
         ps.add_no_decay("b1", init::normal(&[6], 1.0, &mut rng));
         ps.add("emb", init::normal(&[10, 4], 1.0, &mut rng));
         ps
+    }
+
+    fn store_bits(ps: &ParamStore) -> Vec<u32> {
+        ps.ids().flat_map(|id| ps.value(id).data().iter().map(|x| x.to_bits())).collect()
     }
 
     #[test]
@@ -177,5 +432,102 @@ mod tests {
         buf.truncate(buf.len() / 2);
         let mut dst = sample_store(2);
         assert!(load_params(&mut dst, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corruption_never_mutates_the_store() {
+        let src = sample_store(1);
+        let mut good = Vec::new();
+        save_params(&src, &mut good).expect("save");
+        // A flipped bit deep in the payload fails the checksum, and the
+        // destination store keeps every original bit.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        let mut dst = sample_store(2);
+        let before = store_bits(&dst);
+        let err = load_params(&mut dst, &mut flipped.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert_eq!(store_bits(&dst), before, "store must stay untouched");
+        // A torn write (any strict prefix) fails the length check.
+        let torn = &good[..good.len() - 7];
+        let err = load_params(&mut dst, &mut &torn[..]).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        assert_eq!(store_bits(&dst), before);
+    }
+
+    #[test]
+    fn atomic_save_survives_injected_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("lcrec-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("params.lcr");
+        let src = sample_store(1);
+        // A transient plan at full rate: the burst cap keeps every write
+        // recoverable within the default retry budget.
+        let plan = FaultPlan::transient(7).with_rate(2);
+        save_params_atomic_with(&src, &path, &plan, &Backoff::default()).expect("atomic save");
+        let bytes = std::fs::read(&path).expect("read back");
+        let mut dst = sample_store(2);
+        load_params(&mut dst, &mut bytes.as_slice()).expect("load");
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+        // Chaos exhaustion: the publish path must stay untouched.
+        let chaos = FaultPlan::chaos(3).with_rate(2);
+        let before = std::fs::read(&path).expect("read");
+        let one_try = Backoff::new(1, 1, 1);
+        let mut failures = 0;
+        for _ in 0..8 {
+            if save_params_atomic_with(&src, &path, &chaos, &one_try).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "a one-attempt budget under chaos must fail sometimes");
+        assert_eq!(std::fs::read(&path).expect("read"), before, "target never torn");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_state_round_trip_restores_optimizer() {
+        let mut store = sample_store(1);
+        let mut opt = AdamW::new(0.01);
+        // A few steps so moments and the schedule are non-trivial.
+        for _ in 0..3 {
+            for id in store.ids() {
+                let g: Vec<f32> = store.value(id).data().iter().map(|x| x * 0.5).collect();
+                store.grad_mut(id).data_mut().copy_from_slice(&g);
+            }
+            opt.step(&mut store);
+            store.zero_grads();
+        }
+        let extra = b"epoch=2;batch=5".to_vec();
+        let mut buf = Vec::new();
+        save_train_state(&store, &opt, &extra, &mut buf).expect("save");
+
+        let mut store2 = sample_store(9);
+        let mut opt2 = AdamW::new(0.01);
+        let got = load_train_state(&mut store2, &mut opt2, &mut buf.as_slice()).expect("load");
+        assert_eq!(got, extra);
+        assert_eq!(opt2.steps(), opt.steps());
+        assert_eq!(store_bits(&store2), store_bits(&store));
+        // One more identical step on both: bit-identical continuation.
+        for (s, o) in [(&mut store, &mut opt), (&mut store2, &mut opt2)] {
+            for id in s.ids() {
+                let g: Vec<f32> = s.value(id).data().iter().map(|x| x * 0.5).collect();
+                s.grad_mut(id).data_mut().copy_from_slice(&g);
+            }
+            o.step(s);
+        }
+        assert_eq!(store_bits(&store2), store_bits(&store));
+        // Corrupt train state: neither store nor optimizer mutates.
+        let mut bad_buf = buf.clone();
+        let mid = bad_buf.len() / 3;
+        bad_buf[mid] ^= 0x01;
+        let mut store3 = sample_store(4);
+        let mut opt3 = AdamW::new(0.01);
+        let before = store_bits(&store3);
+        assert!(load_train_state(&mut store3, &mut opt3, &mut bad_buf.as_slice()).is_err());
+        assert_eq!(store_bits(&store3), before);
+        assert_eq!(opt3.steps(), 0);
     }
 }

@@ -11,13 +11,18 @@
 #   3. the suite once more with the observability gate forced on
 #      (LCREC_OBS=1) so the instrumented hot paths stay under test — the
 #      results must not change when recording is active;
-#   4. a serve smoke-run: the batched-inference experiment end-to-end at
+#   4. the fault matrix: the suite under transient fault injection
+#      (LCREC_FAULT=1) at two seeds — injected worker hiccups, decode
+#      retries and torn checkpoint writes must all be recovered
+#      internally with zero observable result changes (the burst cap of
+#      lcrec-fault sits below every retry budget, see docs/ROBUSTNESS.md);
+#   5. a serve smoke-run: the batched-inference experiment end-to-end at
 #      tiny scale (admission queue, batched prefill + decode, the
 #      bit-identity column) into a scratch directory;
-#   5. the dependency-free workspace lint pass, the public-API
+#   6. the dependency-free workspace lint pass, the public-API
 #      doc-coverage gate (including required `# Examples` on entry
 #      points), and the env-var documentation gate; and
-#   6. a warning-free `cargo doc` build of the whole workspace.
+#   7. a warning-free `cargo doc` build of the whole workspace.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -34,6 +39,10 @@ LCREC_SANITIZE=1 LCREC_THREADS=4 cargo test --workspace --quiet
 
 echo "== tests (LCREC_OBS=1, LCREC_SANITIZE=1, LCREC_THREADS=4) =="
 LCREC_OBS=1 LCREC_SANITIZE=1 LCREC_THREADS=4 cargo test --workspace --quiet
+
+echo "== fault matrix (LCREC_FAULT=1, seeds 1 and 2) =="
+LCREC_FAULT=1 LCREC_FAULT_SEED=1 cargo test --workspace --quiet
+LCREC_FAULT=1 LCREC_FAULT_SEED=2 cargo test --workspace --quiet
 
 echo "== serve smoke-run (tiny scale) =="
 cargo run --release --quiet -p lcrec-bench --bin repro -- \

@@ -56,6 +56,7 @@
 pub use lcrec_core as core;
 pub use lcrec_data as data;
 pub use lcrec_eval as eval;
+pub use lcrec_fault as fault;
 pub use lcrec_obs as obs;
 pub use lcrec_par as par;
 pub use lcrec_rqvae as rqvae;
@@ -74,12 +75,13 @@ pub mod prelude {
     pub use lcrec_eval::{
         evaluate_test, evaluate_valid, NegativeKind, PairwiseScorer, Ranker, RankingMetrics,
     };
+    pub use lcrec_fault::{Backoff, FaultPlan};
     pub use lcrec_par::Pool;
     pub use lcrec_rqvae::{
         build_indices, IndexTrie, IndexerKind, ItemIndices, RqVae, RqVaeConfig,
     };
     pub use lcrec_seqrec::{RecConfig, SasRec, ScoreModel, ScoreRanker, TrainingPairs};
-    pub use lcrec_serve::{Engine, Reject, Response, ServeConfig};
+    pub use lcrec_serve::{Engine, Outcome, Reject, Response, ServeConfig, TimeoutReason};
     pub use lcrec_tensor::{Graph, ParamStore, Tensor};
     pub use lcrec_text::{TextEncoder, TextGen, Vocab};
 }

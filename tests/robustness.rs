@@ -1,0 +1,469 @@
+//! Chaos and property tests for the fault-injection robustness layer
+//! (`docs/ROBUSTNESS.md`): with faults disabled the engine is bit-identical
+//! to the fault-free baseline; under seeded chaos plans every request
+//! resolves with a typed outcome, nothing panics, and identical seeds give
+//! bit-identical outcome sequences. Checkpoint corruption always surfaces
+//! as typed errors without partial mutation, and a training run interrupted
+//! mid-epoch resumes bit-identically to an uninterrupted one.
+
+use lc_rec::fault::{deadline_expired, Backoff, FaultPlan};
+use lc_rec::prelude::*;
+use lc_rec::serve::{Outcome, Reject};
+use lc_rec::tensor::serialize::{load_params, save_params};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+// ---------------------------------------------------------------------------
+
+fn tiny_model() -> (Dataset, LcRec) {
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let mut enc = TextEncoder::new(24, 42);
+    let texts: Vec<String> = ds.catalog.items.iter().map(|i| i.full_text()).collect();
+    let emb = enc.encode_batch(texts.iter().map(String::as_str));
+    let mut rq = RqVaeConfig::small(24, ds.num_items());
+    rq.levels = 3;
+    rq.codebook_size = 8;
+    rq.latent_dim = 8;
+    rq.hidden = vec![16];
+    rq.epochs = 6;
+    let indices = build_indices(IndexerKind::LcRec, &emb, &rq);
+    let model = LcRec::build(&ds, indices, LcRecConfig::test());
+    (ds, model)
+}
+
+fn request_mix(ds: &Dataset, n: usize, seed: u64) -> Vec<(Vec<u32>, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(1..12);
+            let hist: Vec<u32> =
+                (0..len).map(|_| rng.random_range(0..ds.num_items() as u32)).collect();
+            let k = rng.random_range(1..6);
+            (hist, k)
+        })
+        .collect()
+}
+
+fn ranked_bits(ranked: &[lc_rec::core::Hypothesis]) -> Vec<(u32, u32)> {
+    ranked.iter().map(|h| (h.item, h.logprob.to_bits())).collect()
+}
+
+/// A wall-clock-free canonical form of one run: typed rejections at submit
+/// time plus the typed outcome of every admitted request. Latencies are
+/// deliberately excluded — they are the only run-to-run nondeterminism.
+#[derive(Debug, PartialEq, Eq)]
+enum Canon {
+    Rejected(u64, Reject),
+    Completed(u64, Vec<(u32, u32)>),
+    TimedOut(u64, lc_rec::serve::TimeoutReason),
+}
+
+/// Submits `requests` to an engine under `plan`, flushes, and returns the
+/// canonical event sequence. Panics (the absence of which is the point)
+/// propagate to the test harness.
+fn chaos_run(
+    model: &LcRec,
+    requests: &[(Vec<u32>, usize)],
+    plan: FaultPlan,
+    max_batch: usize,
+    threads: usize,
+) -> Vec<Canon> {
+    let cfg = ServeConfig { max_batch, beam: 5, queue_cap: 6, ..ServeConfig::default() };
+    let mut engine = lc_rec::serve::Engine::with_pool(
+        model.lm(),
+        model.vocab(),
+        model.trie(),
+        cfg,
+        Pool::new(threads),
+    )
+    .with_fault_plan(plan);
+    let mut events = Vec::new();
+    let mut tickets = Vec::new();
+    for (i, (hist, k)) in requests.iter().enumerate() {
+        match engine.submit(hist, *k) {
+            Ok(id) => tickets.push(id),
+            Err(reject) => events.push(Canon::Rejected(i as u64, reject)),
+        }
+        // Drain mid-stream occasionally so the bounded queue frees up and
+        // step-path dispatch is exercised alongside flush.
+        if i % 5 == 4 {
+            for o in engine.flush_outcomes() {
+                events.push(canon_outcome(o));
+            }
+        }
+    }
+    for o in engine.flush_outcomes() {
+        events.push(canon_outcome(o));
+    }
+    // Full typed-outcome accounting: every ticket resolved exactly once.
+    let mut resolved: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Canon::Completed(id, _) | Canon::TimedOut(id, _) => Some(*id),
+            Canon::Rejected(..) => None,
+        })
+        .collect();
+    resolved.sort_unstable();
+    tickets.sort_unstable();
+    assert_eq!(resolved, tickets, "typed-outcome accounting must be exhaustive");
+    assert_eq!(engine.queue_len(), 0, "flush leaves nothing behind");
+    events
+}
+
+fn canon_outcome(o: Outcome) -> Canon {
+    match o {
+        Outcome::Completed(r) => Canon::Completed(r.id, ranked_bits(&r.ranked)),
+        Outcome::TimedOut { id, reason, .. } => Canon::TimedOut(id, reason),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine chaos suite
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabled_faults_are_bit_identical_to_the_baseline() {
+    let (ds, model) = tiny_model();
+    let requests = request_mix(&ds, 6, 21);
+    // A run under an explicitly disabled plan is the pre-robustness
+    // baseline; the ambient engine (and a transient plan, whose seams all
+    // recover internally) must match it bit for bit.
+    let baseline = chaos_run(&model, &requests, FaultPlan::disabled(), 4, 1);
+    assert!(
+        baseline.iter().all(|e| matches!(e, Canon::Completed(..))),
+        "no faults, watermarks or deadlines: everything completes"
+    );
+    let ambient = chaos_run(&model, &requests, FaultPlan::from_env(), 4, 1);
+    let transient = chaos_run(&model, &requests, FaultPlan::transient(9), 4, 1);
+    // The ambient plan may be transient (fault-matrix CI leg) but must
+    // never change results; an explicit transient plan likewise.
+    assert_eq!(baseline, ambient, "ambient plan changed results");
+    assert_eq!(baseline, transient, "transient faults must recover invisibly");
+    // And the completed rankings equal direct single-request decode.
+    let cfg = ServeConfig { max_batch: 4, beam: 5, queue_cap: 6, ..ServeConfig::default() };
+    let probe = Engine::for_model(&model, cfg.clone());
+    for (event, (hist, k)) in baseline.iter().zip(&requests) {
+        let Canon::Completed(_, bits) = event else { unreachable!() };
+        let prompt = probe.render_prompt(hist);
+        let mut direct = lc_rec::core::constrained_beam_search_with(
+            &Pool::new(1),
+            model.lm(),
+            model.vocab(),
+            model.trie(),
+            &prompt,
+            *k.max(&cfg.beam),
+        );
+        direct.truncate(*k);
+        assert_eq!(bits, &ranked_bits(&direct), "diverged from direct decode");
+    }
+}
+
+#[test]
+fn chaos_sweep_resolves_every_request_with_a_typed_outcome() {
+    let (ds, model) = tiny_model();
+    let requests = request_mix(&ds, 12, 35);
+    let mut saw_reject = false;
+    let mut saw_timeout = false;
+    let mut saw_completion = false;
+    for seed in 0..8u64 {
+        for max_batch in [1usize, 3, 8] {
+            for threads in [1usize, 4] {
+                // Raise the fault rate so 12 requests reliably hit seams.
+                let run = || {
+                    chaos_run(
+                        &model,
+                        &requests,
+                        FaultPlan::chaos(seed).with_rate(3),
+                        max_batch,
+                        threads,
+                    )
+                };
+                let a = run();
+                let b = run();
+                assert_eq!(
+                    a, b,
+                    "identical seed must give a bit-identical outcome sequence \
+                     (seed {seed}, batch {max_batch}, threads {threads})"
+                );
+                for e in &a {
+                    match e {
+                        Canon::Rejected(..) => saw_reject = true,
+                        Canon::TimedOut(..) => saw_timeout = true,
+                        Canon::Completed(..) => saw_completion = true,
+                    }
+                }
+            }
+        }
+    }
+    assert!(saw_reject, "the sweep should inject at least one admission rejection");
+    assert!(saw_timeout, "the sweep should inject at least one timeout");
+    assert!(saw_completion, "chaos must not starve every request");
+}
+
+#[test]
+fn thread_count_never_changes_chaos_outcomes() {
+    let (ds, model) = tiny_model();
+    let requests = request_mix(&ds, 9, 51);
+    for seed in [2u64, 6] {
+        for max_batch in [3usize, 8] {
+            let serial =
+                chaos_run(&model, &requests, FaultPlan::chaos(seed).with_rate(3), max_batch, 1);
+            let parallel =
+                chaos_run(&model, &requests, FaultPlan::chaos(seed).with_rate(3), max_batch, 4);
+            assert_eq!(serial, parallel, "seed {seed} batch {max_batch}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint corruption fuzzing
+// ---------------------------------------------------------------------------
+
+fn fuzz_store(seed: u64) -> ParamStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ps = ParamStore::new();
+    ps.add("enc.w", lc_rec::tensor::init::normal(&[6, 10], 1.0, &mut rng));
+    ps.add_no_decay("enc.b", lc_rec::tensor::init::normal(&[10], 1.0, &mut rng));
+    ps.add("emb", lc_rec::tensor::init::normal(&[17, 6], 1.0, &mut rng));
+    ps
+}
+
+fn store_bits(ps: &ParamStore) -> Vec<u32> {
+    ps.ids().flat_map(|id| ps.value(id).data().iter().map(|x| x.to_bits())).collect()
+}
+
+#[test]
+fn load_params_fuzz_returns_typed_errors_and_never_partially_mutates() {
+    let src = fuzz_store(1);
+    let mut good = Vec::new();
+    save_params(&src, &mut good).expect("save");
+    // Sanity: the unmutated bytes round-trip.
+    let mut dst = fuzz_store(2);
+    load_params(&mut dst, &mut good.as_slice()).expect("clean load");
+
+    let mut rng = StdRng::seed_from_u64(0xF0220);
+    let mut dst = fuzz_store(3);
+    let pristine = store_bits(&dst);
+    for case in 0..200 {
+        let mut bytes = good.clone();
+        match case % 5 {
+            // Truncation anywhere (torn write).
+            0 => bytes.truncate(rng.random_range(0..bytes.len())),
+            // A single flipped bit anywhere (disk corruption).
+            1 => {
+                let i = rng.random_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.random_range(0..8);
+            }
+            // Corrupted magic.
+            2 => bytes[rng.random_range(0..4)] = rng.random_range(0..=255),
+            // A mangled shape/count field early in the payload.
+            3 => {
+                let i = rng.random_range(4..24);
+                bytes[i] = 0xFF;
+            }
+            // Trailing garbage after the trailer.
+            _ => bytes.extend_from_slice(&[0xAB; 3]),
+        }
+        if bytes == good {
+            continue; // the mutation was an identity; nothing to assert
+        }
+        let err = load_params(&mut dst, &mut bytes.as_slice())
+            .expect_err("every corruption must be a typed error, not a panic");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "case {case}: {err}");
+        assert_eq!(store_bits(&dst), pristine, "case {case} partially mutated the store");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff and deadline properties
+// ---------------------------------------------------------------------------
+
+#[test]
+fn backoff_schedule_properties_hold_for_arbitrary_configs() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..500 {
+        let base = rng.random_range(0..100u64);
+        let cap = rng.random_range(0..5000u64);
+        let attempts = rng.random_range(0..20u32);
+        let b = Backoff::new(base, cap, attempts);
+        let delays: Vec<u64> = b.delays().collect();
+        // Total attempts bounded (and ≥ 1 after clamping).
+        assert!(b.max_attempts() >= 1);
+        assert_eq!(delays.len(), b.max_attempts() as usize - 1);
+        // Monotone non-decreasing and capped.
+        for w in delays.windows(2) {
+            assert!(w[0] <= w[1], "not monotone: {delays:?}");
+        }
+        let effective_cap = cap.max(base.max(1));
+        assert!(delays.iter().all(|&d| d <= effective_cap), "cap violated: {delays:?}");
+        // Saturating far past the shift width, never wrapping to zero.
+        assert_eq!(b.delay_ms(500), effective_cap);
+        assert_eq!(b.total_budget_ms(), delays.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn deadline_math_is_exact_at_the_boundary() {
+    let mut rng = StdRng::seed_from_u64(78);
+    for _ in 0..500 {
+        let deadline = rng.random_range(0..1_000_000u64);
+        let waited = rng.random_range(0..1_000_000u64);
+        assert_eq!(deadline_expired(waited, deadline), waited >= deadline);
+    }
+    // Boundary and extremes.
+    assert!(deadline_expired(0, 0), "a zero deadline is already expired");
+    assert!(deadline_expired(5, 5), "the deadline instant itself counts as expired");
+    assert!(!deadline_expired(4, 5));
+    assert!(!deadline_expired(u64::MAX - 1, u64::MAX));
+    assert!(deadline_expired(u64::MAX, u64::MAX));
+}
+
+#[test]
+fn a_request_never_completes_past_its_deadline_without_a_timeout_record() {
+    let (ds, model) = tiny_model();
+    let requests = request_mix(&ds, 5, 90);
+    // Deadline 0 is expired by construction at dispatch; across batch
+    // shapes, no such request may ever surface as Completed.
+    for max_batch in [1usize, 4] {
+        let cfg = ServeConfig { max_batch, ..ServeConfig::default() };
+        let mut engine = Engine::for_model(&model, cfg);
+        let mut ids = Vec::new();
+        for (hist, k) in &requests {
+            ids.push(engine.submit_with_deadline(hist, *k, Some(0)).expect("admitted"));
+        }
+        let outcomes = engine.flush_outcomes();
+        assert_eq!(outcomes.len(), ids.len());
+        for o in &outcomes {
+            match o {
+                Outcome::TimedOut { reason, .. } => {
+                    assert_eq!(*reason, lc_rec::serve::TimeoutReason::Deadline)
+                }
+                Outcome::Completed(r) => {
+                    panic!("request {} completed past its deadline", r.id)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-epoch train/resume bit-identity
+// ---------------------------------------------------------------------------
+
+fn clustered_embeddings(n_per: usize, dim: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(5);
+    let centers = lc_rec::tensor::init::normal(&[4, dim], 2.0, &mut rng);
+    let mut rows = Vec::new();
+    for c in 0..4 {
+        for _ in 0..n_per {
+            let noise = lc_rec::tensor::init::normal(&[dim], 0.15, &mut rng);
+            let row: Vec<f32> =
+                centers.row(c).iter().zip(noise.data()).map(|(a, b)| a + b).collect();
+            rows.push(row);
+        }
+    }
+    Tensor::from_rows(&rows)
+}
+
+fn small_rqvae_cfg(dim: usize) -> RqVaeConfig {
+    let mut cfg = RqVaeConfig::small(dim, 40);
+    cfg.latent_dim = 8;
+    cfg.hidden = vec![16];
+    cfg.levels = 3;
+    cfg.codebook_size = 6;
+    cfg.epochs = 3;
+    cfg.batch = 16;
+    cfg.seed = 11;
+    cfg
+}
+
+#[test]
+fn rqvae_interrupted_training_resumes_bit_identically() {
+    let dim = 12;
+    let emb = clustered_embeddings(10, dim);
+
+    // Uninterrupted reference run.
+    let mut a = RqVae::new(small_rqvae_cfg(dim));
+    let report_a = a.train_with(&Pool::new(1), &emb);
+
+    // Interrupted run: stop mid-epoch (3 batches in = epoch 1, batch 0 of
+    // the 40-row / 16-batch layout), checkpoint, restore into a FRESH
+    // model, and finish.
+    let pool = Pool::new(1);
+    let mut b = RqVae::new(small_rqvae_cfg(dim));
+    let mut cursor = b.train_begin(&emb);
+    for _ in 0..3 {
+        assert!(b.train_tick(&pool, &emb, &mut cursor), "run is longer than 3 ticks");
+    }
+    assert!(
+        cursor.epoch() > 0 || cursor.batch_in_epoch() > 0,
+        "interruption must land mid-run"
+    );
+    let mut ckpt = Vec::new();
+    b.save_train_checkpoint(&cursor, &mut ckpt).expect("checkpoint");
+    drop((b, cursor)); // the interrupted process is gone
+
+    let mut c = RqVae::new(small_rqvae_cfg(dim));
+    let mut cursor = c.load_train_checkpoint(&mut ckpt.as_slice()).expect("restore");
+    while c.train_tick(&pool, &emb, &mut cursor) {}
+    let report_c = cursor.into_report();
+
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&report_a.epoch_losses),
+        bits(&report_c.epoch_losses),
+        "per-epoch losses must match bit for bit"
+    );
+    assert_eq!(report_a.final_recon.to_bits(), report_c.final_recon.to_bits());
+    // Final parameters identical: the encoders map embeddings to the
+    // exact same latents, and the learned indices agree.
+    let za = a.encode(&emb);
+    let zc = c.encode(&emb);
+    assert_eq!(
+        za.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        zc.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+    let ia = a.build_indices(&emb);
+    let ic = c.build_indices(&emb);
+    assert_eq!(ia.codes, ic.codes, "learned semantic IDs diverged after resume");
+}
+
+#[test]
+fn seqrec_interrupted_training_resumes_bit_identically() {
+    use lc_rec::seqrec::common::{
+        load_train_checkpoint, save_train_checkpoint, train_begin, train_tick,
+    };
+    let ds = Dataset::generate(&DatasetConfig::tiny());
+    let pairs = TrainingPairs::build(&ds, 10);
+    let pool = Pool::new(1);
+
+    // Uninterrupted reference run.
+    let mut a = SasRec::new(ds.num_items(), RecConfig::test());
+    let losses_a = lc_rec::seqrec::common::train_next_item_with(&pool, &mut a, &pairs);
+
+    // Interrupted run: 5 batches in (mid-epoch for this fixture),
+    // checkpoint, restore into a fresh model, finish.
+    let mut b = SasRec::new(ds.num_items(), RecConfig::test());
+    let mut cursor = train_begin(&b);
+    for _ in 0..5 {
+        assert!(train_tick(&pool, &mut b, &pairs, &mut cursor), "run longer than 5 ticks");
+    }
+    assert!(cursor.batch_in_epoch() > 0, "interruption must land mid-epoch");
+    let mut ckpt = Vec::new();
+    save_train_checkpoint(&b, &cursor, &mut ckpt).expect("checkpoint");
+    drop((b, cursor));
+
+    let mut c = SasRec::new(ds.num_items(), RecConfig::test());
+    let mut cursor = load_train_checkpoint(&mut c, &mut ckpt.as_slice()).expect("restore");
+    while train_tick(&pool, &mut c, &pairs, &mut cursor) {}
+    let losses_c = cursor.into_losses();
+
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&losses_a), bits(&losses_c), "per-epoch losses diverged");
+    // Final parameters identical: same scores for the same history.
+    let hist = [0u32, 3, 1];
+    let sa = lc_rec::seqrec::common::score_single(&a, &hist);
+    let sc = lc_rec::seqrec::common::score_single(&c, &hist);
+    assert_eq!(bits(&sa), bits(&sc), "scores diverged after resume");
+}

@@ -159,6 +159,75 @@ fn overlong_history_is_front_truncated_to_the_context_window() {
 }
 
 #[test]
+fn k_zero_is_rejected_with_a_typed_error() {
+    let (_ds, model) = tiny_model();
+    let mut engine = Engine::for_model(&model, ServeConfig::default());
+    assert_eq!(engine.submit(&[0, 1], 0), Err(Reject::InvalidK { k: 0 }));
+    let err = engine.submit(&[0, 1], 0).unwrap_err();
+    assert!(err.to_string().contains("k = 0"), "{err}");
+    // The rejection admits nothing: the queue stays empty and later
+    // well-formed submissions are unaffected.
+    assert_eq!(engine.queue_len(), 0);
+    assert!(engine.submit(&[0, 1], 2).is_ok());
+    assert_eq!(engine.flush().len(), 1);
+}
+
+#[test]
+fn k_beyond_catalog_is_clamped_to_the_catalog() {
+    let (ds, model) = tiny_model();
+    let n_items = ds.num_items();
+    let mut engine = Engine::for_model(&model, ServeConfig::default());
+    engine.submit(&[0, 1], n_items + 50).expect("clamped, not rejected");
+    engine.submit(&[0, 1], n_items).expect("exactly the catalog");
+    let out = engine.flush();
+    assert_eq!(out[0].ranked.len(), n_items, "never more results than items");
+    // The clamped request ranks exactly what an exact-catalog request does.
+    assert_eq!(ranked_bits(&out[0].ranked), ranked_bits(&out[1].ranked));
+}
+
+#[test]
+fn shed_watermark_rejects_before_hard_capacity() {
+    let (_ds, model) = tiny_model();
+    let cfg =
+        ServeConfig { queue_cap: 8, shed_watermark: Some(2), ..ServeConfig::default() };
+    let mut engine = Engine::for_model(&model, cfg);
+    engine.submit(&[0], 1).expect("below watermark");
+    engine.submit(&[1], 1).expect("below watermark");
+    assert_eq!(engine.submit(&[2], 1), Err(Reject::Shed { queued: 2 }));
+    // Draining lowers the queue below the watermark again.
+    assert_eq!(engine.flush().len(), 2);
+    assert!(engine.submit(&[2], 1).is_ok());
+}
+
+#[test]
+fn deadlines_resolve_as_typed_timeouts_never_silence() {
+    let (_ds, model) = tiny_model();
+    let mut engine = Engine::for_model(&model, ServeConfig::default());
+    // An already-expired deadline (0 ms) must surface as a typed timeout.
+    let late = engine.submit_with_deadline(&[0, 1], 3, Some(0)).expect("admitted");
+    // An effectively infinite deadline must complete normally.
+    let fine = engine.submit_with_deadline(&[0, 1], 3, Some(u64::MAX)).expect("admitted");
+    let outcomes = engine.flush_outcomes();
+    assert_eq!(outcomes.len(), 2, "every ticket resolves exactly once");
+    assert_eq!(outcomes[0].id(), late);
+    match &outcomes[0] {
+        lc_rec::serve::Outcome::TimedOut { reason, waited_s, .. } => {
+            assert_eq!(*reason, TimeoutReason::Deadline);
+            assert!(*waited_s >= 0.0);
+        }
+        other => panic!("expired deadline must time out, got {other:?}"),
+    }
+    assert_eq!(outcomes[1].id(), fine);
+    assert!(outcomes[1].is_completed(), "u64::MAX deadline never expires");
+    // The completed-only views hide the timeout but keep the completion.
+    let mut engine = Engine::for_model(&model, ServeConfig::default());
+    engine.submit_with_deadline(&[0], 2, Some(0)).expect("admitted");
+    engine.submit_with_deadline(&[1], 2, None).expect("admitted");
+    let responses = engine.flush();
+    assert_eq!(responses.len(), 1, "flush() filters the timed-out request");
+}
+
+#[test]
 fn queue_full_rejection_reports_capacity_and_recovers() {
     let (_ds, model) = tiny_model();
     let cfg = ServeConfig { queue_cap: 3, ..ServeConfig::default() };

@@ -154,6 +154,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshots the raw xoshiro256++ state, so a training loop can
+        /// checkpoint mid-stream and resume bit-identically via
+        /// [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot; the
+        /// restored generator continues the exact same stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
