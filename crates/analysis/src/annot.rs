@@ -1,0 +1,321 @@
+//! The shared annotation escape hatch for the deep analysis passes
+//! ([`crate::panicscan`], [`crate::detlint`]), plus the audit table and the
+//! machine-readable JSON report both passes emit.
+//!
+//! # Annotation grammar
+//!
+//! An allow annotation is a plain `//` comment (never a `///`/`//!` doc
+//! line) of the form
+//!
+//! ```text
+//! // lint: allow(SCOPE, reason = "WHY THIS IS SOUND")
+//! ```
+//!
+//! where `SCOPE` is `panic` (panic-reachability findings) or `det`
+//! (determinism-hazard findings). It applies to the source line it trails,
+//! or — when the comment stands alone on its line — to the next line.
+//! The reason is **mandatory**: an annotation without one is itself a
+//! finding (`malformed-allow`), and an annotation that suppresses nothing
+//! is a finding too (`stale-allow`), so allows can never silently outlive
+//! the code they excuse. Every annotation appears in the audit table
+//! (`cargo run -p lcrec-analysis -- audit`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Annotation scope: which pass an allow silences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Silences `panicscan` findings on the annotated line.
+    Panic,
+    /// Silences `detlint` findings on the annotated line.
+    Det,
+}
+
+impl Scope {
+    /// The scope keyword as written in source.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Scope::Panic => "panic",
+            Scope::Det => "det",
+        }
+    }
+}
+
+/// One parsed `// lint: allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// File the annotation lives in, relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line the annotation **applies to** (the trailing code line,
+    /// or the line below a standalone comment).
+    pub line: usize,
+    /// 1-based line the comment itself is on.
+    pub comment_line: usize,
+    /// Which pass it silences.
+    pub scope: Scope,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Set by the owning pass when the annotation suppressed at least one
+    /// finding this run — unused annotations are reported as stale.
+    pub used: bool,
+}
+
+impl fmt::Display for Allow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: allow({}) — {}",
+            self.file.display(),
+            self.line,
+            self.scope.keyword(),
+            self.reason
+        )
+    }
+}
+
+// Assembled from parts so this module's own literals never parse as
+// annotations when the passes scan this file.
+const MARKER: &str = concat!("// lint", ": allow(");
+
+/// Parses every allow annotation in one file. `masked` is the test-code
+/// mask from [`crate::lint`] (annotations inside `#[cfg(test)]` blocks are
+/// ignored along with the code they would cover). Returns the parsed
+/// annotations plus a list of malformed ones (missing scope or reason) as
+/// `(line, problem)` pairs.
+pub fn parse_allows(
+    relative: &Path,
+    source: &str,
+    masked: &[bool],
+) -> (Vec<Allow>, Vec<(usize, &'static str)>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        if masked.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = raw.trim_start();
+        // Doc comments are prose, not annotations.
+        if t.starts_with("///") || t.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = raw.find(MARKER) else { continue };
+        let body = &raw[at + MARKER.len()..];
+        let Some(close) = body.rfind(')') else {
+            malformed.push((i + 1, "unclosed allow annotation"));
+            continue;
+        };
+        let body = &body[..close];
+        let Some((scope_str, rest)) = body.split_once(',') else {
+            malformed.push((i + 1, "allow annotation without a reason"));
+            continue;
+        };
+        let scope = match scope_str.trim() {
+            "panic" => Scope::Panic,
+            "det" => Scope::Det,
+            _ => {
+                malformed.push((i + 1, "unknown allow scope (want panic|det)"));
+                continue;
+            }
+        };
+        let rest = rest.trim();
+        let reason = rest
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim)
+            .map(|r| r.trim_matches('"').trim())
+            .unwrap_or("");
+        if reason.is_empty() {
+            malformed.push((i + 1, "allow annotation without a reason"));
+            continue;
+        }
+        // Standalone comment → covers the next line; trailing → this line.
+        let standalone = raw[..at].trim().is_empty();
+        let line = if standalone { i + 2 } else { i + 1 };
+        allows.push(Allow {
+            file: relative.to_path_buf(),
+            line,
+            comment_line: i + 1,
+            scope,
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    (allows, malformed)
+}
+
+/// Renders the audit table of a set of annotations: one aligned row per
+/// allow, sorted by file and line, with the scope and reason. This is what
+/// `cargo run -p lcrec-analysis -- audit` prints.
+pub fn audit_table(allows: &[Allow]) -> String {
+    let mut rows: Vec<(String, String, String)> = allows
+        .iter()
+        .map(|a| {
+            (
+                format!("{}:{}", a.file.display(), a.line),
+                a.scope.keyword().to_string(),
+                a.reason.clone(),
+            )
+        })
+        .collect();
+    rows.sort();
+    let loc_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(8).max(8);
+    let mut out = format!("{:<loc_w$}  {:<5}  reason\n", "location", "scope");
+    for (loc, scope, reason) in rows {
+        out.push_str(&format!("{loc:<loc_w$}  {scope:<5}  {reason}\n"));
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal body.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One finding row of the machine-readable report (shared shape across
+/// passes, snapshot-tested in `crates/analysis/tests/passes.rs`).
+#[derive(Debug, Clone)]
+pub struct JsonFinding {
+    /// File, relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `panic-reachable`, `det-hash-iter`).
+    pub rule: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Renders the stable JSON report for one pass: findings first (sorted by
+/// file, line, rule), then the audit rows of every annotation the pass
+/// honoured. Keys and ordering are fixed — downstream tooling may rely on
+/// them.
+pub fn json_report(pass: &str, findings: &[JsonFinding], allows: &[Allow]) -> String {
+    let mut fs: Vec<&JsonFinding> = findings.iter().collect();
+    fs.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"pass\": \"{}\",\n  \"findings\": [", json_escape(pass)));
+    for (i, f) in fs.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"detail\": \"{}\"}}",
+            json_escape(&f.file.display().to_string().replace('\\', "/")),
+            f.line,
+            json_escape(&f.rule),
+            json_escape(&f.detail)
+        ));
+    }
+    out.push_str(if fs.is_empty() { "],\n" } else { "\n  ],\n" });
+    let mut als: Vec<&Allow> = allows.iter().collect();
+    als.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.push_str("  \"allowed\": [");
+    for (i, a) in als.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"scope\": \"{}\", \"reason\": \"{}\"}}",
+            json_escape(&a.file.display().to_string().replace('\\', "/")),
+            a.line,
+            a.scope.keyword(),
+            json_escape(&a.reason)
+        ));
+    }
+    out.push_str(if als.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unmasked(src: &str) -> Vec<bool> {
+        vec![false; src.lines().count()]
+    }
+
+    #[test]
+    fn trailing_and_standalone_annotations_attach_correctly() {
+        let src = "let a = x[0]; // lint: allow(panic, reason = \"len checked above\")\n\
+                   // lint: allow(det, reason = \"sorted right after\")\n\
+                   for k in map.keys() {}\n";
+        let (allows, bad) = parse_allows(Path::new("a.rs"), src, &unmasked(src));
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(allows.len(), 2);
+        assert_eq!((allows[0].line, allows[0].scope), (1, Scope::Panic));
+        assert_eq!(allows[0].reason, "len checked above");
+        assert_eq!((allows[1].line, allows[1].scope), (3, Scope::Det));
+    }
+
+    #[test]
+    fn missing_reason_or_bad_scope_is_malformed() {
+        let src = "x(); // lint: allow(panic)\ny(); // lint: allow(warp, reason = \"no\")\n\
+                   z(); // lint: allow(det, reason = \"\")\n";
+        let (allows, bad) = parse_allows(Path::new("a.rs"), src, &unmasked(src));
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 3);
+        assert_eq!(bad[0].0, 1);
+    }
+
+    #[test]
+    fn doc_comments_and_test_code_are_ignored() {
+        let src = "/// // lint: allow(panic, reason = \"doc example\")\nfn f() {}\n";
+        let (allows, bad) = parse_allows(Path::new("a.rs"), src, &unmasked(src));
+        assert!(allows.is_empty() && bad.is_empty());
+        let src = "x; // lint: allow(panic, reason = \"real\")\n";
+        let masked = vec![true];
+        let (allows, _) = parse_allows(Path::new("a.rs"), src, &masked);
+        assert!(allows.is_empty(), "masked lines contribute nothing");
+    }
+
+    #[test]
+    fn json_report_shape_is_stable() {
+        let f = JsonFinding {
+            file: PathBuf::from("crates/x/src/lib.rs"),
+            line: 3,
+            rule: "panic-reachable".into(),
+            detail: "slice index in `f`".into(),
+        };
+        let a = Allow {
+            file: PathBuf::from("crates/x/src/lib.rs"),
+            line: 9,
+            comment_line: 9,
+            scope: Scope::Panic,
+            reason: "bounds checked".into(),
+            used: true,
+        };
+        let got = json_report("panicscan", &[f], &[a]);
+        assert!(got.contains("\"pass\": \"panicscan\""), "{got}");
+        assert!(got.contains("\"rule\": \"panic-reachable\""), "{got}");
+        assert!(got.contains("\"reason\": \"bounds checked\""), "{got}");
+        // Empty report still well-formed.
+        let empty = json_report("detlint", &[], &[]);
+        assert!(empty.contains("\"findings\": []"), "{empty}");
+        assert!(empty.contains("\"allowed\": []"), "{empty}");
+    }
+
+    #[test]
+    fn audit_table_lists_every_row() {
+        let a = Allow {
+            file: PathBuf::from("b.rs"),
+            line: 2,
+            comment_line: 2,
+            scope: Scope::Det,
+            reason: "order-independent sum".into(),
+            used: true,
+        };
+        let table = audit_table(&[a]);
+        assert!(table.contains("b.rs:2"), "{table}");
+        assert!(table.contains("order-independent sum"), "{table}");
+    }
+}

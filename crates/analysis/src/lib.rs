@@ -1,33 +1,40 @@
 //! # lcrec-analysis
 //!
 //! Correctness tooling for the workspace, deliberately dependency-free so it
-//! can run in the offline build environment:
+//! can run in the offline build environment. Six passes, all runnable as
+//! `cargo run -p lcrec-analysis -- <pass>` and all enforced by tier-1 tests
+//! (see `docs/ANALYSIS.md` for the full catalog and the annotation grammar):
 //!
-//! * [`parse`] — a small, line-oriented Rust source scanner that extracts
-//!   `pub fn` names. The gradcheck completeness test uses it to diff the
-//!   public autograd ops in `lcrec-tensor`'s `graph.rs` against the table of
-//!   finite-difference cases, so adding an op without a gradient check fails
-//!   the build.
-//! * [`lint`] — a workspace lint pass over the repository's own sources:
-//!   no `unwrap()`/`expect(`/`panic!` on the decoding hot paths, no
-//!   `todo!`/`unimplemented!`/`dbg!` anywhere, and no `unsafe` blocks. Run
-//!   it from the CLI (`cargo run -p lcrec-analysis -- lint`) or from a test
-//!   via [`lint::lint_workspace`].
-//! * [`doccov`] — a doc-coverage pass: every public `fn`/`struct`/`enum`
-//!   in the covered crates (`lcrec-par`, `lcrec-tensor`, `lcrec-core`,
-//!   `lcrec-obs`, `lcrec-serve`) must carry a `///` doc comment, and the
-//!   main entry points must ship `# Examples` doc-tests. Run it from the
-//!   CLI (`cargo run -p lcrec-analysis -- doccov`) or from a test via
-//!   [`doccov::missing_docs_workspace`] /
-//!   [`doccov::missing_examples_workspace`]; the tier-1 test in
-//!   `tests/correctness.rs` enforces it.
-//! * [`envdoc`] — an env-var documentation gate: every `LCREC_*`
-//!   environment variable the sources read must have a row in
-//!   `docs/ENVIRONMENT.md` (`cargo run -p lcrec-analysis -- envdoc`).
+//! * [`lint`] — per-line rules over the repository's own sources: no
+//!   `todo!`/`unimplemented!`/`dbg!` anywhere, and no `unsafe` blocks.
+//! * [`panicscan`] — call-graph panic-reachability: builds a workspace call
+//!   graph and flags every `unwrap()`/`expect(`/`panic!`/direct slice index
+//!   reachable from the declared serving/decode entry points, unless the
+//!   line carries a `// lint: allow(panic, reason = …)` annotation.
+//! * [`detlint`] — determinism hazards in non-test code: hash-container
+//!   iteration, wall-clock reads outside `lcrec-obs`, thread-identity reads
+//!   outside `lcrec-par`, env reads outside the per-crate gate modules —
+//!   same `allow(det, …)` escape hatch.
+//! * [`doccov`] — doc coverage: every public `fn`/`struct`/`enum` in the
+//!   covered crates must carry a `///` doc comment, and the main entry
+//!   points must ship `# Examples` doc-tests.
+//! * [`envdoc`] — env-var documentation gate: every `LCREC_*` environment
+//!   variable the sources read must have a row in `docs/ENVIRONMENT.md`.
+//! * `audit` (CLI only) — prints the audit table of every
+//!   `allow(panic|det)` annotation in the workspace with its reason, so the
+//!   accepted-hazard surface is reviewable at a glance.
+//!
+//! Shared infrastructure: [`parse`] is the line-oriented Rust scanner
+//! (comment/string stripping, item and call extraction, lightweight type
+//! inference) and [`annot`] owns the annotation grammar, the audit table,
+//! and the machine-readable JSON report (`--json`).
 
 #![warn(missing_docs)]
 
+pub mod annot;
+pub mod detlint;
 pub mod doccov;
 pub mod envdoc;
 pub mod lint;
+pub mod panicscan;
 pub mod parse;

@@ -1,27 +1,24 @@
 //! The workspace lint pass.
 //!
-//! Three rules, all matched on comment- and string-stripped source so doc
+//! Two rules, both matched on comment- and string-stripped source so doc
 //! text and panic messages cannot trigger false positives:
 //!
-//! 1. **no-panic-hot-path** — `.unwrap()`, `.expect(` and `panic!` are
-//!    forbidden in the non-test code of the constrained-decoding hot paths
-//!    (`crates/core/src/beam.rs`, `crates/core/src/lm.rs`). Beam search runs
-//!    inside long experiments; recoverable conditions there must be `Option`/
-//!    `Result`, not aborts.
-//! 2. **no-scaffolding** — `todo!`, `unimplemented!` and `dbg!` are forbidden
+//! 1. **no-scaffolding** — `todo!`, `unimplemented!` and `dbg!` are forbidden
 //!    everywhere, tests included.
-//! 3. **no-unsafe** — the `unsafe` keyword is forbidden everywhere. The
+//! 2. **no-unsafe** — the `unsafe` keyword is forbidden everywhere. The
 //!    workspace also denies `unsafe_code` at the compiler level; the textual
 //!    rule additionally covers code behind `#[allow]` and non-compiled
 //!    cfg branches.
+//!
+//! The old per-file *no-panic-hot-path* rule (a hardcoded list of files in
+//! which `.unwrap()`/`panic!` were banned) is subsumed by the call-graph
+//! reachability pass in [`crate::panicscan`], which covers every function
+//! reachable from the serving/decode entry points instead of a fixed file
+//! list.
 
 use crate::parse::{find_token, strip_comments_and_strings};
 use std::fmt;
 use std::path::{Path, PathBuf};
-
-/// Files where rule 1 (no panic paths outside tests) applies, relative to
-/// the workspace root.
-pub const PANIC_FREE_FILES: &[&str] = &["crates/core/src/beam.rs", "crates/core/src/lm.rs"];
 
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone)]
@@ -43,15 +40,23 @@ impl fmt::Display for Finding {
 }
 
 /// Marks each line of (stripped) source as test code or not: everything from
-/// a `#[cfg(test)]` attribute to the close of the brace block it introduces.
+/// a `#[cfg(test)]` attribute to the close of the brace block it introduces,
+/// or to the terminating `;` when the gated item has no body at all (an
+/// attribute-gated `use`, a trait-method declaration, …).
 pub(crate) fn test_code_mask(stripped: &str) -> Vec<bool> {
     let lines: Vec<&str> = stripped.lines().collect();
     let mut mask = vec![false; lines.len()];
     let mut depth = 0usize; // brace depth inside a cfg(test) item, 0 = outside
     let mut pending = false; // saw the attribute, waiting for the opening brace
     for (i, line) in lines.iter().enumerate() {
-        if depth == 0 && !pending && line.contains("#[cfg(test)]") {
-            pending = true;
+        let mut line: &str = line;
+        if depth == 0 && !pending {
+            if let Some(at) = line.find("#[cfg(test)]") {
+                pending = true;
+                // Scan only what follows the attribute, so punctuation
+                // earlier on the line cannot end the gated item.
+                line = &line[at..];
+            }
         }
         if pending || depth > 0 {
             mask[i] = true;
@@ -65,6 +70,12 @@ pub(crate) fn test_code_mask(stripped: &str) -> Vec<bool> {
                 '}' if depth > 0 => {
                     depth -= 1;
                 }
+                // A `;` before any `{` ends a brace-less gated item (e.g.
+                // `#[cfg(test)] use …;`) — without this, `pending` would
+                // stay set and mask the rest of the file.
+                ';' if pending && depth == 0 => {
+                    pending = false;
+                }
                 _ => {}
             }
         }
@@ -72,13 +83,10 @@ pub(crate) fn test_code_mask(stripped: &str) -> Vec<bool> {
     mask
 }
 
-/// Lints a single file's source. `relative` is the path reported in findings
-/// and used to decide whether the panic-path rule applies.
+/// Lints a single file's source. `relative` is the path reported in
+/// findings.
 pub fn lint_source(relative: &Path, source: &str) -> Vec<Finding> {
     let stripped = strip_comments_and_strings(source);
-    let mask = test_code_mask(&stripped);
-    let rel_str = relative.to_string_lossy().replace('\\', "/");
-    let panic_free = PANIC_FREE_FILES.iter().any(|f| rel_str == *f);
     let mut findings = Vec::new();
     for (i, (line, raw)) in stripped.lines().zip(source.lines()).enumerate() {
         let mut hit = |rule: &'static str| {
@@ -102,16 +110,12 @@ pub fn lint_source(relative: &Path, source: &str) -> Vec<Finding> {
         if find_token(line, "unsafe").is_some() {
             hit("no-unsafe");
         }
-        if panic_free && !mask[i] {
-            if line.contains(".unwrap()") || line.contains(".expect(") || line.contains("panic!")
-            {
-                hit("no-panic-hot-path");
-            }
-        }
     }
     findings
 }
 
+/// Collects every `.rs` file under `dir`, skipping `target/` and VCS
+/// metadata, in sorted order (shared by all the file-walking passes).
 pub(crate) fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else { return };
     let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
@@ -166,19 +170,24 @@ mod tests {
     }
 
     #[test]
-    fn panic_rule_scoped_to_hot_paths_and_non_test_code() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        // Same source: flagged on the hot path, ignored elsewhere.
-        assert_eq!(lint_source(Path::new("crates/core/src/beam.rs"), src).len(), 1);
-        assert!(lint_source(Path::new("crates/core/src/other.rs"), src).is_empty());
-        // Inside #[cfg(test)] the hot-path rule is silent.
-        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
-        assert!(lint_source(Path::new("crates/core/src/beam.rs"), test_src).is_empty());
+    fn cfg_test_on_braceless_item_does_not_mask_rest_of_file() {
+        // Regression: a gated item with no brace block (`use …;`) used to
+        // leave `pending` set, masking everything below it. The mask feeds
+        // the panicscan/detlint passes, which must still see the code after
+        // the gated item.
+        let src = "#[cfg(test)]\nuse std::fmt::Debug;\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let mask = test_code_mask(src);
+        assert_eq!(mask, vec![true, true, false]);
+        // Same on one line, and with punctuation before the attribute.
+        let src = "#[cfg(test)] use std::fmt::Debug;\nfn g() { h.unwrap() }\n";
+        assert_eq!(test_code_mask(src), vec![true, false]);
+        let src = "use a::b; #[cfg(test)] mod t { }\nfn g() { h.unwrap() }\n";
+        assert_eq!(test_code_mask(src), vec![true, false]);
     }
 
     #[test]
     fn comments_and_strings_do_not_trigger() {
-        let src = "// calls panic! when empty\nfn f() { g(\"never todo!(x)\"); }\n";
+        let src = "// contains todo! in prose\nfn f() { g(\"never todo!(x)\"); }\n";
         assert!(lint_source(Path::new("crates/core/src/lm.rs"), src).is_empty());
     }
 }

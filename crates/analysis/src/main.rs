@@ -1,9 +1,10 @@
-//! CLI entry point: `cargo run -p lcrec-analysis -- <lint|doccov|envdoc> [ROOT]`.
+//! CLI entry point:
+//! `cargo run -p lcrec-analysis -- <lint|doccov|envdoc|panicscan|detlint|audit> [--json] [ROOT]`.
 //!
 //! Exits non-zero when any finding is reported, so every command can gate
 //! CI and `scripts/check.sh`.
 
-use lcrec_analysis::{doccov, envdoc, lint};
+use lcrec_analysis::{annot, detlint, doccov, envdoc, lint, panicscan};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -67,8 +68,90 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("panicscan") => {
+            let json = args.iter().any(|a| a == "--json");
+            let root = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let r = panicscan::scan_workspace(&root);
+            if json {
+                print!("{}", annot::json_report("panicscan", &r.findings, &r.allows));
+            }
+            if r.findings.is_empty() {
+                if !json {
+                    println!(
+                        "panicscan: clean — {} of {} fns reachable from {} entry points, \
+                         {} annotated site(s)",
+                        r.fns_reached,
+                        r.fns_total,
+                        panicscan::ENTRY_POINTS.len(),
+                        r.allows.len()
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                if !json {
+                    for f in &r.findings {
+                        eprintln!("{}:{}: [{}] {}", f.file.display(), f.line, f.rule, f.detail);
+                    }
+                    eprintln!("panicscan: {} finding(s)", r.findings.len());
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Some("detlint") => {
+            let json = args.iter().any(|a| a == "--json");
+            let root = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let r = detlint::scan_workspace(&root);
+            if json {
+                print!("{}", annot::json_report("detlint", &r.findings, &r.allows));
+            }
+            if r.findings.is_empty() {
+                if !json {
+                    println!(
+                        "detlint: clean — {} files scanned, {} annotated site(s)",
+                        r.files_scanned,
+                        r.allows.len()
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                if !json {
+                    for f in &r.findings {
+                        eprintln!("{}:{}: [{}] {}", f.file.display(), f.line, f.rule, f.detail);
+                    }
+                    eprintln!("detlint: {} finding(s)", r.findings.len());
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Some("audit") => {
+            let root = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let p = panicscan::scan_workspace(&root);
+            let d = detlint::scan_workspace(&root);
+            let mut allows = p.allows;
+            allows.extend(d.allows);
+            print!("{}", annot::audit_table(&allows));
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!("usage: lcrec-analysis <lint|doccov|envdoc> [ROOT]");
+            eprintln!(
+                "usage: lcrec-analysis <lint|doccov|envdoc|panicscan|detlint|audit> \
+                 [--json] [ROOT]"
+            );
             ExitCode::from(2)
         }
     }

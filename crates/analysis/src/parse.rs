@@ -9,7 +9,9 @@
 /// Replaces comments, string literals, and char literals with spaces,
 /// preserving line structure (every `\n` survives) so findings can report
 /// accurate line numbers. Handles `//` line comments, nested `/* */` block
-/// comments, escapes inside `"…"` strings, `'c'` char literals, and leaves
+/// comments, escapes inside `"…"` strings, raw strings (`r"…"`,
+/// `r#"…"#` at any `#` depth, plus the `b`-prefixed byte forms), `'c'`
+/// char literals with escapes (`'\n'`, `'\u{1F600}'`), and leaves
 /// lifetimes (`'a`) alone.
 pub fn strip_comments_and_strings(source: &str) -> String {
     let b: Vec<char> = source.chars().collect();
@@ -17,6 +19,42 @@ pub fn strip_comments_and_strings(source: &str) -> String {
     let mut i = 0;
     while i < b.len() {
         let c = b[i];
+        // Raw (and raw-byte) strings: `r`/`br` + zero or more `#` + `"`.
+        // No escape processing applies inside; the body ends only at a
+        // quote followed by the same number of `#`.
+        if (c == 'r' || (c == 'b' && i + 1 < b.len() && b[i + 1] == 'r'))
+            && !out.chars().next_back().map(is_ident).unwrap_or(false)
+        {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == '"' {
+                // Blank the prefix and opening quote.
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                while i < b.len() {
+                    if b[i] == '"'
+                        && (1..=hashes).all(|h| i + h < b.len() && b[i + h] == '#')
+                    {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += hashes + 1;
+                        break;
+                    }
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+                continue;
+            }
+            // `r` / `br` not followed by a raw string: fall through as an
+            // ordinary identifier character.
+        }
         match c {
             '/' if i + 1 < b.len() && b[i + 1] == '/' => {
                 while i < b.len() && b[i] != '\n' {
@@ -32,7 +70,7 @@ pub fn strip_comments_and_strings(source: &str) -> String {
                         out.push_str("  ");
                         i += 2;
                     } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
-                        depth -= 1;
+                        depth = depth.saturating_sub(1);
                         out.push_str("  ");
                         i += 2;
                         if depth == 0 {
@@ -45,13 +83,6 @@ pub fn strip_comments_and_strings(source: &str) -> String {
                 }
             }
             '"' => {
-                // Raw strings (r"…", r#"…"#) are handled by the caller never
-                // needing their contents; detect the r/# prefix already
-                // emitted? Raw strings start with r before the quote — the
-                // prefix chars are harmless to keep. Here we just skip the
-                // quoted body with escape handling; for raw strings the
-                // backslash rule is wrong but the workspace avoids raw
-                // strings with embedded quotes.
                 out.push(' ');
                 i += 1;
                 while i < b.len() && b[i] != '"' {
@@ -70,11 +101,17 @@ pub fn strip_comments_and_strings(source: &str) -> String {
                 i += 1;
             }
             '\'' => {
-                // Char literal iff it closes within a couple of characters;
-                // otherwise it is a lifetime.
+                // Char literal iff it closes after exactly one character or
+                // one escape sequence; otherwise it is a lifetime. The
+                // escape scan is length-bounded (longest form: '\u{10FFFF}')
+                // and skips `\'` so `'\''` closes at the right quote.
                 let close = if i + 2 < b.len() && b[i + 1] == '\\' {
-                    // '\n', '\'', '\\', '\u{…}'
-                    (i + 2..b.len().min(i + 12)).find(|&j| b[j] == '\'')
+                    let limit = b.len().min(i + 12);
+                    let mut j = i + 2;
+                    if j < limit && (b[j] == '\'' || b[j] == '\\') {
+                        j += 1; // the escaped character itself
+                    }
+                    (j..limit).find(|&k| b[k] == '\'')
                 } else if i + 2 < b.len() && b[i + 2] == '\'' {
                     Some(i + 2)
                 } else {
@@ -159,6 +196,574 @@ pub fn find_token(line: &str, needle: &str) -> Option<usize> {
     None
 }
 
+/// One `fn` item found by [`scan_items`].
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// The `impl` type the function is defined on (`impl Foo`,
+    /// `impl Trait for Foo` → `Foo`), or `None` for a free function.
+    pub impl_type: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The result of an item-level scan: every `fn` in the file plus, for each
+/// source line, which function's body (innermost) owns it.
+#[derive(Debug)]
+pub struct ItemScan {
+    /// All scanned functions, in declaration order.
+    pub items: Vec<FnItem>,
+    /// `line_owner[l]` is the index (into [`ItemScan::items`]) of the
+    /// innermost function whose body contains line `l`, if any. The
+    /// signature and brace lines count as part of the body.
+    pub line_owner: Vec<Option<usize>>,
+}
+
+/// What a `{` being tracked by [`scan_items`] belongs to.
+#[derive(Clone, Debug)]
+enum Ctx {
+    /// An `impl` block for the named type.
+    Impl(String),
+    /// A function body (index into the item list).
+    Fn(usize),
+    /// Anything else: `mod`, `match`, closures, struct literals, …
+    Other,
+}
+
+/// Reads the identifier starting at `i` (empty if none).
+fn ident_at(b: &[char], i: usize) -> String {
+    b[i..].iter().take_while(|&&c| is_ident(c)).collect()
+}
+
+/// Item-level scanner over **stripped** source (see
+/// [`strip_comments_and_strings`]): finds every `fn` definition, resolves
+/// the `impl` type it belongs to (handling `impl Trait for Type`), and maps
+/// each line to its innermost enclosing function. Trait-method
+/// *declarations* (ending in `;`) produce no item. This is what the
+/// panic-reachability pass builds its call graph from.
+pub fn scan_items(stripped: &str) -> ItemScan {
+    let b: Vec<char> = stripped.chars().collect();
+    let n_lines = stripped.lines().count().max(1);
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut line_owner: Vec<Option<usize>> = vec![None; n_lines];
+    let mut stack: Vec<Ctx> = Vec::new();
+    // An `impl`/`fn` header seen but its `{` not yet opened.
+    let mut pending: Option<Ctx> = None;
+    let mut line = 0usize;
+    let mut i = 0usize;
+    // `()`/`[]` nesting, so a `;` inside `[u8; 4]` can't end a declaration.
+    let mut pdepth = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '(' | '[' => {
+                pdepth += 1;
+                i += 1;
+            }
+            ')' | ']' => {
+                pdepth = pdepth.saturating_sub(1);
+                i += 1;
+            }
+            '{' => {
+                stack.push(pending.take().unwrap_or(Ctx::Other));
+                i += 1;
+            }
+            '}' => {
+                stack.pop();
+                i += 1;
+            }
+            // A `;` before the body's `{` ends a brace-less declaration
+            // (trait method, `impl Trait` alias): drop the pending header.
+            ';' if pdepth == 0 => {
+                pending = None;
+                i += 1;
+            }
+            _ if is_ident(c) => {
+                let word = ident_at(&b, i);
+                let boundary_ok =
+                    i == 0 || !is_ident(b[i - 1]);
+                if boundary_ok && word == "fn" && pending.is_none() {
+                    // `fn name` — skip whitespace, read the name.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j].is_whitespace() && b[j] != '\n' {
+                        j += 1;
+                    }
+                    let name = ident_at(&b, j);
+                    if !name.is_empty() {
+                        let impl_type = stack.iter().rev().find_map(|ctx| match ctx {
+                            Ctx::Impl(t) => Some(t.clone()),
+                            _ => None,
+                        });
+                        items.push(FnItem { name, impl_type, decl_line: line });
+                        pending = Some(Ctx::Fn(items.len() - 1));
+                    }
+                    i = j;
+                } else if boundary_ok && word == "impl" && pending.is_none() {
+                    // `impl<G> Type`, `impl Trait for Type`: the subject is
+                    // the last path segment before the `{` (or before `<`/
+                    // `where`), taking the `for` side when present.
+                    let mut j = i + 4;
+                    let mut depth = 0i32; // <> nesting
+                    let mut subject = String::new();
+                    while j < b.len() {
+                        let cj = b[j];
+                        if cj == '\n' {
+                            line += 1;
+                        } else if cj == '<' {
+                            depth += 1;
+                        } else if cj == '>' {
+                            depth -= 1;
+                        } else if cj == '{' || cj == ';' {
+                            break;
+                        } else if depth == 0 && is_ident(cj) {
+                            let w = ident_at(&b, j);
+                            if w == "where" {
+                                break;
+                            }
+                            if w != "for" {
+                                subject = w.clone();
+                            }
+                            j += w.len();
+                            continue;
+                        }
+                        j += 1;
+                    }
+                    if !subject.is_empty() {
+                        pending = Some(Ctx::Impl(subject));
+                    }
+                    i = j;
+                    continue;
+                } else {
+                    i += word.len().max(1);
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+        // Ownership: attribute the current line to the innermost fn on the
+        // stack (or the one whose header is pending).
+        if line < n_lines {
+            let owner = match &pending {
+                Some(Ctx::Fn(idx)) => Some(*idx),
+                _ => stack.iter().rev().find_map(|ctx| match ctx {
+                    Ctx::Fn(idx) => Some(*idx),
+                    _ => None,
+                }),
+            };
+            if line_owner[line].is_none() && owner.is_some() {
+                line_owner[line] = owner;
+            }
+        }
+    }
+    ItemScan { items, line_owner }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(...)` — a free function (or closure) by bare name.
+    Bare,
+    /// `recv.foo(...)` — a method; the receiver's type is unknown.
+    Method,
+    /// `self.foo(...)` — a method whose receiver is the enclosing `impl`
+    /// type, so it can be resolved precisely.
+    SelfMethod,
+    /// `Path::foo(...)` — qualified; the qualifier is the path segment
+    /// immediately before the name (`Pool::new` → `Pool`).
+    Qualified(String),
+}
+
+/// One call site extracted from a stripped line.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name as written.
+    pub name: String,
+    /// How the callee was named.
+    pub kind: CallKind,
+    /// For [`CallKind::Method`]: the receiver identifier when it is a plain
+    /// local (`pool.map(…)` → `pool`), `None` for chained receivers
+    /// (`xs.iter().map(…)`) or field accesses (`self.inner.pick(…)`).
+    pub receiver: Option<String>,
+}
+
+/// Rust keywords (plus primitive-ish idents) that can precede `(` without
+/// being calls.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "in", "as", "let", "else", "move",
+    "ref", "mut", "dyn", "impl", "pub", "use", "where", "break", "continue", "crate", "super",
+    "type", "static", "const", "enum", "struct", "trait", "mod", "extern", "true", "false",
+    "Some", "None", "Ok", "Err", "Box", "Vec", "String",
+];
+
+/// Extracts every call site on one **stripped** line: bare calls
+/// (`helper(`), method calls (`.advance(`, turbofish tolerated), and
+/// qualified calls (`Pool::new(`, `Self::step(`). Macro invocations
+/// (`name!(`) and keyword-parens (`if (`) are excluded; tuple-struct and
+/// enum-variant constructors are excluded by the capitalization convention
+/// for bare names.
+pub fn line_calls(line: &str) -> Vec<Call> {
+    let b: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !is_ident(b[i]) || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let word = ident_at(&b, i);
+        let end = i + word.len();
+        // Skip an optional turbofish `::<...>` between name and `(`.
+        let mut j = end;
+        if j + 2 < b.len() && b[j] == ':' && b[j + 1] == ':' && b[j + 2] == '<' {
+            let mut depth = 0i32;
+            j += 2;
+            while j < b.len() {
+                if b[j] == '<' {
+                    depth += 1;
+                } else if b[j] == '>' {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let is_call = j < b.len() && b[j] == '(';
+        if !is_call || word.is_empty() {
+            i = end;
+            continue;
+        }
+        // `name!(` is a macro, not a call.
+        if end < b.len() && b[end] == '!' {
+            i = end;
+            continue;
+        }
+        // `fn name(` is a declaration, not a call site.
+        let prev_word = {
+            let mut k = i;
+            while k > 0 && b[k - 1].is_whitespace() {
+                k -= 1;
+            }
+            let e = k;
+            while k > 0 && is_ident(b[k - 1]) {
+                k -= 1;
+            }
+            b[k..e].iter().collect::<String>()
+        };
+        if prev_word == "fn" {
+            i = end;
+            continue;
+        }
+        let prev = if i >= 1 { Some(b[i - 1]) } else { None };
+        let mut receiver = None;
+        let kind = match prev {
+            Some('.') => {
+                // Read the receiver path before the dot: a chain of plain
+                // identifiers (`self.vocab`, `beam.tokens`, `ps`). A chain
+                // interrupted by a call or index (`xs.iter().map`) has no
+                // resolvable receiver.
+                let mut segs: Vec<String> = Vec::new();
+                let mut pos = i - 1; // at the `.`
+                let mut resolvable = true;
+                loop {
+                    let send = pos;
+                    let mut sstart = send;
+                    while sstart > 0 && is_ident(b[sstart - 1]) {
+                        sstart -= 1;
+                    }
+                    if sstart == send {
+                        // `).foo(` / `].foo(` / leading `.foo(`.
+                        resolvable = false;
+                        break;
+                    }
+                    segs.push(b[sstart..send].iter().collect());
+                    if sstart > 0 && b[sstart - 1] == '.' {
+                        pos = sstart - 1;
+                    } else {
+                        break;
+                    }
+                }
+                segs.reverse();
+                if resolvable && segs.as_slice() == ["self"] {
+                    Some(CallKind::SelfMethod)
+                } else {
+                    if resolvable && !segs.is_empty() {
+                        receiver = Some(segs.join("."));
+                    }
+                    Some(CallKind::Method)
+                }
+            }
+            Some(':') if i >= 2 && b[i - 2] == ':' => {
+                // Walk back over the qualifying segment.
+                let qend = i - 2;
+                let mut qstart = qend;
+                while qstart > 0 && is_ident(b[qstart - 1]) {
+                    qstart -= 1;
+                }
+                let qual: String = b[qstart..qend].iter().collect();
+                if qual.is_empty() {
+                    None
+                } else {
+                    Some(CallKind::Qualified(qual))
+                }
+            }
+            _ => {
+                // Bare call: reject keywords and capitalized constructors.
+                let first_upper = word.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                if NON_CALL_WORDS.contains(&word.as_str()) || first_upper {
+                    None
+                } else {
+                    Some(CallKind::Bare)
+                }
+            }
+        };
+        if let Some(kind) = kind {
+            out.push(Call { name: word, kind, receiver });
+        }
+        i = end;
+    }
+    out
+}
+
+/// Reads the head of a type starting at `j` in `b`: skips references,
+/// lifetimes, and `mut`, then returns the last path segment before any
+/// generics (`&mut fmt::Formatter<'_>` → `Formatter`). Returns `"impl"`
+/// for `impl Trait`/`dyn Trait` types (caller treats those as unresolvable)
+/// and `""` for slices, tuples, and fn types.
+fn type_head(b: &[char], mut j: usize) -> String {
+    let mut last = String::new();
+    while j < b.len() {
+        let c = b[j];
+        if c.is_whitespace() || c == '&' {
+            j += 1;
+        } else if c == '\'' {
+            j += 1;
+            while j < b.len() && is_ident(b[j]) {
+                j += 1;
+            }
+        } else if is_ident(c) {
+            let w = ident_at(b, j);
+            j += w.len();
+            match w.as_str() {
+                "mut" => continue,
+                "impl" | "dyn" => return "impl".to_string(),
+                _ => {}
+            }
+            last = w;
+            // A `::` continues the path; anything else ends the type head.
+            if j + 1 < b.len() && b[j] == ':' && b[j + 1] == ':' {
+                j += 2;
+                continue;
+            }
+            return last;
+        } else {
+            // `[`, `(`, `*`, … — not a nominal type head.
+            return String::new();
+        }
+    }
+    last
+}
+
+/// Extracts `name: Type` pairs from a fn declaration snippet (the text from
+/// the `fn` keyword to its opening brace). Also picks up generic bounds
+/// (`T: Clone`), which are harmless to the receiver-type lookup since
+/// receivers are value identifiers. This powers the call-graph's local
+/// type resolution.
+pub fn param_types(decl: &str) -> Vec<(String, String)> {
+    let b: Vec<char> = decl.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !is_ident(b[i]) || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let name = ident_at(&b, i);
+        let mut j = i + name.len();
+        while j < b.len() && b[j].is_whitespace() {
+            j += 1;
+        }
+        if j < b.len() && b[j] == ':' && b.get(j + 1) != Some(&':') {
+            out.push((name, type_head(&b, j + 1)));
+            i = j + 1;
+        } else {
+            i += name.len();
+        }
+    }
+    out
+}
+
+/// Extracts `(struct, field, field type)` triples from every brace-style
+/// struct definition in **stripped** source. Tuple and unit structs yield
+/// nothing. Field types go through the same head extraction as
+/// [`param_types`], so `children: Vec<HashMap<u16, usize>>` records
+/// `Vec`. The call-graph uses this to type `self.field.method(…)`
+/// receivers.
+pub fn struct_fields(stripped: &str) -> Vec<(String, String, String)> {
+    let b: Vec<char> = stripped.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !is_ident(b[i]) || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let w = ident_at(&b, i);
+        if w != "struct" {
+            i += w.len();
+            continue;
+        }
+        let mut j = i + w.len();
+        while j < b.len() && b[j].is_whitespace() {
+            j += 1;
+        }
+        let name = ident_at(&b, j);
+        j += name.len();
+        // Find the body brace at generics depth 0; `(` or `;` first means a
+        // tuple/unit struct with no named fields.
+        let mut depth = 0i32;
+        let mut body_at = None;
+        while j < b.len() {
+            match b[j] {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                '{' if depth == 0 => {
+                    body_at = Some(j);
+                    break;
+                }
+                '(' | ';' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_at else {
+            i = j;
+            continue;
+        };
+        let mut bd = 1i32;
+        let mut k = open + 1;
+        while k < b.len() && bd > 0 {
+            match b[k] {
+                '{' => bd += 1,
+                '}' => bd -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let body: String = b[open + 1..k.saturating_sub(1)].iter().collect();
+        if !name.is_empty() {
+            for (f, t) in param_types(&body) {
+                out.push((name.clone(), f, t));
+            }
+        }
+        i = k;
+    }
+    out
+}
+
+/// Extracts a `static NAME: Type` / `const NAME: Type` binding from one
+/// stripped line (visibility qualifiers and `static mut` tolerated).
+/// Statics are in scope for the whole file, so the call graph keeps them
+/// in a per-file map consulted when no local binding matches a receiver —
+/// without this, `STATE.load(…)` on an `AtomicU8` static would fan out to
+/// every workspace method named `load`.
+pub fn static_type(line: &str) -> Option<(String, String)> {
+    let (at, kw_len) = match find_token(line, "static") {
+        Some(at) => (at, 6),
+        None => (find_token(line, "const")?, 5),
+    };
+    let b: Vec<char> = line.chars().collect();
+    let mut j = at + kw_len;
+    while j < b.len() && b[j].is_whitespace() {
+        j += 1;
+    }
+    if ident_at(&b, j) == "mut" {
+        j += 3;
+        while j < b.len() && b[j].is_whitespace() {
+            j += 1;
+        }
+    }
+    let name = ident_at(&b, j);
+    if name.is_empty() {
+        return None;
+    }
+    j += name.len();
+    while j < b.len() && b[j].is_whitespace() {
+        j += 1;
+    }
+    // `const fn`, `*const u8`, etc. have no `name: Type` shape and fall out
+    // here.
+    if b.get(j) == Some(&':') && b.get(j + 1) != Some(&':') {
+        Some((name, type_head(&b, j + 1)))
+    } else {
+        None
+    }
+}
+
+/// Infers a local binding's type from one stripped line: an explicit
+/// annotation (`let x: Tensor = …`) or a constructor-style initializer
+/// (`let x = Tensor::zeros(…)` — the first path segment of the call).
+/// Returns `(name, type)` if the line binds one.
+pub fn let_type(line: &str) -> Option<(String, String)> {
+    let at = find_token(line, "let")?;
+    let b: Vec<char> = line.chars().collect();
+    let mut j = at + 3;
+    while j < b.len() && b[j].is_whitespace() {
+        j += 1;
+    }
+    if ident_at(&b, j) == "mut" {
+        j += 3;
+        while j < b.len() && b[j].is_whitespace() {
+            j += 1;
+        }
+    }
+    let name = ident_at(&b, j);
+    if name.is_empty() {
+        return None;
+    }
+    j += name.len();
+    while j < b.len() && b[j].is_whitespace() {
+        j += 1;
+    }
+    match b.get(j) {
+        Some(':') if b.get(j + 1) != Some(&':') => Some((name, type_head(&b, j + 1))),
+        Some('=') => {
+            let mut k = j + 1;
+            while k < b.len() && b[k].is_whitespace() {
+                k += 1;
+            }
+            let ty = ident_at(&b, k);
+            let qualified = k + ty.len() + 1 < b.len()
+                && b[k + ty.len()] == ':'
+                && b[k + ty.len() + 1] == ':';
+            if qualified && ty.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                Some((name, ty))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +795,55 @@ mod tests {
     }
 
     #[test]
+    fn strips_raw_strings_at_any_hash_depth() {
+        let s = "let a = r\"panic! one\"; let b = 1;";
+        let clean = strip_comments_and_strings(s);
+        assert!(!clean.contains("panic"), "{clean}");
+        assert!(clean.contains("let b = 1;"));
+        // A raw string with embedded quotes: the body ends only at `"#`.
+        let s = "let a = r#\"say \"panic!\" loudly\"#; let b = 2;";
+        let clean = strip_comments_and_strings(s);
+        assert!(!clean.contains("panic"), "{clean}");
+        assert!(!clean.contains("say"), "{clean}");
+        assert!(clean.contains("let b = 2;"), "{clean}");
+        // Depth two, a byte-raw form, and newline preservation.
+        let s = "let a = r##\"one \"# two\nthree\"##;\nlet b = br\"x.unwrap()\";\n";
+        let clean = strip_comments_and_strings(s);
+        assert!(!clean.contains("two") && !clean.contains("unwrap"), "{clean}");
+        assert_eq!(clean.matches('\n').count(), 3, "line structure preserved");
+        // An identifier ending in `r` before a plain string is not a raw
+        // string prefix.
+        let s = "var\"keep scanning\"; let c = 3;";
+        assert!(strip_comments_and_strings(s).contains("let c = 3;"));
+    }
+
+    #[test]
+    fn strips_char_literals_with_escapes() {
+        for lit in ["'\\''", "'\\\\'", "'\\n'", "'\\u{1F600}'", "'x'"] {
+            let s = format!("let c = {lit}; x.unwrap();");
+            let clean = strip_comments_and_strings(&s);
+            assert!(clean.contains(".unwrap()"), "code after {lit} lost: {clean}");
+            assert!(!clean.contains('\\'), "literal {lit} not blanked: {clean}");
+        }
+        // A lifetime straddling the same syntax survives.
+        let clean = strip_comments_and_strings("fn f<'a>(x: &'a str) {}");
+        assert!(clean.contains("<'a>"));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = "let a = 1; /* outer /* inner unwrap() */ still comment */ let b = 2;";
+        let clean = strip_comments_and_strings(s);
+        assert!(!clean.contains("unwrap"), "{clean}");
+        assert!(!clean.contains("still"), "{clean}");
+        assert!(clean.contains("let a = 1;") && clean.contains("let b = 2;"), "{clean}");
+        // Unterminated comment must not hang or panic.
+        let clean = strip_comments_and_strings("code /* open\nnever closed");
+        assert!(clean.starts_with("code"));
+        assert_eq!(clean.matches('\n').count(), 1);
+    }
+
+    #[test]
     fn extracts_public_fn_names() {
         let s = r#"
             impl Foo {
@@ -201,6 +855,165 @@ mod tests {
             // pub fn commented_out() {}
         "#;
         assert_eq!(public_fn_names(s), vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn scan_items_finds_free_fns_methods_and_trait_impls() {
+        let src = "\
+fn free_one() {
+    helper();
+}
+
+impl Foo {
+    pub fn method_a(&self) -> usize {
+        self.inner()
+    }
+}
+
+impl fmt::Display for Foo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, \"x\")
+    }
+}
+
+trait Abstract {
+    fn declared_only(&self);
+    fn with_default(&self) {}
+}
+";
+        let scan = scan_items(&strip_comments_and_strings(src));
+        let quals: Vec<String> = scan.items.iter().map(|f| f.qualified()).collect();
+        assert_eq!(
+            quals,
+            vec!["free_one", "Foo::method_a", "Foo::fmt", "declared_only", "with_default"]
+        );
+        // `helper()` on line 1 (0-based) belongs to free_one.
+        assert_eq!(scan.line_owner[1], Some(0));
+        // `self.inner()` belongs to method_a.
+        assert_eq!(scan.line_owner[6], Some(1));
+        // Blank line between items belongs to nobody.
+        assert_eq!(scan.line_owner[3], None);
+    }
+
+    #[test]
+    fn scan_items_handles_generics_and_array_params() {
+        let src = "\
+impl<T: Clone> Wrapper<T> {
+    fn get(&self, idx: [usize; 2]) -> &T {
+        &self.vals[idx[0]]
+    }
+}
+";
+        let scan = scan_items(&strip_comments_and_strings(src));
+        assert_eq!(scan.items.len(), 1);
+        assert_eq!(scan.items[0].qualified(), "Wrapper::get");
+        // The `;` inside `[usize; 2]` must not orphan the body.
+        assert_eq!(scan.line_owner[2], Some(0));
+    }
+
+    #[test]
+    fn line_calls_classifies_call_sites() {
+        let calls = line_calls("let x = helper(a).advance(b) + Pool::new(4).map(f);");
+        let got: Vec<(String, CallKind)> =
+            calls.into_iter().map(|c| (c.name, c.kind)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("helper".into(), CallKind::Bare),
+                ("advance".into(), CallKind::Method),
+                ("new".into(), CallKind::Qualified("Pool".into())),
+                ("map".into(), CallKind::Method),
+            ]
+        );
+        // Macros, keywords, constructors and turbofish.
+        assert!(line_calls("vec![1]; format!(\"x\"); if (a) {}").is_empty());
+        assert!(line_calls("Some(x); Ok(y); MyStruct(z)").is_empty());
+        let t = line_calls("xs.collect::<Vec<_>>()");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].name, "collect");
+        let q = line_calls("Self::render(input)");
+        assert_eq!(q[0].kind, CallKind::Qualified("Self".into()));
+        // `self.` receivers are resolvable precisely; field paths carry the
+        // dotted receiver; interrupted chains carry nothing.
+        let s = line_calls("self.dispatch(x) + self.inner.pick(y) + beam.tokens.push(z)");
+        assert_eq!(s[0].kind, CallKind::SelfMethod);
+        assert_eq!((s[1].kind.clone(), s[1].receiver.as_deref()), (CallKind::Method, Some("self.inner")));
+        assert_eq!(s[2].receiver.as_deref(), Some("beam.tokens"));
+        let c = line_calls("xs.iter().map(f); beams[bi].advance(x)");
+        assert_eq!(c[0].receiver.as_deref(), Some("xs"));
+        assert!(c[1].receiver.is_none(), "chained: {c:?}");
+        assert!(c[2].receiver.is_none(), "indexed: {c:?}");
+    }
+
+    #[test]
+    fn param_types_reads_fn_signatures() {
+        let decl = "fn advance(lm: &mut CausalLm, ps: &ParamStore, xs: &[u32], \
+                    f: F, w: fmt::Formatter<'_>, n: usize) -> u32";
+        let got = param_types(decl);
+        let find = |n: &str| got.iter().find(|(name, _)| name == n).map(|(_, t)| t.as_str());
+        assert_eq!(find("lm"), Some("CausalLm"));
+        assert_eq!(find("ps"), Some("ParamStore"));
+        assert_eq!(find("xs"), Some(""), "slices have no nominal head");
+        assert_eq!(find("f"), Some("F"));
+        assert_eq!(find("w"), Some("Formatter"));
+        assert_eq!(find("n"), Some("usize"));
+        // `impl Trait` and `dyn Trait` are marked unresolvable.
+        let got = param_types("fn run(h: impl Handler, d: &dyn Draw)");
+        assert!(got.iter().all(|(_, t)| t == "impl"), "{got:?}");
+    }
+
+    #[test]
+    fn struct_fields_extracts_named_fields_only() {
+        let src = "\
+pub struct Engine {
+    vocab: Vocab,
+    pool: Pool,
+    pending: Vec<Request>,
+}
+struct Unit;
+struct Tup(u32, f32);
+enum E { A, B }
+";
+        let got = struct_fields(&strip_comments_and_strings(src));
+        assert_eq!(
+            got,
+            vec![
+                ("Engine".into(), "vocab".into(), "Vocab".into()),
+                ("Engine".into(), "pool".into(), "Pool".into()),
+                ("Engine".into(), "pending".into(), "Vec".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn static_type_reads_statics_and_consts() {
+        assert_eq!(
+            static_type("static STATE: AtomicU8 = AtomicU8::new(0);"),
+            Some(("STATE".into(), "AtomicU8".into()))
+        );
+        assert_eq!(
+            static_type("pub const LIMIT: usize = 8;"),
+            Some(("LIMIT".into(), "usize".into()))
+        );
+        assert_eq!(
+            static_type("static mut RAW: u32 = 0;"),
+            Some(("RAW".into(), "u32".into()))
+        );
+        assert_eq!(static_type("pub const fn helper() -> usize {"), None);
+        assert_eq!(static_type("let p: *const u8 = q;"), None);
+        assert_eq!(static_type("let x = 1;"), None);
+    }
+
+    #[test]
+    fn let_type_handles_annotations_and_constructors() {
+        assert_eq!(let_type("    let pool = Pool::new(4);"), Some(("pool".into(), "Pool".into())));
+        assert_eq!(
+            let_type("let mut t: Tensor = make();"),
+            Some(("t".into(), "Tensor".into()))
+        );
+        assert_eq!(let_type("let x = helper();"), None, "bare calls say nothing");
+        assert_eq!(let_type("let y = gradcheck::cases();"), None, "module paths are not types");
+        assert_eq!(let_type("letter = 5;"), None);
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() {
     };
 
     for name in selected {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(det, reason = "benchmark harness measures wall time; timings are reported, never fed back into results")
         eprintln!("[repro] running {name} at {scale:?} scale…");
         let output: ExpOutput = match name {
             "table2" => exp::table2(scale),

@@ -472,7 +472,7 @@ pub fn calib(scale: Scale) -> ExpOutput {
     eprintln!("[repro]  indices ready ({} conflicts)", idx.conflicts());
     let mut md = String::from("## calib — LC-Rec variants on Games\n\n");
     for (label, tasks) in [("SEQ-only", TaskSet::seq_only()), ("full", TaskSet::full())] {
-        let t0 = std::time::Instant::now();
+        let t0 = std::time::Instant::now(); // lint: allow(det, reason = "training wall time is reported to stderr only, never fed into the model")
         let mut model = lcrec_core::LcRec::build(&ds, idx.clone(), crate::setup::lcrec_config(scale, tasks));
         let losses = model.fit(&ds);
         eprintln!("[repro]  {label} trained in {:.0}s, losses {losses:?}", t0.elapsed().as_secs_f32());
@@ -680,7 +680,7 @@ pub fn serve(scale: Scale) -> ExpOutput {
         let mut bits: Vec<Vec<(u32, u32)>> = Vec::new();
         for rep in 0..reps {
             let mut engine = lcrec_serve::Engine::for_model(&model, cfg.clone());
-            let t0 = std::time::Instant::now();
+            let t0 = std::time::Instant::now(); // lint: allow(det, reason = "throughput experiment measures wall time by design; responses are compared bit-for-bit separately")
             for hist in &histories {
                 engine.submit(hist, k).expect("queue sized to the load");
             }
@@ -1015,7 +1015,7 @@ fn run_scaled<R: PartialEq>(
     let mut results: Vec<R> = Vec::with_capacity(threads.len());
     for &t in threads {
         let pool = lcrec_par::Pool::new(t);
-        let t0 = std::time::Instant::now();
+        let t0 = std::time::Instant::now(); // lint: allow(det, reason = "scaling experiment measures wall time by design; result equality across thread counts is checked separately")
         results.push(work(&pool));
         times.push(t0.elapsed().as_secs_f64());
     }

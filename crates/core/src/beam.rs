@@ -58,9 +58,11 @@ fn score_beam(trie: &IndexTrie, vocab: &ExtendedVocab, beam: &Beam) -> Vec<(u16,
     let lz = z.ln() + mx;
     allowed
         .iter()
-        .map(|&code| {
-            let tok = vocab.index_token(level, code);
-            (code, beam.logprob + beam.logits[tok as usize] - lz)
+        .filter_map(|&code| {
+            // A token outside the logit table can only mean a vocab/trie
+            // mismatch; skip the code instead of panicking mid-decode.
+            let tok = vocab.index_token(level, code) as usize;
+            beam.logits.get(tok).map(|&l| (code, beam.logprob + l - lz))
         })
         .collect()
 }
@@ -156,7 +158,7 @@ pub fn constrained_beam_search_with(
         // Phase 2 — expansion, parallel over pruned candidates: each clones
         // its source KV cache and runs one transformer step.
         beams = pool.map(&candidates, |_, &(bi, code, logprob)| {
-            let src = &beams[bi];
+            let src = &beams[bi]; // lint: allow(panic, reason = "bi was produced by enumerating this very `beams` vector in phase 1")
             let mut cache = src.cache.clone();
             let level = src.prefix.len();
             let tok = vocab.index_token(level, code);
@@ -240,12 +242,12 @@ pub fn multi_constrained_beam_search_with(
         }
         let score_watch = lcrec_obs::stopwatch();
         let scored: Vec<Vec<(u16, f32)>> =
-            pool.map(&pairs, |_, &(ri, bi)| score_beam(trie, vocab, &requests[ri][bi]));
+            pool.map(&pairs, |_, &(ri, bi)| score_beam(trie, vocab, &requests[ri][bi])); // lint: allow(panic, reason = "(ri, bi) pairs were built by enumerating `requests` and its beam lists above")
         score_watch.stop("beam.score_s");
         let mut per_req: Vec<Vec<(usize, u16, f32)>> = vec![Vec::new(); n];
         for (&(ri, bi), cands) in pairs.iter().zip(&scored) {
             for &(code, logprob) in cands {
-                per_req[ri].push((bi, code, logprob));
+                per_req[ri].push((bi, code, logprob)); // lint: allow(panic, reason = "ri < n: pairs enumerate `requests`, which has n entries")
             }
         }
         // Jobs for the shared transformer step: (request, beam, code, lp),
@@ -256,7 +258,7 @@ pub fn multi_constrained_beam_search_with(
                 lcrec_obs::counter_add("beam.expansions", cands.len() as u64);
                 lcrec_obs::hist_record("beam.candidates_per_level", cands.len() as f64);
             }
-            prune(&mut cands, beam_sizes[ri]);
+            prune(&mut cands, beam_sizes[ri]); // lint: allow(panic, reason = "ri < n and beam_sizes.len() == n is asserted at entry")
             jobs.extend(cands.into_iter().map(|(bi, code, logprob)| (ri, bi, code, logprob)));
         }
         if obs_on {
@@ -272,10 +274,10 @@ pub fn multi_constrained_beam_search_with(
         // Phase 2 — one batched transformer step over every surviving
         // candidate of every request, each on a clone of its source cache.
         let mut new_caches: Vec<KvCache> =
-            jobs.iter().map(|&(ri, bi, _, _)| requests[ri][bi].cache.clone()).collect();
+            jobs.iter().map(|&(ri, bi, _, _)| requests[ri][bi].cache.clone()).collect(); // lint: allow(panic, reason = "jobs carry (ri, bi) coordinates taken from this level's `requests` candidates")
         let toks: Vec<u32> = jobs
             .iter()
-            .map(|&(ri, bi, code, _)| vocab.index_token(requests[ri][bi].prefix.len(), code))
+            .map(|&(ri, bi, code, _)| vocab.index_token(requests[ri][bi].prefix.len(), code)) // lint: allow(panic, reason = "jobs carry (ri, bi) coordinates taken from this level's `requests` candidates")
             .collect();
         let mut slots: Vec<&mut KvCache> = new_caches.iter_mut().collect();
         let all_logits = lm.advance_batch(&mut slots, &toks);
@@ -285,9 +287,9 @@ pub fn multi_constrained_beam_search_with(
         for ((&(ri, bi, code, logprob), cache), logits) in
             jobs.iter().zip(new_caches).zip(all_logits)
         {
-            let mut prefix = requests[ri][bi].prefix.clone();
+            let mut prefix = requests[ri][bi].prefix.clone(); // lint: allow(panic, reason = "jobs carry (ri, bi) coordinates taken from this level's `requests` candidates")
             prefix.push(code);
-            next[ri].push(Beam { cache, logits, prefix, logprob });
+            next[ri].push(Beam { cache, logits, prefix, logprob }); // lint: allow(panic, reason = "next was sized to n slots and ri < n by construction")
         }
         requests = next;
     }

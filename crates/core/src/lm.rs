@@ -267,9 +267,10 @@ impl CausalLm {
         let tok_table = self.ps.value(self.tok_emb);
         let pos_table = self.ps.value(self.pos_emb);
         let mut xs = vec![0.0f32; b * d];
-        for (r, (&token, cache)) in tokens.iter().zip(caches.iter()).enumerate() {
+        for ((&token, cache), row) in
+            tokens.iter().zip(caches.iter()).zip(xs.chunks_exact_mut(d))
+        {
             let pos = cache.len.min(self.cfg.max_seq - 1);
-            let row = &mut xs[r * d..(r + 1) * d];
             row.copy_from_slice(tok_table.row(token as usize));
             for (xi, pi) in row.iter_mut().zip(pos_table.row(pos)) {
                 *xi += pi;
@@ -283,23 +284,23 @@ impl CausalLm {
             let scale = 1.0 / (dh as f32).sqrt();
             let mut ctx = vec![0.0f32; b * d];
             for (r, cache) in caches.iter_mut().enumerate() {
-                cache.k[l].extend_from_slice(&k[r * d..(r + 1) * d]);
-                cache.v[l].extend_from_slice(&v[r * d..(r + 1) * d]);
+                cache.k[l].extend_from_slice(&k[r * d..(r + 1) * d]); // lint: allow(panic, reason = "l enumerates self.blocks, which sized every cache; batmat returns b*d values and r < b")
+                cache.v[l].extend_from_slice(&v[r * d..(r + 1) * d]); // lint: allow(panic, reason = "l enumerates self.blocks, which sized every cache; batmat returns b*d values and r < b")
                 let t = cache.len + 1;
                 for head in 0..h {
-                    let qh = &q[r * d + head * dh..r * d + (head + 1) * dh];
+                    let qh = &q[r * d + head * dh..r * d + (head + 1) * dh]; // lint: allow(panic, reason = "head < h and h * dh == d, so the slice stays inside row r of the b*d buffer")
                     // Scores over all of this slot's cached positions.
                     let mut scores = Vec::with_capacity(t);
                     for ti in 0..t {
-                        let kh = &cache.k[l][ti * d + head * dh..ti * d + (head + 1) * dh];
+                        let kh = &cache.k[l][ti * d + head * dh..ti * d + (head + 1) * dh]; // lint: allow(panic, reason = "cache.k[l] holds t rows of d values after the extend above; ti < t")
                         let dot: f32 = qh.iter().zip(kh).map(|(qv, kv)| qv * kv).sum();
                         scores.push(dot * scale);
                     }
                     let mut probs = vec![0.0f32; t];
                     softmax_rows(&scores, &mut probs, t);
-                    let out = &mut ctx[r * d + head * dh..r * d + (head + 1) * dh];
+                    let out = &mut ctx[r * d + head * dh..r * d + (head + 1) * dh]; // lint: allow(panic, reason = "ctx was allocated with b*d zeros; r < b and head < h with h * dh == d")
                     for (ti, &p) in probs.iter().enumerate() {
-                        let vh = &cache.v[l][ti * d + head * dh..ti * d + (head + 1) * dh];
+                        let vh = &cache.v[l][ti * d + head * dh..ti * d + (head + 1) * dh]; // lint: allow(panic, reason = "cache.v[l] holds t rows of d values after the extend above; ti < t")
                         for (o, &vv) in out.iter_mut().zip(vh) {
                             *o += p * vv;
                         }
@@ -324,9 +325,9 @@ impl CausalLm {
             }
         }
         let mut out = Vec::with_capacity(b);
-        for (r, cache) in caches.iter_mut().enumerate() {
+        for (cache, xrow) in caches.iter_mut().zip(xs.chunks_exact(d)) {
             cache.len += 1;
-            let xf = rms_vec(&xs[r * d..(r + 1) * d], self.ps.value(self.final_norm).data());
+            let xf = rms_vec(xrow, self.ps.value(self.final_norm).data());
             // Tied head: logits = xf @ tok_emb^T.
             let mut logits = vec![0.0f32; self.cfg.vocab];
             for (vi, logit) in logits.iter_mut().enumerate() {
@@ -383,18 +384,22 @@ impl CausalLm {
         for t in 0..longest {
             let mut slots: Vec<&mut KvCache> = Vec::new();
             let mut toks: Vec<u32> = Vec::new();
-            let mut live: Vec<usize> = Vec::new();
-            for (i, cache) in caches.iter_mut().enumerate() {
-                if t < seqs[i].len() {
+            // Live slots this step, each tagged with its output row and
+            // whether `t` is its final token.
+            let mut live: Vec<(usize, bool)> = Vec::new();
+            for (i, (cache, seq)) in caches.iter_mut().zip(seqs).enumerate() {
+                if let Some(&tok) = seq.get(t) {
                     slots.push(cache);
-                    toks.push(seqs[i][t]);
-                    live.push(i);
+                    toks.push(tok);
+                    live.push((i, t + 1 == seq.len()));
                 }
             }
             let logits = self.advance_batch(&mut slots, &toks);
-            for (row, &i) in logits.into_iter().zip(&live) {
-                if t + 1 == seqs[i].len() {
-                    outs[i] = row;
+            for (row, &(i, last)) in logits.into_iter().zip(&live) {
+                if last {
+                    if let Some(out) = outs.get_mut(i) {
+                        *out = row;
+                    }
                 }
             }
         }
@@ -468,8 +473,8 @@ fn rms_rows(xs: &[f32], gamma: &[f32], b: usize) -> Vec<f32> {
     let d = gamma.len();
     debug_assert_eq!(xs.len(), b * d);
     let mut out = Vec::with_capacity(b * d);
-    for r in 0..b {
-        out.extend(rms_vec(&xs[r * d..(r + 1) * d], gamma));
+    for row in xs.chunks_exact(d.max(1)) {
+        out.extend(rms_vec(row, gamma));
     }
     out
 }

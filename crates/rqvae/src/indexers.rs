@@ -98,9 +98,9 @@ fn with_suffix_ids(model: &RqVae, embeddings: &Tensor) -> ItemIndices {
     for (i, c) in codes.iter().enumerate() {
         groups.entry(c.as_slice()).or_default().push(i);
     }
-    let max_group = groups.values().map(Vec::len).max().unwrap_or(1);
+    let max_group = groups.values().map(Vec::len).max().unwrap_or(1); // lint: allow(det, reason = "max over group sizes is an order-independent reduction")
     let mut suffix = vec![0u16; codes.len()];
-    for items in groups.values() {
+    for items in groups.values() { // lint: allow(det, reason = "groups are disjoint and each group's Vec is in item-id order, so every suffix[i] comes out the same whatever order the groups are visited in")
         for (pos, &i) in items.iter().enumerate() {
             suffix[i] = pos as u16;
         }

@@ -45,9 +45,10 @@ impl ItemIndices {
         self.codes.is_empty()
     }
 
-    /// The code sequence of one item.
+    /// The code sequence of one item. Unknown item ids yield an empty
+    /// slice rather than a panic, so serving-path lookups stay total.
     pub fn of(&self, item: u32) -> &[u16] {
-        &self.codes[item as usize]
+        self.codes.get(item as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of items that share their full index with another item.
@@ -57,7 +58,7 @@ impl ItemIndices {
         for c in &self.codes {
             *seen.entry(c.as_slice()).or_default() += 1;
         }
-        seen.values().filter(|&&n| n > 1).map(|&n| n).sum()
+        seen.values().filter(|&&n| n > 1).map(|&n| n).sum() // lint: allow(det, reason = "sum over counts is an order-independent reduction")
     }
 
     /// True if every item has a unique full index.
@@ -72,8 +73,9 @@ impl ItemIndices {
     }
 
     /// Offset of level `l`'s tokens inside the flattened index-token block.
+    /// Levels past the last clamp to the total (`take` never overruns).
     pub fn level_offset(&self, level: usize) -> usize {
-        self.codebook_sizes[..level].iter().sum()
+        self.codebook_sizes.iter().take(level).sum()
     }
 
     /// Flattens `(level, code)` into a single token id in
@@ -103,7 +105,7 @@ impl ItemIndices {
         for c in &self.codes {
             *groups.entry(&c[..depth.min(self.levels)]).or_default() += 1;
         }
-        let pairs: usize = groups.values().map(|&g| g * (g - 1) / 2).sum();
+        let pairs: usize = groups.values().map(|&g| g * (g - 1) / 2).sum(); // lint: allow(det, reason = "sum over per-group pair counts is an order-independent reduction")
         pairs as f32 / (n * (n - 1) / 2) as f32
     }
 }
@@ -187,7 +189,7 @@ impl IndexTrie {
     fn node_at(&self, prefix: &[u16]) -> Option<usize> {
         let mut node = 0usize;
         for c in prefix {
-            node = *self.children[node].get(c)?;
+            node = *self.children.get(node)?.get(c)?;
         }
         Some(node)
     }
@@ -195,9 +197,9 @@ impl IndexTrie {
     /// Legal next codes after `prefix` (empty slice if the prefix is
     /// illegal or complete).
     pub fn allowed(&self, prefix: &[u16]) -> Vec<u16> {
-        match self.node_at(prefix) {
-            Some(n) => {
-                let mut v: Vec<u16> = self.children[n].keys().copied().collect();
+        match self.node_at(prefix).and_then(|n| self.children.get(n)) {
+            Some(next) => {
+                let mut v: Vec<u16> = next.keys().copied().collect();
                 v.sort_unstable();
                 v
             }
@@ -210,7 +212,7 @@ impl IndexTrie {
         if codes.len() != self.levels {
             return None;
         }
-        self.node_at(codes).and_then(|n| self.items[n])
+        self.node_at(codes).and_then(|n| self.items.get(n).copied().flatten())
     }
 
     /// Total node count (diagnostics / benches).

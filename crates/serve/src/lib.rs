@@ -409,7 +409,7 @@ impl<'a> Engine<'a> {
             id,
             history: history.to_vec(),
             k,
-            enqueued: Instant::now(),
+            enqueued: Instant::now(), // lint: allow(det, reason = "arrival timestamps drive deadline/latency bookkeeping only; decode outputs stay bit-identical (pinned by tests/serving.rs)")
             deadline_ms,
         });
         Ok(id)
@@ -482,7 +482,7 @@ impl<'a> Engine<'a> {
     /// engine against direct beam-search calls on the same tokens.
     pub fn render_prompt(&self, history: &[u32]) -> Vec<u32> {
         let capped = if history.len() > self.cfg.max_hist_items {
-            &history[history.len() - self.cfg.max_hist_items..]
+            &history[history.len() - self.cfg.max_hist_items..] // lint: allow(panic, reason = "the branch guard makes the start offset at most history.len()")
         } else {
             history
         };
@@ -491,7 +491,10 @@ impl<'a> Engine<'a> {
         let mut tokens = vec![BOS];
         tokens.extend(self.vocab.render(&segs));
         let max_seq = self.lm.config().max_seq;
-        let budget = max_seq - self.vocab.indices().levels - 1;
+        // Saturate (and keep BOS) so a context window smaller than one item
+        // index degrades to a maximally-truncated prompt instead of
+        // underflowing.
+        let budget = max_seq.saturating_sub(self.vocab.indices().levels + 1).max(1);
         if tokens.len() > budget {
             let excess = tokens.len() - budget;
             tokens.drain(1..1 + excess);
@@ -522,11 +525,13 @@ impl<'a> Engine<'a> {
                 || self.plan.should_fail(seams::SERVE_DEADLINE);
             if expired {
                 lcrec_obs::counter_add("serve.timeouts", 1);
-                slots[i] = Some(Outcome::TimedOut {
-                    id: p.id,
-                    waited_s: p.enqueued.elapsed().as_secs_f64(),
-                    reason: TimeoutReason::Deadline,
-                });
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(Outcome::TimedOut {
+                        id: p.id,
+                        waited_s: p.enqueued.elapsed().as_secs_f64(),
+                        reason: TimeoutReason::Deadline,
+                    });
+                }
             } else {
                 live.push((i, p));
             }
@@ -551,11 +556,13 @@ impl<'a> Engine<'a> {
         if failed >= self.backoff.max_attempts() {
             for (i, p) in live {
                 lcrec_obs::counter_add("serve.timeouts", 1);
-                slots[i] = Some(Outcome::TimedOut {
-                    id: p.id,
-                    waited_s: p.enqueued.elapsed().as_secs_f64(),
-                    reason: TimeoutReason::RetriesExhausted,
-                });
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(Outcome::TimedOut {
+                        id: p.id,
+                        waited_s: p.enqueued.elapsed().as_secs_f64(),
+                        reason: TimeoutReason::RetriesExhausted,
+                    });
+                }
             }
             return slots.into_iter().flatten().collect();
         }
@@ -577,12 +584,14 @@ impl<'a> Engine<'a> {
             if obs_on {
                 lcrec_obs::profile_record("serve.request_s", latency_s);
             }
-            slots[i] = Some(Outcome::Completed(Response {
-                id: pending.id,
-                ranked,
-                latency_s,
-                batch_size,
-            }));
+            if let Some(slot) = slots.get_mut(i) {
+                *slot = Some(Outcome::Completed(Response {
+                    id: pending.id,
+                    ranked,
+                    latency_s,
+                    batch_size,
+                }));
+            }
         }
         slots.into_iter().flatten().collect()
     }

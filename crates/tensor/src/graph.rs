@@ -110,7 +110,7 @@ impl Graph {
     /// The shape of a node's value.
     #[inline]
     pub fn shape(&self, v: Var) -> &[usize] {
-        self.values[v.0].shape()
+        self.values[v.0].shape() // lint: allow(panic, reason = "Vars are only minted by this graph's push(), as dense indices into values")
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -142,7 +142,8 @@ impl Graph {
         if crate::sanitize::enabled() {
             if let Some((i, v)) = crate::sanitize::first_non_finite(value.data()) {
                 let operands: Vec<String> =
-                    inputs.iter().map(|x| format!("{:?}", self.values[x.0].shape())).collect();
+                    inputs.iter().map(|x| format!("{:?}", self.values[x.0].shape())).collect(); // lint: allow(panic, reason = "op inputs are Vars minted by this graph's push()")
+                // lint: allow(panic, reason = "sanitizer contract: a non-finite tape value must abort loudly at the op that produced it")
                 panic!(
                     "sanitizer: op `{op}` produced a non-finite value \
                      ({v} at flat index {i}); operand shapes [{}], output shape {:?}",
@@ -152,7 +153,7 @@ impl Graph {
             }
         }
         if lcrec_obs::enabled() {
-            let now = std::time::Instant::now();
+            let now = std::time::Instant::now(); // lint: allow(det, reason = "obs-gated op timing feeds profiles only, never tensor values")
             if let Some(prev) = self.obs_prev {
                 // Attribute the gap since the previous push to this op: the
                 // op's kernel ran eagerly just before this call.
@@ -1529,7 +1530,7 @@ impl Graph {
             if let Some(f) = &fns[i] {
                 if obs_on {
                     let op = self.meta[i].op;
-                    let t0 = std::time::Instant::now();
+                    let t0 = std::time::Instant::now(); // lint: allow(det, reason = "obs-gated op timing feeds profiles only, never tensor values")
                     f(self, &g, &mut grads);
                     lcrec_obs::profile_record(
                         &format!("graph.bwd.{op}"),

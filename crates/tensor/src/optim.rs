@@ -72,7 +72,7 @@ impl ParamStore {
     /// Immutable view of a parameter value.
     #[inline]
     pub fn value(&self, id: ParamId) -> &Tensor {
-        &self.entries[id.0].value
+        &self.entries[id.0].value // lint: allow(panic, reason = "ParamIds are only minted by this store's add(), as dense indices into entries")
     }
 
     /// Mutable view of a parameter value (used by tests and manual updates).

@@ -49,7 +49,7 @@ pub fn set_enabled(on: bool) {
 
 /// Index and value of the first non-finite entry, if any.
 pub fn first_non_finite(xs: &[f32]) -> Option<(usize, f32)> {
-    xs.iter().position(|v| !v.is_finite()).map(|i| (i, xs[i]))
+    xs.iter().position(|v| !v.is_finite()).map(|i| (i, xs[i])) // lint: allow(panic, reason = "i comes from position() over the same slice")
 }
 
 /// Panics if `xs` contains a NaN or ±Inf, naming `ctx` and the offending

@@ -96,7 +96,7 @@ impl<'a> Cursor<'a> {
         if n > self.buf.len() - self.pos {
             return Err(bad("truncated checkpoint payload"));
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = &self.buf[self.pos..self.pos + n]; // lint: allow(panic, reason = "guarded: the truncation check above ensures pos + n <= buf.len()")
         self.pos += n;
         Ok(s)
     }

@@ -95,9 +95,13 @@ impl Tensor {
     }
 
     /// Dimension `i` of the shape.
+    ///
+    /// # Panics
+    /// Panics if `i >= ndim()` — asking for a dimension a tensor does not
+    /// have is a caller bug, not a recoverable condition.
     #[inline]
     pub fn dim(&self, i: usize) -> usize {
-        self.shape[i]
+        self.shape[i] // lint: allow(panic, reason = "documented contract: out-of-range dimension is a caller bug; decode-path calls use literal 0/1 on 2-D weights")
     }
 
     /// For a tensor treated as a matrix: the number of rows, i.e. the product
@@ -144,10 +148,13 @@ impl Tensor {
     }
 
     /// Row `i` of a matrix-like tensor, as a slice of length `cols()`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows()`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
         let c = self.cols();
-        &self.data[i * c..(i + 1) * c]
+        &self.data[i * c..(i + 1) * c] // lint: allow(panic, reason = "documented contract: i < rows(); decode-path callers pass vocab-validated token/position ids")
     }
 
     /// Mutable row `i`.
@@ -267,13 +274,13 @@ pub fn matmul_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: 
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
+        let arow = &a[i * k..(i + 1) * k]; // lint: allow(panic, reason = "a.len() == m*k is debug-asserted and upheld by every caller's shape checks")
+        let orow = &mut out[i * n..(i + 1) * n]; // lint: allow(panic, reason = "out.len() == m*n is debug-asserted and upheld by every caller's shape checks")
         for (kk, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
             }
-            let brow = &b[kk * n..(kk + 1) * n];
+            let brow = &b[kk * n..(kk + 1) * n]; // lint: allow(panic, reason = "b.len() == k*n is debug-asserted and kk < k from the arow loop")
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }

@@ -38,7 +38,7 @@ impl Vocab {
             }
         }
         let mut kept: Vec<(String, usize)> =
-            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect(); // lint: allow(det, reason = "kept is fully sorted on the next statement with a total order (count desc, then word)")
         // Deterministic order: by descending count then lexicographic.
         kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut words = vec!["<pad>".into(), "<bos>".into(), "<eos>".into(), "<unk>".into()];

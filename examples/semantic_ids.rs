@@ -12,7 +12,7 @@
 //! property the paper motivates).
 
 use lc_rec::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 fn main() {
     let ds = Dataset::generate(&DatasetConfig::tiny());
@@ -38,8 +38,9 @@ fn main() {
     let indices = model.build_indices(&embeddings);
     println!("conflicts after uniform semantic mapping: {}", indices.conflicts());
 
-    // (a) Meaningful: first-level code purity per category.
-    let mut by_sub: HashMap<usize, Vec<u16>> = HashMap::new();
+    // (a) Meaningful: first-level code purity per category. BTreeMap so the
+    // per-category lines print in a stable order run to run.
+    let mut by_sub: BTreeMap<usize, Vec<u16>> = BTreeMap::new();
     for item in &ds.catalog.items {
         by_sub.entry(ds.catalog.sub_of(item.id)).or_default().push(indices.of(item.id)[0]);
     }
@@ -49,8 +50,8 @@ fn main() {
         for &c in codes {
             *counts.entry(c).or_default() += 1;
         }
-        let mut top: Vec<(u16, usize)> = counts.into_iter().collect();
-        top.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut top: Vec<(u16, usize)> = counts.into_iter().collect(); // lint: allow(det, reason = "fully sorted on the next line with a total order (count desc, then code)")
+        top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let name = ds.catalog.taxonomy.sub(*sub).name;
         let purity = top[0].1 as f32 / codes.len() as f32;
         println!("  {name:<16} majority code <a_{}> covers {:.0}%", top[0].0, purity * 100.0);

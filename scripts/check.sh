@@ -19,14 +19,44 @@
 #   5. a serve smoke-run: the batched-inference experiment end-to-end at
 #      tiny scale (admission queue, batched prefill + decode, the
 #      bit-identity column) into a scratch directory;
-#   6. the dependency-free workspace lint pass, the public-API
-#      doc-coverage gate (including required `# Examples` on entry
-#      points), and the env-var documentation gate; and
+#   6. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
+#      call-graph panic reachability (panicscan), determinism hazards
+#      (detlint), public-API doc coverage and the env-var documentation
+#      gate; and
 #   7. a warning-free `cargo doc` build of the whole workspace.
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [analysis-only]
+#
+#   analysis-only   run only stage 6 (seconds instead of minutes) — the
+#                   right loop when iterating on lint annotations or on
+#                   the analysis passes themselves.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+
+run_analysis() {
+  echo "== lint =="
+  cargo run --quiet -p lcrec-analysis -- lint
+
+  echo "== panic reachability =="
+  cargo run --quiet -p lcrec-analysis -- panicscan
+
+  echo "== determinism hazards =="
+  cargo run --quiet -p lcrec-analysis -- detlint
+
+  echo "== doc coverage =="
+  cargo run --quiet -p lcrec-analysis -- doccov
+
+  echo "== env-var docs =="
+  cargo run --quiet -p lcrec-analysis -- envdoc
+}
+
+if [ "$mode" = "analysis-only" ]; then
+  run_analysis
+  echo "All analysis passes clean."
+  exit 0
+fi
 
 echo "== build (release) =="
 cargo build --release --workspace
@@ -53,14 +83,7 @@ if grep -q "| NO |" target/check-serve/serve.md; then
   exit 1
 fi
 
-echo "== lint =="
-cargo run --quiet -p lcrec-analysis -- lint
-
-echo "== doc coverage =="
-cargo run --quiet -p lcrec-analysis -- doccov
-
-echo "== env-var docs =="
-cargo run --quiet -p lcrec-analysis -- envdoc
+run_analysis
 
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
