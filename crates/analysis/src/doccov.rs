@@ -23,7 +23,9 @@ use std::path::{Path, PathBuf};
 /// ops, constrained decoding, the parallel subsystem); obs is the
 /// observability contract every instrumented crate programs against; serve
 /// is the public serving API; data/eval/text cover the dataset, metrics and
-/// tokenization surfaces; fault and analysis document the tooling itself.
+/// tokenization surfaces; rqvae carries the semantic-index/trie surface the
+/// decode fast path leans on; fault and analysis document the tooling
+/// itself.
 pub const DOC_COVERED_CRATES: &[&str] = &[
     "crates/par",
     "crates/tensor",
@@ -34,6 +36,7 @@ pub const DOC_COVERED_CRATES: &[&str] = &[
     "crates/data",
     "crates/eval",
     "crates/text",
+    "crates/rqvae",
     "crates/analysis",
 ];
 
@@ -49,6 +52,7 @@ pub const EXAMPLE_REQUIRED: &[(&str, &str)] = &[
     ("crates/rqvae/src/indices.rs", "IndexTrie"),
     ("crates/serve/src/lib.rs", "Engine"),
     ("crates/fault/src/lib.rs", "FaultPlan"),
+    ("crates/tensor/src/backend.rs", "active_backend"),
 ];
 
 /// One undocumented public item.

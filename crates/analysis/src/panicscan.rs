@@ -55,7 +55,12 @@ pub const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
     (None, "constrained_beam_search_with"),
     (None, "multi_constrained_beam_search"),
     (None, "multi_constrained_beam_search_with"),
+    (None, "multi_constrained_beam_search_scratch"),
+    (Some("CausalLm"), "greedy"),
+    (Some("IndexTrie"), "build"),
+    (Some("IndexTrie"), "from_text"),
     (Some("IndexTrie"), "allowed"),
+    (Some("IndexTrie"), "allowed_slice"),
     (Some("IndexTrie"), "item_at"),
     (Some("IndexTrie"), "levels"),
     (Some("Pool"), "map"),

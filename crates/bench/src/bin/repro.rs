@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|chaos|all \
+//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|all \
 //!       [--scale tiny|small] [--out results]
 //! ```
 //!
@@ -43,7 +43,7 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "chaos"];
+    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "decode", "chaos"];
     // `--exp` accepts a single id, a comma-separated list (run in the
     // given order, sharing the in-process model cache), or "all".
     let selected: Vec<&str> = if which == "all" {
@@ -75,6 +75,7 @@ fn main() {
             "calib" => exp::calib(scale),
             "profile" => exp::profile(scale),
             "serve" => exp::serve(scale),
+            "decode" => exp::decode(scale),
             "chaos" => exp::chaos(scale),
             _ => unreachable!(),
         };
@@ -89,7 +90,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|chaos|all] \
+        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|all] \
          [--scale tiny|small] [--out DIR]"
     );
     std::process::exit(2);

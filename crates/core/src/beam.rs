@@ -7,21 +7,34 @@
 //! Beams share the prompt's KV cache by cloning, which is cheap at these
 //! model sizes and exactly reproduces the paper's KV-cache optimization.
 //!
-//! Both per-level phases are data-parallel over an [`lcrec_par::Pool`]:
-//! candidate scoring fans out over the surviving beams and the transformer
-//! `advance` step fans out over the pruned candidates. Every fan-out
-//! reassembles its results in input order, so parallel and serial runs
-//! return bit-identical hypotheses (see DESIGN.md "Threading model").
+//! Per level, candidate scoring fans out over the surviving beams on an
+//! [`lcrec_par::Pool`] and reassembles in beam order; the transformer step
+//! then runs **every** pruned candidate through one fused, allocation-free
+//! weight pass ([`CausalLm::advance_batch_fused`]) against a reusable
+//! [`DecodeScratch`]. Scoring applies **top-k pre-pruning**: each beam
+//! keeps only its `beam_size` best legal continuations before the global
+//! prune — provably without changing the result (see `score_beam`'s doc
+//! comment) — so
+//! the cross-beam sort never sees more than `beam_size²` candidates.
+//! Parallel and serial runs return bit-identical hypotheses (see DESIGN.md
+//! "Threading model").
 //!
 //! The serving path adds a second axis of batching:
 //! [`multi_constrained_beam_search_with`] decodes many prompts at once,
 //! sharing each transformer step across *every* request's surviving
-//! candidates via [`CausalLm::advance_batch`]. Scoring, pruning and
-//! finalization reuse the single-request helpers, so the batched decode is
-//! bit-identical to running [`constrained_beam_search_with`] once per
-//! request — the contract `tests/serving.rs` pins.
+//! candidates. Scoring, pruning and finalization reuse the single-request
+//! helpers, so the batched decode is bit-identical to running
+//! [`constrained_beam_search_with`] once per request — the contract
+//! `tests/serving.rs` pins.
+//!
+//! [`constrained_beam_search_graph`] is the pre-KV-cache baseline: the
+//! same search driven by full autograd-graph re-forwards
+//! ([`CausalLm::logits_uncached`]) instead of cached fused steps. It
+//! exists as the benchmark "before" ( `repro --exp decode`,
+//! `results/decode.md`) and as the independent oracle the fast path is
+//! bit-compared against (`tests/decode.rs`).
 
-use crate::lm::{CausalLm, KvCache};
+use crate::lm::{CausalLm, DecodeScratch, KvCache};
 use crate::vocab::ExtendedVocab;
 use lcrec_par::Pool;
 use lcrec_rqvae::IndexTrie;
@@ -44,27 +57,65 @@ struct Beam {
 
 /// Scores one beam's legal continuations: the beam's log-softmax over the
 /// full vocabulary restricted to the codes that extend a real item prefix
-/// (illegal tokens get probability 0). Returns `(code, cumulative
-/// logprob)` pairs in trie order — both decode paths share this exact
-/// arithmetic, which keeps them bit-identical.
-fn score_beam(trie: &IndexTrie, vocab: &ExtendedVocab, beam: &Beam) -> Vec<(u16, f32)> {
-    let allowed = trie.allowed(&beam.prefix);
-    if allowed.is_empty() {
+/// (illegal tokens get probability 0), **pre-pruned to the beam's `width`
+/// best codes**. Returns `(code, cumulative logprob)` pairs in trie order
+/// — every decode path shares this exact arithmetic, which keeps them all
+/// bit-identical.
+///
+/// Top-k pre-pruning is exact: the global prune is a *stable* descending
+/// sort truncated to `width`, so any candidate this beam drops is preceded
+/// in the flattened candidate list by at least `width` same-beam
+/// candidates with a strictly better score or an equal score and an
+/// earlier position — the dropped candidate could never have survived the
+/// global cut, and the survivors keep their original relative order, so
+/// the pruned result is identical to scoring everything. (Ranking by raw
+/// logit equals ranking by log-probability: the softmax normalizer and
+/// the beam's cumulative score are constants within one beam.)
+fn score_beam(
+    trie: &IndexTrie,
+    vocab: &ExtendedVocab,
+    logits: &[f32],
+    prefix: &[u16],
+    logprob: f32,
+    width: usize,
+) -> Vec<(u16, f32)> {
+    let allowed = trie.allowed_slice(prefix);
+    if allowed.is_empty() || width == 0 {
         return Vec::new();
     }
-    let level = beam.prefix.len();
-    let mx = beam.logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let z: f32 = beam.logits.iter().map(|&v| (v - mx).exp()).sum();
-    let lz = z.ln() + mx;
-    allowed
+    let level = prefix.len();
+    // Trie intersection first: the legal codes with their raw logits.
+    let mut legal: Vec<(u16, f32)> = allowed
         .iter()
         .filter_map(|&code| {
             // A token outside the logit table can only mean a vocab/trie
             // mismatch; skip the code instead of panicking mid-decode.
             let tok = vocab.index_token(level, code) as usize;
-            beam.logits.get(tok).map(|&l| (code, beam.logprob + l - lz))
+            logits.get(tok).map(|&l| (code, l))
         })
-        .collect()
+        .collect();
+    // Top-k pre-pruning, stable: keep the `width` best by logit, ties to
+    // the earlier code, survivors back in trie order.
+    if legal.len() > width {
+        let mut order: Vec<usize> = (0..legal.len()).collect();
+        order.sort_by(|&a, &b| {
+            legal[b] // lint: allow(panic, reason = "order enumerates legal's indices")
+                .1
+                .partial_cmp(&legal[a].1) // lint: allow(panic, reason = "order enumerates legal's indices")
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(width);
+        order.sort_unstable();
+        legal = order
+            .into_iter()
+            .filter_map(|i| legal.get(i).copied())
+            .collect();
+    }
+    let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = logits.iter().map(|&v| (v - mx).exp()).sum();
+    let lz = z.ln() + mx;
+    legal.into_iter().map(|(code, l)| (code, logprob + l - lz)).collect()
 }
 
 /// The shared pruning rule: a *stable* descending sort on score followed by
@@ -75,11 +126,14 @@ fn prune(candidates: &mut Vec<(usize, u16, f32)>, beam_size: usize) {
     candidates.truncate(beam_size);
 }
 
-/// Maps finished beams to ranked hypotheses (descending log-probability).
-fn finalize(trie: &IndexTrie, beams: Vec<Beam>) -> Vec<Hypothesis> {
+/// Maps finished `(prefix, logprob)` beams to ranked hypotheses
+/// (descending log-probability).
+fn finalize(trie: &IndexTrie, beams: Vec<(Vec<u16>, f32)>) -> Vec<Hypothesis> {
     let mut out: Vec<Hypothesis> = beams
         .into_iter()
-        .filter_map(|b| trie.item_at(&b.prefix).map(|item| Hypothesis { item, logprob: b.logprob }))
+        .filter_map(|(prefix, logprob)| {
+            trie.item_at(&prefix).map(|item| Hypothesis { item, logprob })
+        })
         .collect();
     out.sort_by(|a, b| b.logprob.partial_cmp(&a.logprob).unwrap_or(std::cmp::Ordering::Equal));
     out
@@ -102,8 +156,8 @@ pub fn constrained_beam_search(
 /// [`constrained_beam_search`] with an explicit thread pool. Output is
 /// bit-identical (item ids **and** log-probabilities) at every thread
 /// count: candidate lists are flattened in beam order, the pruning sort is
-/// stable, and per-candidate `advance` results are reassembled in candidate
-/// order, so no first-come-first-served effect can leak into scores.
+/// stable, and the fused batched transformer step accumulates strictly row
+/// by row, so no first-come-first-served effect can leak into scores.
 pub fn constrained_beam_search_with(
     pool: &Pool,
     lm: &CausalLm,
@@ -120,10 +174,15 @@ pub fn constrained_beam_search_with(
     }
     let obs_on = lcrec_obs::enabled();
     let _span = lcrec_obs::span("beam.decode");
+    let mut scratch = lm.new_scratch();
     let mut cache = lm.new_cache();
-    let logits = lm.prefill(&mut cache, prompt);
+    let logits = lm
+        .prefill_batch_fused(&mut scratch, std::slice::from_mut(&mut cache), &[prompt])
+        .pop()
+        .unwrap_or_default();
     let mut beams =
         vec![Beam { cache, logits, prefix: Vec::new(), logprob: 0.0 }];
+    let vocab_n = lm.config().vocab;
     for _level in 0..trie.levels() {
         if obs_on {
             lcrec_obs::counter_add("beam.trie_visits", beams.len() as u64);
@@ -131,9 +190,10 @@ pub fn constrained_beam_search_with(
         let score_watch = lcrec_obs::stopwatch();
         // Phase 1 — candidate scoring, parallel over surviving beams.
         // Each beam's log-softmax over the full vocabulary is restricted to
-        // legal codes (illegal tokens get probability 0).
+        // legal codes (illegal tokens get probability 0) and pre-pruned to
+        // the beam width (exact; see `score_beam`).
         let per_beam: Vec<Vec<(usize, u16, f32)>> = pool.map(&beams, |bi, beam| {
-            score_beam(trie, vocab, beam)
+            score_beam(trie, vocab, &beam.logits, &beam.prefix, beam.logprob, beam_size)
                 .into_iter()
                 .map(|(code, logprob)| (bi, code, logprob))
                 .collect()
@@ -155,21 +215,98 @@ pub fn constrained_beam_search_with(
             lcrec_obs::counter_add("beam.cache_advances", candidates.len() as u64);
         }
         let advance_watch = lcrec_obs::stopwatch();
-        // Phase 2 — expansion, parallel over pruned candidates: each clones
-        // its source KV cache and runs one transformer step.
-        beams = pool.map(&candidates, |_, &(bi, code, logprob)| {
-            let src = &beams[bi]; // lint: allow(panic, reason = "bi was produced by enumerating this very `beams` vector in phase 1")
-            let mut cache = src.cache.clone();
-            let level = src.prefix.len();
-            let tok = vocab.index_token(level, code);
-            let logits = lm.advance(&mut cache, tok);
-            let mut prefix = src.prefix.clone();
-            prefix.push(code);
-            Beam { cache, logits, prefix, logprob }
-        });
+        // Phase 2 — one fused, allocation-free transformer step over every
+        // pruned candidate, each on a clone of its source cache.
+        let mut new_caches: Vec<KvCache> = candidates
+            .iter()
+            .map(|&(bi, _, _)| beams[bi].cache.clone()) // lint: allow(panic, reason = "bi was produced by enumerating this very `beams` vector in phase 1")
+            .collect();
+        let toks: Vec<u32> = candidates
+            .iter()
+            .map(|&(bi, code, _)| vocab.index_token(beams[bi].prefix.len(), code)) // lint: allow(panic, reason = "bi was produced by enumerating this very `beams` vector in phase 1")
+            .collect();
+        let mut slots: Vec<&mut KvCache> = new_caches.iter_mut().collect();
+        let all_logits = lm.advance_batch_fused(&mut scratch, &mut slots, &toks);
+        beams = candidates
+            .iter()
+            .zip(new_caches)
+            .zip(all_logits.chunks_exact(vocab_n.max(1)))
+            .map(|((&(bi, code, logprob), cache), row)| {
+                let mut prefix = beams[bi].prefix.clone(); // lint: allow(panic, reason = "bi was produced by enumerating this very `beams` vector in phase 1")
+                prefix.push(code);
+                Beam { cache, logits: row.to_vec(), prefix, logprob }
+            })
+            .collect();
         advance_watch.stop("beam.advance_s");
     }
-    finalize(trie, beams)
+    finalize(trie, beams.into_iter().map(|b| (b.prefix, b.logprob)).collect())
+}
+
+/// The graph-backed baseline decode: the same constrained search, driven
+/// by a full autograd-graph forward over the whole sequence at every step
+/// ([`CausalLm::logits_uncached`]) instead of KV-cached fused steps — no
+/// cache, fresh `Graph` node allocations per token, O(T²) attention work.
+/// This is the paper's §III-D2 "before": the decode benchmark
+/// (`repro --exp decode`) measures the fast path against it, and
+/// `tests/decode.rs` pins that both return **bit-identical** hypotheses
+/// (the two paths share `score_beam`/`prune`/`finalize`, and the graph
+/// forward is bit-identical to the cached step).
+///
+/// `prompt` must be short enough that prompt + `levels` index tokens fit
+/// the LM context window, as every in-contract caller (prompt rendering
+/// budgets, serving) guarantees; beyond it the graph path truncates
+/// history where the cached path clamps positions, and the two may
+/// legitimately diverge.
+pub fn constrained_beam_search_graph(
+    lm: &CausalLm,
+    vocab: &ExtendedVocab,
+    trie: &IndexTrie,
+    prompt: &[u32],
+    beam_size: usize,
+) -> Vec<Hypothesis> {
+    if beam_size == 0 {
+        return Vec::new();
+    }
+    let _span = lcrec_obs::span("beam.decode_graph");
+    struct GraphBeam {
+        tokens: Vec<u32>,
+        logits: Vec<f32>,
+        prefix: Vec<u16>,
+        logprob: f32,
+    }
+    let logits = lm.logits_uncached(prompt);
+    let mut beams =
+        vec![GraphBeam { tokens: prompt.to_vec(), logits, prefix: Vec::new(), logprob: 0.0 }];
+    for _level in 0..trie.levels() {
+        let mut candidates: Vec<(usize, u16, f32)> = Vec::new();
+        for (bi, beam) in beams.iter().enumerate() {
+            candidates.extend(
+                score_beam(trie, vocab, &beam.logits, &beam.prefix, beam.logprob, beam_size)
+                    .into_iter()
+                    .map(|(code, logprob)| (bi, code, logprob)),
+            );
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        prune(&mut candidates, beam_size);
+        beams = candidates
+            .iter()
+            .filter_map(|&(bi, code, logprob)| {
+                // bi enumerates this very `beams` vector, so the lookup
+                // always succeeds; `.get` keeps the baseline total anyway.
+                let src = beams.get(bi)?;
+                let mut tokens = src.tokens.clone();
+                tokens.push(vocab.index_token(src.prefix.len(), code));
+                // The whole sequence re-forwards through a fresh graph.
+                let logits = lm.logits_uncached(&tokens);
+                let mut prefix = src.prefix.clone();
+                prefix.push(code);
+                Some(GraphBeam { tokens, logits, prefix, logprob })
+            })
+            .collect();
+    }
+    finalize(trie, beams.into_iter().map(|b| (b.prefix, b.logprob)).collect())
 }
 
 /// Decodes several prompts at once with a uniform beam width; see
@@ -192,9 +329,10 @@ pub fn multi_constrained_beam_search(
 /// for that prompt without disturbing the others.
 ///
 /// The requests share the model's weight passes — prefill runs all prompts
-/// in position lockstep through [`CausalLm::prefill_batch`], and each
-/// decode level runs *every* request's surviving candidates through a
-/// single [`CausalLm::advance_batch`] call — but never share any state:
+/// in position lockstep through [`CausalLm::prefill_batch_fused`], and
+/// each decode level runs *every* request's surviving candidates through a
+/// single [`CausalLm::advance_batch_fused`] call — but never share any
+/// state:
 /// each request has its own KV caches, its own candidate list and its own
 /// pruning cut. Scoring/pruning reuse the single-request helpers and the
 /// batched transformer step is bit-identical per row, so the output equals
@@ -208,6 +346,27 @@ pub fn multi_constrained_beam_search_with(
     prompts: &[Vec<u32>],
     beam_sizes: &[usize],
 ) -> Vec<Vec<Hypothesis>> {
+    let mut scratch = lm.new_scratch();
+    multi_constrained_beam_search_scratch(pool, lm, vocab, trie, prompts, beam_sizes, &mut scratch)
+}
+
+/// [`multi_constrained_beam_search_with`] against a caller-owned
+/// [`DecodeScratch`], so a long-lived caller (the serving engine) reuses
+/// one set of decode buffers — and one cached LM-head transpose — across
+/// every batch instead of re-allocating per dispatch. The scratch must
+/// have been created from `lm` by [`CausalLm::new_scratch`] after its
+/// last parameter update. Results are bit-identical whichever scratch is
+/// passed; the scratch holds no decode state between calls.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_constrained_beam_search_scratch(
+    pool: &Pool,
+    lm: &CausalLm,
+    vocab: &ExtendedVocab,
+    trie: &IndexTrie,
+    prompts: &[Vec<u32>],
+    beam_sizes: &[usize],
+    scratch: &mut DecodeScratch,
+) -> Vec<Vec<Hypothesis>> {
     assert_eq!(prompts.len(), beam_sizes.len(), "one beam width per prompt");
     let n = prompts.len();
     if n == 0 {
@@ -215,11 +374,12 @@ pub fn multi_constrained_beam_search_with(
     }
     let obs_on = lcrec_obs::enabled();
     let _span = lcrec_obs::span("beam.decode_batch");
+    let vocab_n = lm.config().vocab;
     // Batched prefill: every prompt advances through its own cache while
-    // sharing each step's weight pass.
+    // sharing each step's fused weight pass.
     let mut caches: Vec<KvCache> = (0..n).map(|_| lm.new_cache()).collect();
     let seqs: Vec<&[u32]> = prompts.iter().map(|p| p.as_slice()).collect();
-    let first_logits = lm.prefill_batch(&mut caches, &seqs);
+    let first_logits = lm.prefill_batch_fused(scratch, &mut caches, &seqs);
     let mut requests: Vec<Vec<Beam>> = caches
         .into_iter()
         .zip(first_logits)
@@ -241,8 +401,10 @@ pub fn multi_constrained_beam_search_with(
             lcrec_obs::counter_add("beam.trie_visits", pairs.len() as u64);
         }
         let score_watch = lcrec_obs::stopwatch();
-        let scored: Vec<Vec<(u16, f32)>> =
-            pool.map(&pairs, |_, &(ri, bi)| score_beam(trie, vocab, &requests[ri][bi])); // lint: allow(panic, reason = "(ri, bi) pairs were built by enumerating `requests` and its beam lists above")
+        let scored: Vec<Vec<(u16, f32)>> = pool.map(&pairs, |_, &(ri, bi)| {
+            let beam = &requests[ri][bi]; // lint: allow(panic, reason = "(ri, bi) pairs were built by enumerating `requests` and its beam lists above")
+            score_beam(trie, vocab, &beam.logits, &beam.prefix, beam.logprob, beam_sizes[ri]) // lint: allow(panic, reason = "ri < n and beam_sizes.len() == n is asserted at entry")
+        });
         score_watch.stop("beam.score_s");
         let mut per_req: Vec<Vec<(usize, u16, f32)>> = vec![Vec::new(); n];
         for (&(ri, bi), cands) in pairs.iter().zip(&scored) {
@@ -280,20 +442,23 @@ pub fn multi_constrained_beam_search_with(
             .map(|&(ri, bi, code, _)| vocab.index_token(requests[ri][bi].prefix.len(), code)) // lint: allow(panic, reason = "jobs carry (ri, bi) coordinates taken from this level's `requests` candidates")
             .collect();
         let mut slots: Vec<&mut KvCache> = new_caches.iter_mut().collect();
-        let all_logits = lm.advance_batch(&mut slots, &toks);
-        advance_watch.stop("beam.advance_s");
+        let all_logits = lm.advance_batch_fused(scratch, &mut slots, &toks);
         let mut next: Vec<Vec<Beam>> = Vec::with_capacity(n);
         next.resize_with(n, Vec::new);
-        for ((&(ri, bi, code, logprob), cache), logits) in
-            jobs.iter().zip(new_caches).zip(all_logits)
+        for ((&(ri, bi, code, logprob), cache), row) in
+            jobs.iter().zip(new_caches).zip(all_logits.chunks_exact(vocab_n.max(1)))
         {
             let mut prefix = requests[ri][bi].prefix.clone(); // lint: allow(panic, reason = "jobs carry (ri, bi) coordinates taken from this level's `requests` candidates")
             prefix.push(code);
-            next[ri].push(Beam { cache, logits, prefix, logprob }); // lint: allow(panic, reason = "next was sized to n slots and ri < n by construction")
+            next[ri].push(Beam { cache, logits: row.to_vec(), prefix, logprob }); // lint: allow(panic, reason = "next was sized to n slots and ri < n by construction")
         }
         requests = next;
+        advance_watch.stop("beam.advance_s");
     }
-    requests.into_iter().map(|beams| finalize(trie, beams)).collect()
+    requests
+        .into_iter()
+        .map(|beams| finalize(trie, beams.into_iter().map(|b| (b.prefix, b.logprob)).collect()))
+        .collect()
 }
 
 #[cfg(test)]

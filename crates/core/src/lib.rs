@@ -19,11 +19,14 @@ pub mod vocab;
 pub mod zeroshot;
 
 pub use beam::{
-    constrained_beam_search, constrained_beam_search_with, multi_constrained_beam_search,
+    constrained_beam_search, constrained_beam_search_graph, constrained_beam_search_with,
+    multi_constrained_beam_search, multi_constrained_beam_search_scratch,
     multi_constrained_beam_search_with, Hypothesis,
 };
 pub use lcrec::{LcRec, LcRecConfig, LcRecRanker};
-pub use lm::{dense_batch_order, train_lm, CausalLm, KvCache, LmConfig, LmTrainConfig};
+pub use lm::{
+    dense_batch_order, train_lm, CausalLm, DecodeScratch, KvCache, LmConfig, LmTrainConfig,
+};
 pub use p5cid::{collaborative_indices, P5Cid, P5CidConfig};
 pub use tiger::{Tiger, TigerConfig};
 pub use vocab::ExtendedVocab;

@@ -108,6 +108,60 @@ impl KvCache {
     }
 }
 
+/// Preallocated working memory for the fused decode fast path
+/// ([`CausalLm::advance_batch_fused`]).
+///
+/// The reference step ([`CausalLm::advance_batch`]) allocates every
+/// intermediate (`x`, q/k/v, attention context, FFN activations, logits)
+/// fresh on each call; profiling (`results/profile.md`) shows that decode
+/// dominates end-to-end cost, so those allocations sit on the hottest loop
+/// of the system. A `DecodeScratch` hoists all of them into buffers that
+/// are reused across decode steps — after the first step at a given batch
+/// size the fused path performs **zero heap allocation** per token.
+///
+/// The scratch also caches the transpose of the tied LM head
+/// (`tok_emb^T`), turning the per-token logit computation from
+/// `vocab` scalar dot products into one dense matmul whose inner loop
+/// runs contiguously over the vocabulary (see `docs/PERFORMANCE.md`).
+///
+/// # Lifecycle
+///
+/// Create one with [`CausalLm::new_scratch`] *after* the model is trained
+/// and reuse it for any number of decode calls against that model: the
+/// cached head transpose is a snapshot of `tok_emb` taken at construction,
+/// so a scratch must not outlive a parameter update (create a fresh one
+/// after further training). The serving engine holds one scratch for its
+/// whole lifetime — it borrows the model immutably, so the parameters
+/// cannot change underneath it — and the beam-search entry points create
+/// one per call.
+#[derive(Clone, Debug)]
+pub struct DecodeScratch {
+    /// `tok_emb` transposed to `[dim, vocab]` for the tied-head matmul.
+    head_t: Vec<f32>,
+    xs: Vec<f32>,
+    xn: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    ctx: Vec<f32>,
+    att: Vec<f32>,
+    gate: Vec<f32>,
+    up: Vec<f32>,
+    hid: Vec<f32>,
+    down: Vec<f32>,
+    scores: Vec<f32>,
+    probs: Vec<f32>,
+    xf: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+/// Grows `buf` to `len` elements, all zero, without shrinking its
+/// capacity — after warm-up this never allocates.
+fn ensure_zeroed(buf: &mut Vec<f32>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
 impl CausalLm {
     /// Builds an untrained LM.
     pub fn new(cfg: LmConfig) -> Self {
@@ -407,6 +461,204 @@ impl CausalLm {
         outs
     }
 
+    /// Allocates a [`DecodeScratch`] for this model's current parameters,
+    /// caching the tied-head transpose. See the scratch's lifecycle notes:
+    /// create it after training, before decoding.
+    pub fn new_scratch(&self) -> DecodeScratch {
+        let tok_table = self.ps.value(self.tok_emb);
+        DecodeScratch {
+            head_t: tok_table.transposed().data().to_vec(),
+            xs: Vec::new(),
+            xn: Vec::new(),
+            q: Vec::new(),
+            k: Vec::new(),
+            v: Vec::new(),
+            ctx: Vec::new(),
+            att: Vec::new(),
+            gate: Vec::new(),
+            up: Vec::new(),
+            hid: Vec::new(),
+            down: Vec::new(),
+            scores: Vec::new(),
+            probs: Vec::new(),
+            xf: Vec::new(),
+            logits: Vec::new(),
+        }
+    }
+
+    /// The fused fast-path variant of [`CausalLm::advance_batch`]: one
+    /// token into each of `b` cache slots through a single weight pass,
+    /// with every intermediate living in `scratch` (no heap allocation
+    /// after warm-up) and the matmuls routed through the process-wide
+    /// [`lcrec_tensor::InferenceBackend`].
+    ///
+    /// Returns the `b * vocab` logit rows packed in slot order, borrowed
+    /// from the scratch (they are overwritten by the next call).
+    ///
+    /// **Bit-identity contract:** for any cache states, batch size and
+    /// backend, the returned logits and the updated caches are
+    /// bit-identical to [`CausalLm::advance_batch`] — the fused path keeps
+    /// the reference path's per-element accumulation order everywhere
+    /// (`tests/decode.rs` pins this, and transitively the graph-path
+    /// equivalence). The reference implementation stays as the semantics
+    /// anchor and the training path is untouched.
+    pub fn advance_batch_fused<'s>(
+        &self,
+        scratch: &'s mut DecodeScratch,
+        caches: &mut [&mut KvCache],
+        tokens: &[u32],
+    ) -> &'s [f32] {
+        assert_eq!(caches.len(), tokens.len(), "one token per cache slot");
+        let b = caches.len();
+        ensure_zeroed(&mut scratch.logits, b * self.cfg.vocab);
+        if b == 0 {
+            return &scratch.logits;
+        }
+        let obs_watch = lcrec_obs::stopwatch();
+        let backend = lcrec_tensor::active_backend();
+        let d = self.cfg.dim;
+        let h = self.cfg.heads;
+        let dh = d / h;
+        let ff = self.cfg.ff_hidden;
+        let tok_table = self.ps.value(self.tok_emb);
+        let pos_table = self.ps.value(self.pos_emb);
+        ensure_zeroed(&mut scratch.xs, b * d);
+        ensure_zeroed(&mut scratch.xn, b * d);
+        ensure_zeroed(&mut scratch.att, b * d);
+        ensure_zeroed(&mut scratch.hid, b * ff);
+        ensure_zeroed(&mut scratch.down, b * d);
+        // Attention buffers sized to the deepest slot after this step (the
+        // clamp to max_seq is positional only; callers may run longer).
+        let tmax = caches.iter().map(|c| c.len + 1).max().unwrap_or(1);
+        ensure_zeroed(&mut scratch.scores, tmax);
+        ensure_zeroed(&mut scratch.probs, tmax);
+        ensure_zeroed(&mut scratch.xf, b * d);
+        for ((&token, cache), row) in
+            tokens.iter().zip(caches.iter()).zip(scratch.xs.chunks_exact_mut(d))
+        {
+            let pos = cache.len.min(self.cfg.max_seq - 1);
+            row.copy_from_slice(tok_table.row(token as usize));
+            for (xi, pi) in row.iter_mut().zip(pos_table.row(pos)) {
+                *xi += pi;
+            }
+        }
+        for (l, blk) in self.blocks.iter().enumerate() {
+            rms_rows_into(&scratch.xs, self.ps.value(blk.norm1).data(), &mut scratch.xn);
+            ensure_zeroed(&mut scratch.q, b * d);
+            ensure_zeroed(&mut scratch.k, b * d);
+            ensure_zeroed(&mut scratch.v, b * d);
+            backend.gemm_acc(&scratch.xn, self.ps.value(blk.wq).data(), &mut scratch.q, b, d, d);
+            backend.gemm_acc(&scratch.xn, self.ps.value(blk.wk).data(), &mut scratch.k, b, d, d);
+            backend.gemm_acc(&scratch.xn, self.ps.value(blk.wv).data(), &mut scratch.v, b, d, d);
+            let scale = 1.0 / (dh as f32).sqrt();
+            ensure_zeroed(&mut scratch.ctx, b * d);
+            for (r, cache) in caches.iter_mut().enumerate() {
+                cache.k[l].extend_from_slice(&scratch.k[r * d..(r + 1) * d]); // lint: allow(panic, reason = "l enumerates self.blocks, which sized every cache; scratch.k holds b*d values and r < b")
+                cache.v[l].extend_from_slice(&scratch.v[r * d..(r + 1) * d]); // lint: allow(panic, reason = "l enumerates self.blocks, which sized every cache; scratch.v holds b*d values and r < b")
+                let t = cache.len + 1;
+                for head in 0..h {
+                    let qh = &scratch.q[r * d + head * dh..r * d + (head + 1) * dh]; // lint: allow(panic, reason = "head < h and h * dh == d, so the slice stays inside row r of the b*d buffer")
+                    // Scores over all of this slot's cached positions, into
+                    // the preallocated score buffer (t <= max_seq by the
+                    // cache-length clamp every caller maintains).
+                    let scores = &mut scratch.scores[..t]; // lint: allow(panic, reason = "the buffer was sized to the max of every slot's len + 1 before the layer loop; t = cache.len + 1 for this slot")
+                    for (ti, s) in scores.iter_mut().enumerate() {
+                        let kh = &cache.k[l][ti * d + head * dh..ti * d + (head + 1) * dh]; // lint: allow(panic, reason = "cache.k[l] holds t rows of d values after the extend above; ti < t")
+                        let dot: f32 = qh.iter().zip(kh).map(|(qv, kv)| qv * kv).sum();
+                        *s = dot * scale;
+                    }
+                    let probs = &mut scratch.probs[..t]; // lint: allow(panic, reason = "t <= max_seq, the buffer's length")
+                    softmax_rows(scores, probs, t);
+                    let out = &mut scratch.ctx[r * d + head * dh..r * d + (head + 1) * dh]; // lint: allow(panic, reason = "ctx was sized to b*d zeros; r < b and head < h with h * dh == d")
+                    for (ti, &p) in probs.iter().enumerate() {
+                        let vh = &cache.v[l][ti * d + head * dh..ti * d + (head + 1) * dh]; // lint: allow(panic, reason = "cache.v[l] holds t rows of d values after the extend above; ti < t")
+                        for (o, &vv) in out.iter_mut().zip(vh) {
+                            *o += p * vv;
+                        }
+                    }
+                }
+            }
+            scratch.att.fill(0.0);
+            backend.gemm_acc(&scratch.ctx, self.ps.value(blk.wo).data(), &mut scratch.att, b, d, d);
+            for (xi, a) in scratch.xs.iter_mut().zip(&scratch.att) {
+                *xi += a;
+            }
+            rms_rows_into(&scratch.xs, self.ps.value(blk.norm2).data(), &mut scratch.xn);
+            ensure_zeroed(&mut scratch.gate, b * ff);
+            ensure_zeroed(&mut scratch.up, b * ff);
+            backend.gemm_acc(&scratch.xn, self.ps.value(blk.w_gate).data(), &mut scratch.gate, b, d, ff);
+            backend.gemm_acc(&scratch.xn, self.ps.value(blk.w_up).data(), &mut scratch.up, b, d, ff);
+            for ((hv, &gv), &uv) in scratch.hid.iter_mut().zip(&scratch.gate).zip(&scratch.up) {
+                *hv = gv * lcrec_tensor::sigmoid(gv) * uv;
+            }
+            scratch.down.fill(0.0);
+            backend.gemm_acc(&scratch.hid, self.ps.value(blk.w_down).data(), &mut scratch.down, b, ff, d);
+            for (xi, dv) in scratch.xs.iter_mut().zip(&scratch.down) {
+                *xi += dv;
+            }
+        }
+        for cache in caches.iter_mut() {
+            cache.len += 1;
+        }
+        rms_rows_into(&scratch.xs, self.ps.value(self.final_norm).data(), &mut scratch.xf);
+        // Tied head: logits = xf @ tok_emb^T, through the cached transpose
+        // so the inner loop streams contiguously over the vocabulary. The
+        // dense kernel keeps every `+ 0.0 * w` term, matching the scalar
+        // dot loop of the reference path bit for bit.
+        debug_assert_eq!(scratch.head_t.len(), d * self.cfg.vocab, "stale scratch: head transpose does not match the model (create the scratch after training)");
+        backend.gemm_dense_acc(&scratch.xf, &scratch.head_t, &mut scratch.logits, b, d, self.cfg.vocab);
+        if obs_watch.running() {
+            if IN_PREFILL.with(|c| c.get()) {
+                lcrec_obs::counter_add("lm.prefill_tokens", b as u64);
+                obs_watch.stop("lm.prefill_s");
+            } else {
+                lcrec_obs::counter_add("lm.decode_tokens", b as u64);
+                obs_watch.stop("lm.decode_s");
+            }
+        }
+        &scratch.logits
+    }
+
+    /// The fused fast-path variant of [`CausalLm::prefill_batch`]: the
+    /// same position-lockstep schedule, with every transformer step going
+    /// through [`CausalLm::advance_batch_fused`]. Returns the logits after
+    /// each sequence's last token, in slot order (empty rows for empty
+    /// sequences), bit-identical to the reference prefill.
+    pub fn prefill_batch_fused(
+        &self,
+        scratch: &mut DecodeScratch,
+        caches: &mut [KvCache],
+        seqs: &[&[u32]],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(caches.len(), seqs.len(), "one cache per sequence");
+        let was = IN_PREFILL.with(|c| c.replace(true));
+        let longest = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
+        let vocab = self.cfg.vocab;
+        let mut outs = vec![Vec::new(); seqs.len()];
+        for t in 0..longest {
+            let mut slots: Vec<&mut KvCache> = Vec::new();
+            let mut toks: Vec<u32> = Vec::new();
+            let mut live: Vec<(usize, bool)> = Vec::new();
+            for (i, (cache, seq)) in caches.iter_mut().zip(seqs).enumerate() {
+                if let Some(&tok) = seq.get(t) {
+                    slots.push(cache);
+                    toks.push(tok);
+                    live.push((i, t + 1 == seq.len()));
+                }
+            }
+            let logits = self.advance_batch_fused(scratch, &mut slots, &toks);
+            for (row, &(i, last)) in logits.chunks_exact(vocab.max(1)).zip(&live) {
+                if last {
+                    if let Some(out) = outs.get_mut(i) {
+                        *out = row.to_vec();
+                    }
+                }
+            }
+        }
+        IN_PREFILL.with(|c| c.set(was));
+        outs
+    }
+
     /// Log-probability of `continuation` given `prefix` (sums per-token
     /// log-softmax scores). Used for pairwise scoring (Table V).
     pub fn sequence_logprob(&self, prefix: &[u32], continuation: &[u32]) -> f32 {
@@ -477,6 +729,22 @@ fn rms_rows(xs: &[f32], gamma: &[f32], b: usize) -> Vec<f32> {
         out.extend(rms_vec(row, gamma));
     }
     out
+}
+
+/// Allocation-free [`rms_rows`]: normalizes each packed row of `xs` into
+/// the matching row of `out`, with exactly [`rms_vec`]'s arithmetic (same
+/// mean-square reduction order, same per-element `v * r * g`), so the
+/// fused decode path stays bit-identical to the reference path.
+fn rms_rows_into(xs: &[f32], gamma: &[f32], out: &mut [f32]) {
+    let d = gamma.len().max(1);
+    debug_assert_eq!(xs.len(), out.len());
+    for (row, orow) in xs.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+        let ms = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let r = 1.0 / (ms + 1e-6).sqrt();
+        for ((o, &v), &g) in orow.iter_mut().zip(row).zip(gamma) {
+            *o = v * r * g;
+        }
+    }
 }
 
 /// `b` packed row-vectors times one weight matrix in a single `matmul_acc`

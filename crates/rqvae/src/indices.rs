@@ -115,6 +115,19 @@ impl ItemIndices {
 /// legal, so every completed beam is a real item ("probabilities of tokens
 /// that may result in illegal item indices will be assigned 0").
 ///
+/// # Layout
+///
+/// The trie is stored as a **flattened arena in CSR form** rather than
+/// pointer-per-node maps: nodes are numbered in breadth-first order, the
+/// outgoing edges of node `n` occupy the contiguous span
+/// `child_start[n]..child_start[n + 1]` of the parallel `edge_codes` /
+/// `edge_child` arrays, and codes within a span are ascending. The beam
+/// hot path ([`IndexTrie::allowed_slice`]) is then a two-array walk ending
+/// in a borrowed slice — no hashing, no per-call allocation, no sort —
+/// and lookups are cache-friendly binary searches over tiny spans (see
+/// `docs/PERFORMANCE.md`). [`PointerTrie`] keeps the original
+/// pointer-per-node structure as the differential-testing reference.
+///
 /// # Examples
 ///
 /// ```
@@ -130,25 +143,217 @@ impl ItemIndices {
 ///
 /// // Only learned code paths are legal at each step...
 /// assert_eq!(trie.allowed(&[]), &[0, 2]);
-/// assert_eq!(trie.allowed(&[0]), &[0, 3]);
+/// assert_eq!(trie.allowed_slice(&[0]), &[0, 3]);
 /// assert!(trie.allowed(&[1]).is_empty(), "no item starts with code 1");
 ///
 /// // ...so every completed path resolves to a real item.
 /// assert_eq!(trie.item_at(&[0, 3]), Some(1));
 /// assert_eq!(trie.item_at(&[2, 3]), None);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct IndexTrie {
+    levels: usize,
+    /// Node `n`'s edges are `edge_codes[child_start[n]..child_start[n+1]]`
+    /// (ascending) with child ids in `edge_child` at the same positions.
+    child_start: Vec<u32>,
+    edge_codes: Vec<u16>,
+    edge_child: Vec<u32>,
+    /// Per-node bound item (depth-`levels` leaves only).
+    items: Vec<Option<u32>>,
+}
+
+impl IndexTrie {
+    /// Builds the trie from a set of item indices. When several items
+    /// share a full index (a conflict USM is meant to eliminate), the
+    /// lowest item id stays bound to the leaf — the same first-insert-wins
+    /// rule as [`PointerTrie::build`].
+    pub fn build(indices: &ItemIndices) -> Self {
+        let paths: Vec<(Vec<u16>, u32)> = indices
+            .codes
+            .iter()
+            .enumerate()
+            .map(|(item, codes)| (codes.clone(), item as u32))
+            .collect();
+        IndexTrie::from_paths(indices.levels, paths)
+    }
+
+    /// CSR construction from full code paths: stable-sort by code path
+    /// (ties keep insertion order, so the first-bound item wins), dedup,
+    /// then carve the sorted list into nodes breadth-first. Each node's
+    /// edges come out contiguous and code-ascending by construction.
+    fn from_paths(levels: usize, mut paths: Vec<(Vec<u16>, u32)>) -> Self {
+        paths.sort_by(|a, b| a.0.cmp(&b.0));
+        paths.dedup_by(|cur, prev| cur.0 == prev.0);
+        let mut child_start = vec![0u32];
+        let mut edge_codes: Vec<u16> = Vec::new();
+        let mut edge_child: Vec<u32> = Vec::new();
+        let mut items: Vec<Option<u32>> = Vec::new();
+        // BFS queue of (depth, lo, hi): paths[lo..hi] share their first
+        // `depth` codes and define the subtrie under one node. Nodes are
+        // popped — and therefore numbered — in exactly the order their
+        // edges were appended, which keeps ids and spans aligned.
+        let mut queue: std::collections::VecDeque<(usize, usize, usize)> =
+            std::collections::VecDeque::new();
+        queue.push_back((0, 0, paths.len()));
+        let mut next_id = 1u32;
+        while let Some((depth, lo, hi)) = queue.pop_front() {
+            if depth == levels {
+                items.push(paths.get(lo).filter(|_| lo < hi).map(|p| p.1));
+                child_start.push(edge_codes.len() as u32);
+                continue;
+            }
+            items.push(None);
+            let mut i = lo;
+            while i < hi {
+                let code = paths[i].0[depth]; // lint: allow(panic, reason = "i < hi <= paths.len() and every path has exactly `levels` codes with depth < levels")
+                let mut j = i + 1;
+                while j < hi && paths[j].0[depth] == code { // lint: allow(panic, reason = "j < hi <= paths.len() and every path has exactly `levels` codes with depth < levels")
+                    j += 1;
+                }
+                edge_codes.push(code);
+                edge_child.push(next_id);
+                next_id += 1;
+                queue.push_back((depth + 1, i, j));
+                i = j;
+            }
+            child_start.push(edge_codes.len() as u32);
+        }
+        IndexTrie { levels, child_start, edge_codes, edge_child, items }
+    }
+
+    /// Number of index levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The edge span of `node`, if the node exists.
+    fn child_range(&self, node: usize) -> Option<(usize, usize)> {
+        let lo = *self.child_start.get(node)? as usize;
+        let hi = *self.child_start.get(node + 1)? as usize;
+        Some((lo, hi))
+    }
+
+    /// The node reached by `prefix`, if it exists: one binary search per
+    /// level over that node's (tiny, sorted) edge span.
+    fn node_at(&self, prefix: &[u16]) -> Option<usize> {
+        let mut node = 0usize;
+        for c in prefix {
+            let (lo, hi) = self.child_range(node)?;
+            let span = self.edge_codes.get(lo..hi)?;
+            let k = span.binary_search(c).ok()?;
+            node = *self.edge_child.get(lo + k)? as usize;
+        }
+        Some(node)
+    }
+
+    /// Legal next codes after `prefix`, ascending, as a **borrowed slice**
+    /// of the arena (empty if the prefix is illegal or complete). This is
+    /// the beam-search hot path: no allocation, no hashing, no sort.
+    pub fn allowed_slice(&self, prefix: &[u16]) -> &[u16] {
+        self.node_at(prefix)
+            .and_then(|n| self.child_range(n))
+            .and_then(|(lo, hi)| self.edge_codes.get(lo..hi))
+            .unwrap_or(&[])
+    }
+
+    /// Legal next codes after `prefix` as an owned vector (empty if the
+    /// prefix is illegal or complete). Prefer [`IndexTrie::allowed_slice`]
+    /// on hot paths.
+    pub fn allowed(&self, prefix: &[u16]) -> Vec<u16> {
+        self.allowed_slice(prefix).to_vec()
+    }
+
+    /// The item whose full index is `codes`, if any.
+    pub fn item_at(&self, codes: &[u16]) -> Option<u32> {
+        if codes.len() != self.levels {
+            return None;
+        }
+        self.node_at(codes).and_then(|n| self.items.get(n).copied().flatten())
+    }
+
+    /// Total node count (diagnostics / benches).
+    pub fn num_nodes(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Canonical text serialization: a `trie levels=L` header followed by
+    /// one `c0.c1.….cL-1=item` line per stored item, emitted in depth-first
+    /// order with the codes at every node visited in ascending order. The
+    /// output is independent of the order items were inserted — two tries
+    /// with the same contents always serialize identically (the
+    /// golden-snapshot property `tests/golden.rs` pins).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("trie levels={}\n", self.levels);
+        // Explicit DFS stack of (node, code path so far).
+        let mut stack: Vec<(usize, Vec<u16>)> = vec![(0, Vec::new())];
+        while let Some((node, path)) = stack.pop() {
+            if path.len() == self.levels {
+                if let Some(item) = self.items.get(node).copied().flatten() {
+                    let codes: Vec<String> = path.iter().map(|c| c.to_string()).collect();
+                    out.push_str(&format!("{}={}\n", codes.join("."), item));
+                }
+                continue;
+            }
+            // Edges are stored ascending; push descending so the ascending
+            // code pops first.
+            if let Some((lo, hi)) = self.child_range(node) {
+                for e in (lo..hi).rev() {
+                    if let (Some(&c), Some(&child)) =
+                        (self.edge_codes.get(e), self.edge_child.get(e))
+                    {
+                        let mut next = path.clone();
+                        next.push(c);
+                        stack.push((child as usize, next));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the [`IndexTrie::to_text`] format. Returns `None` on any
+    /// malformed header, path or item id, or when a path's depth does not
+    /// match the header's level count. Duplicate paths keep the first
+    /// line's item, mirroring the build rule.
+    pub fn from_text(s: &str) -> Option<IndexTrie> {
+        let mut lines = s.lines();
+        let levels: usize =
+            lines.next()?.strip_prefix("trie levels=")?.trim().parse().ok()?;
+        let mut paths: Vec<(Vec<u16>, u32)> = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (path, item) = line.split_once('=')?;
+            let codes: Vec<u16> =
+                path.split('.').map(|c| c.parse().ok()).collect::<Option<_>>()?;
+            if codes.len() != levels {
+                return None;
+            }
+            paths.push((codes, item.parse().ok()?));
+        }
+        Some(IndexTrie::from_paths(levels, paths))
+    }
+}
+
+/// The original pointer-per-node prefix trie, kept as the **reference
+/// implementation** for differential testing of the arena [`IndexTrie`]
+/// (`tests/decode.rs` checks node-for-node equivalence on randomized ID
+/// sets). Not used on any hot path.
+#[derive(Debug)]
+pub struct PointerTrie {
     levels: usize,
     /// node → (code → child node id); leaves store item ids in `items`.
     children: Vec<HashMap<u16, usize>>,
     items: Vec<Option<u32>>,
 }
 
-impl IndexTrie {
-    /// Builds the trie from a set of item indices.
+impl PointerTrie {
+    /// Builds the trie from a set of item indices (first-insert-wins on
+    /// conflicting full indices, like [`IndexTrie::build`]).
     pub fn build(indices: &ItemIndices) -> Self {
-        let mut trie = IndexTrie {
+        let mut trie = PointerTrie {
             levels: indices.levels,
             children: vec![HashMap::new()],
             items: vec![None],
@@ -194,7 +399,7 @@ impl IndexTrie {
         Some(node)
     }
 
-    /// Legal next codes after `prefix` (empty slice if the prefix is
+    /// Legal next codes after `prefix`, ascending (empty if the prefix is
     /// illegal or complete).
     pub fn allowed(&self, prefix: &[u16]) -> Vec<u16> {
         match self.node_at(prefix).and_then(|n| self.children.get(n)) {
@@ -215,70 +420,9 @@ impl IndexTrie {
         self.node_at(codes).and_then(|n| self.items.get(n).copied().flatten())
     }
 
-    /// Total node count (diagnostics / benches).
+    /// Total node count (diagnostics / differential tests).
     pub fn num_nodes(&self) -> usize {
         self.children.len()
-    }
-
-    /// Canonical text serialization: a `trie levels=L` header followed by
-    /// one `c0.c1.….cL-1=item` line per stored item, emitted in depth-first
-    /// order with the codes at every node visited in ascending order. The
-    /// output is therefore independent of `HashMap` iteration order and of
-    /// the order items were inserted — two tries with the same contents
-    /// always serialize identically (the golden-snapshot property
-    /// `tests/golden.rs` pins).
-    pub fn to_text(&self) -> String {
-        let mut out = format!("trie levels={}\n", self.levels);
-        // Explicit DFS stack of (node, code path so far).
-        let mut stack: Vec<(usize, Vec<u16>)> = vec![(0, Vec::new())];
-        while let Some((node, path)) = stack.pop() {
-            if path.len() == self.levels {
-                if let Some(item) = self.items[node] {
-                    let codes: Vec<String> = path.iter().map(|c| c.to_string()).collect();
-                    out.push_str(&format!("{}={}\n", codes.join("."), item));
-                }
-                continue;
-            }
-            let mut codes: Vec<u16> = self.children[node].keys().copied().collect();
-            // Descending push order so the ascending code pops first.
-            codes.sort_unstable_by(|a, b| b.cmp(a));
-            for c in codes {
-                if let Some(&child) = self.children[node].get(&c) {
-                    let mut next = path.clone();
-                    next.push(c);
-                    stack.push((child, next));
-                }
-            }
-        }
-        out
-    }
-
-    /// Parses the [`IndexTrie::to_text`] format. Returns `None` on any
-    /// malformed header, path or item id, or when a path's depth does not
-    /// match the header's level count.
-    pub fn from_text(s: &str) -> Option<IndexTrie> {
-        let mut lines = s.lines();
-        let levels: usize =
-            lines.next()?.strip_prefix("trie levels=")?.trim().parse().ok()?;
-        let mut trie = IndexTrie {
-            levels,
-            children: vec![HashMap::new()],
-            items: vec![None],
-        };
-        for line in lines {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (path, item) = line.split_once('=')?;
-            let codes: Vec<u16> =
-                path.split('.').map(|c| c.parse().ok()).collect::<Option<_>>()?;
-            if codes.len() != levels {
-                return None;
-            }
-            trie.insert(&codes, item.parse().ok()?);
-        }
-        Some(trie)
     }
 }
 

@@ -16,6 +16,6 @@ pub mod model;
 pub mod sinkhorn;
 
 pub use indexers::{build_indices, IndexerKind};
-pub use indices::{IndexTrie, ItemIndices};
+pub use indices::{IndexTrie, ItemIndices, PointerTrie};
 pub use model::{RqVae, RqVaeConfig, TrainCursor, TrainReport};
 pub use sinkhorn::{sinkhorn_plan, uniform_assign, SinkhornConfig};

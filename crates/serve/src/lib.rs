@@ -36,7 +36,8 @@
 #![warn(missing_docs)]
 
 use lcrec_core::{
-    multi_constrained_beam_search_with, CausalLm, ExtendedVocab, Hypothesis, LcRec,
+    multi_constrained_beam_search_scratch, CausalLm, DecodeScratch, ExtendedVocab, Hypothesis,
+    LcRec,
 };
 use lcrec_data::Seg;
 use lcrec_fault::{deadline_expired, seams, Backoff, FaultPlan};
@@ -291,6 +292,11 @@ pub struct Engine<'a> {
     next_id: u64,
     plan: FaultPlan,
     backoff: Backoff,
+    /// Decode buffers + the cached LM-head transpose, reused across every
+    /// dispatched batch. Safe for the engine's whole lifetime: it borrows
+    /// the LM immutably, so the parameters the scratch snapshotted cannot
+    /// change while the engine exists.
+    scratch: DecodeScratch,
 }
 
 impl fmt::Debug for Pending {
@@ -332,6 +338,7 @@ impl<'a> Engine<'a> {
             next_id: 0,
             plan: FaultPlan::from_env(),
             backoff: Backoff::default(),
+            scratch: lm.new_scratch(),
         }
     }
 
@@ -570,13 +577,14 @@ impl<'a> Engine<'a> {
             live.iter().map(|(_, p)| self.render_prompt(&p.history)).collect();
         let widths: Vec<usize> =
             live.iter().map(|(_, p)| p.k.max(self.cfg.beam)).collect();
-        let ranked_lists = multi_constrained_beam_search_with(
+        let ranked_lists = multi_constrained_beam_search_scratch(
             &self.pool,
             self.lm,
             self.vocab,
             self.trie,
             &prompts,
             &widths,
+            &mut self.scratch,
         );
         for ((i, pending), mut ranked) in live.into_iter().zip(ranked_lists) {
             ranked.truncate(pending.k);

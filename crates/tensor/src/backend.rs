@@ -1,0 +1,302 @@
+//! Inference-backend kernels for the fused decode fast path.
+//!
+//! Training builds autograd [`crate::Graph`]s; inference does not need a
+//! tape, only raw matrix kernels. This module isolates those kernels behind
+//! the [`InferenceBackend`] trait so the KV-cached decode path in
+//! `lcrec-core` can swap implementations without touching model code:
+//!
+//! * [`ReferenceBackend`] — the exact loops the autograd engine uses
+//!   ([`crate::matmul_acc`] plus a dense row-vector product). This is the
+//!   semantics anchor: every other backend must match it **bit for bit**.
+//! * [`BlockedBackend`] — the same arithmetic tiled into column panels so
+//!   the weight panel stays L1-resident while every batch row streams over
+//!   it. Per output element the accumulation order is unchanged (`k`
+//!   ascending), so results are bit-identical to the reference — the
+//!   blocking only reorders *which elements* are computed when, never the
+//!   floating-point operation sequence inside one element.
+//!
+//! Two kernels exist because the decode path has two accumulation
+//! contracts (see `docs/PERFORMANCE.md`):
+//!
+//! * [`InferenceBackend::gemm_acc`] skips zero activations, exactly like
+//!   [`crate::matmul_acc`] — the projection matmuls of the transformer
+//!   block go through this and must match the training-path kernel bitwise.
+//! * [`InferenceBackend::gemm_dense_acc`] never skips, exactly like the
+//!   scalar dot product the tied LM head historically used — skipping a
+//!   `0.0 * w` term would drop an addition of `-0.0`-signed zeros and can
+//!   flip the sign bit of an all-zero accumulator, so the dense kernel
+//!   keeps every term.
+//!
+//! The active backend is resolved once per process from `LCREC_BACKEND`
+//! (`blocked` by default, `reference` to pin the anchor; documented in
+//! `docs/ENVIRONMENT.md`). Since both backends are bit-identical the switch
+//! can never change results — it exists so the benchmark suite and any
+//! future (e.g. SIMD-intrinsic) backend can be A/B'd under one flag.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Column-panel width for [`BlockedBackend`]: 64 `f32` columns × a decode
+/// depth of ≤ 128 rows keeps a weight panel comfortably inside a 32 KiB L1
+/// while every batch row is streamed over it.
+const PANEL: usize = 64;
+
+/// Raw matrix kernels behind the KV-cached inference fast path.
+///
+/// All matrices are row-major flat slices; `a` is `[m, k]`, `b` is
+/// `[k, n]` and `out` is `[m, n]`. Implementations must accumulate each
+/// output element over `k` in ascending order so that every backend is
+/// bit-identical to [`ReferenceBackend`] (the property
+/// `tests/decode.rs` pins on random shapes).
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_tensor::{active_backend, BlockedBackend, InferenceBackend, ReferenceBackend};
+///
+/// let a = [1.0f32, 2.0, 3.0, 4.0]; // [2, 2]
+/// let b = [0.5f32, 0.0, 1.5, -1.0]; // [2, 2]
+/// let mut blocked = [0.0f32; 4];
+/// let mut reference = [0.0f32; 4];
+/// BlockedBackend.gemm_acc(&a, &b, &mut blocked, 2, 2, 2);
+/// ReferenceBackend.gemm_acc(&a, &b, &mut reference, 2, 2, 2);
+/// assert_eq!(blocked, reference, "backends agree bit for bit");
+/// assert!(!active_backend().name().is_empty());
+/// ```
+pub trait InferenceBackend: std::fmt::Debug + Sync {
+    /// A short stable identifier (`"reference"`, `"blocked"`), used in
+    /// bench reports and `LCREC_BACKEND`.
+    fn name(&self) -> &'static str;
+
+    /// `out += a @ b`, skipping zero elements of `a` — the exact contract
+    /// of [`crate::matmul_acc`], which the transformer-block projections
+    /// rely on for bit-identity with the training path.
+    fn gemm_acc(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// `out += a @ b` with **no** zero skipping — the exact contract of a
+    /// scalar dot product per output element, which the tied LM head
+    /// relies on for bit-identity with the per-token logit loop.
+    fn gemm_dense_acc(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+}
+
+/// The semantics anchor: plain row-major loops, identical to the kernels
+/// the autograd engine records ([`crate::matmul_acc`] and a dense dot).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceBackend;
+
+impl InferenceBackend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn gemm_acc(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        crate::matmul_acc(a, b, out, m, k, n);
+    }
+
+    fn gemm_dense_acc(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k]; // lint: allow(panic, reason = "a.len() == m*k is debug-asserted and upheld by every caller's shape checks")
+            let orow = &mut out[i * n..(i + 1) * n]; // lint: allow(panic, reason = "out.len() == m*n is debug-asserted and upheld by every caller's shape checks")
+            for (kk, &av) in arow.iter().enumerate() {
+                let brow = &b[kk * n..(kk + 1) * n]; // lint: allow(panic, reason = "b.len() == k*n is debug-asserted and kk < k from the arow loop")
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked kernels: the `n` dimension is tiled into `PANEL`-column
+/// (64-column) panels, and every `a` row streams over one L1-resident weight panel
+/// before the next panel is touched. Inside one output element the
+/// accumulation still runs over `k` in ascending order, so the result is
+/// bit-identical to [`ReferenceBackend`] — blocking reorders the schedule
+/// across elements, never the operation sequence within one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockedBackend;
+
+impl BlockedBackend {
+    #[inline]
+    fn gemm_panels(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        skip_zero: bool,
+    ) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + PANEL).min(n);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k]; // lint: allow(panic, reason = "a.len() == m*k is debug-asserted and upheld by every caller's shape checks")
+                let orow = &mut out[i * n + j0..i * n + j1]; // lint: allow(panic, reason = "out.len() == m*n is debug-asserted and j0 <= j1 <= n")
+                for (kk, &av) in arow.iter().enumerate() {
+                    if skip_zero && av == 0.0 {
+                        continue;
+                    }
+                    let bseg = &b[kk * n + j0..kk * n + j1]; // lint: allow(panic, reason = "b.len() == k*n is debug-asserted, kk < k from the arow loop and j0 <= j1 <= n")
+                    for (o, &bv) in orow.iter_mut().zip(bseg) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            j0 = j1;
+        }
+    }
+}
+
+impl InferenceBackend for BlockedBackend {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn gemm_acc(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        BlockedBackend::gemm_panels(a, b, out, m, k, n, true);
+    }
+
+    fn gemm_dense_acc(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        BlockedBackend::gemm_panels(a, b, out, m, k, n, false);
+    }
+}
+
+static REFERENCE: ReferenceBackend = ReferenceBackend;
+static BLOCKED: BlockedBackend = BlockedBackend;
+
+/// 0 = undecided, 1 = reference, 2 = blocked.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Looks a backend up by its [`InferenceBackend::name`].
+pub fn backend_by_name(name: &str) -> Option<&'static dyn InferenceBackend> {
+    match name.trim() {
+        "reference" | "ref" => Some(&REFERENCE),
+        "blocked" => Some(&BLOCKED),
+        _ => None,
+    }
+}
+
+/// The process-wide inference backend, resolved once from `LCREC_BACKEND`
+/// (`blocked` unless the variable names another backend; unknown values
+/// keep the default). Both built-in backends are bit-identical, so the
+/// switch can never change decode results — only their speed.
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_tensor::active_backend;
+///
+/// let backend = active_backend();
+/// assert!(matches!(backend.name(), "reference" | "blocked"));
+///
+/// // The fused decode path drives the whole transformer step through
+/// // the two kernels on this handle:
+/// let (a, b, mut out) = ([2.0f32, -1.0], [3.0f32, 0.25], [0.0f32; 1]);
+/// backend.gemm_dense_acc(&a, &b, &mut out, 1, 2, 1);
+/// assert_eq!(out[0], 2.0 * 3.0 + -1.0 * 0.25);
+/// ```
+pub fn active_backend() -> &'static dyn InferenceBackend {
+    match STATE.load(Ordering::Relaxed) {
+        1 => &REFERENCE,
+        2 => &BLOCKED,
+        _ => {
+            // The env string maps straight to a state code (mirroring
+            // `backend_by_name`'s table) rather than via a method call on
+            // the chosen `dyn` backend, which static panic analysis could
+            // not type precisely.
+            let code = match std::env::var("LCREC_BACKEND").ok().as_deref().map(str::trim) {
+                Some("reference") | Some("ref") => 1,
+                _ => 2,
+            };
+            STATE.store(code, Ordering::Relaxed);
+            if code == 1 {
+                &REFERENCE
+            } else {
+                &BLOCKED
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (xorshift; no external RNG here).
+    fn fill(seed: &mut u64, out: &mut [f32], with_zeros: bool) {
+        for v in out {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            let r = ((*seed >> 16) & 0xffff) as f32 / 65536.0 - 0.5;
+            *v = if with_zeros && (*seed & 7) == 0 { 0.0 } else { r };
+        }
+    }
+
+    #[test]
+    fn blocked_matches_reference_bit_for_bit() {
+        let mut seed = 42u64;
+        // Shapes straddling the panel width, incl. the decode shapes
+        // (batch × dim, dim × vocab).
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 16, 48), (8, 48, 96), (5, 48, 300), (2, 17, 129), (7, 64, 64)]
+        {
+            let mut a = vec![0.0f32; m * k];
+            let mut b = vec![0.0f32; k * n];
+            fill(&mut seed, &mut a, true);
+            fill(&mut seed, &mut b, false);
+            let mut r1 = vec![0.0f32; m * n];
+            let mut r2 = vec![0.0f32; m * n];
+            ReferenceBackend.gemm_acc(&a, &b, &mut r1, m, k, n);
+            BlockedBackend.gemm_acc(&a, &b, &mut r2, m, k, n);
+            for (x, y) in r1.iter().zip(&r2) {
+                assert_eq!(x.to_bits(), y.to_bits(), "gemm_acc {m}x{k}x{n}");
+            }
+            let mut d1 = vec![0.0f32; m * n];
+            let mut d2 = vec![0.0f32; m * n];
+            ReferenceBackend.gemm_dense_acc(&a, &b, &mut d1, m, k, n);
+            BlockedBackend.gemm_dense_acc(&a, &b, &mut d2, m, k, n);
+            for (x, y) in d1.iter().zip(&d2) {
+                assert_eq!(x.to_bits(), y.to_bits(), "gemm_dense_acc {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_kernel_matches_scalar_dot_bit_for_bit() {
+        // The LM head contract: one output element == the scalar loop.
+        let mut seed = 7u64;
+        let (m, k, n) = (3usize, 48usize, 130usize);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut seed, &mut a, true);
+        fill(&mut seed, &mut b, false);
+        let mut out = vec![0.0f32; m * n];
+        BlockedBackend.gemm_dense_acc(&a, &b, &mut out, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                assert_eq!(acc.to_bits(), out[i * n + j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_and_active_backend() {
+        assert_eq!(backend_by_name("reference").map(|b| b.name()), Some("reference"));
+        assert_eq!(backend_by_name("ref").map(|b| b.name()), Some("reference"));
+        assert_eq!(backend_by_name("blocked").map(|b| b.name()), Some("blocked"));
+        assert!(backend_by_name("simd9000").is_none());
+        let active = active_backend().name();
+        assert!(active == "reference" || active == "blocked");
+    }
+}

@@ -33,6 +33,8 @@
 
 #![warn(missing_docs)]
 
+/// Inference-backend kernels (cache-blocked matmuls for the decode fast path).
+pub mod backend;
 /// Finite-difference gradient checking and the per-op coverage table.
 pub mod gradcheck;
 mod graph;
@@ -49,6 +51,7 @@ pub mod sanitize;
 pub mod serialize;
 mod tensor;
 
+pub use backend::{active_backend, backend_by_name, BlockedBackend, InferenceBackend, ReferenceBackend};
 pub use graph::{Graph, Var};
 pub use optim::{AdamW, ParamId, ParamStore, Schedule, Sgd};
 pub use tensor::{

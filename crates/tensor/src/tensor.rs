@@ -251,11 +251,11 @@ impl Tensor {
     /// Transposed copy of a 2-D tensor.
     pub fn transposed(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "transposed() requires a 2-D tensor");
-        let (r, c) = (self.shape[0], self.shape[1]);
+        let (r, c) = (self.shape[0], self.shape[1]); // lint: allow(panic, reason = "the assert above pins ndim() == 2")
         let mut out = vec![0.0; r * c];
         for i in 0..r {
             for j in 0..c {
-                out[j * r + i] = self.data[i * c + j];
+                out[j * r + i] = self.data[i * c + j]; // lint: allow(panic, reason = "i < r and j < c index the r*c row-major buffers exactly")
             }
         }
         Tensor { shape: vec![c, r], data: out }

@@ -19,11 +19,15 @@
 #   5. a serve smoke-run: the batched-inference experiment end-to-end at
 #      tiny scale (admission queue, batched prefill + decode, the
 #      bit-identity column) into a scratch directory;
-#   6. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
+#   6. a decode smoke-run: the fused fast path vs the graph-backed
+#      baseline at tiny scale — the run itself asserts repetition
+#      determinism, and the grep below asserts the fused path stayed
+#      bit-identical to the baseline (see docs/PERFORMANCE.md);
+#   7. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
 #      call-graph panic reachability (panicscan), determinism hazards
 #      (detlint), public-API doc coverage and the env-var documentation
 #      gate; and
-#   7. a warning-free `cargo doc` build of the whole workspace.
+#   8. a warning-free `cargo doc` build of the whole workspace.
 #
 # Usage: scripts/check.sh [analysis-only]
 #
@@ -80,6 +84,15 @@ cargo run --release --quiet -p lcrec-bench --bin repro -- \
 grep -q "bit-identical" target/check-serve/serve.md
 if grep -q "| NO |" target/check-serve/serve.md; then
   echo "serve smoke-run: batched decode diverged from the sequential baseline" >&2
+  exit 1
+fi
+
+echo "== decode smoke-run (tiny scale) =="
+cargo run --release --quiet -p lcrec-bench --bin repro -- \
+  --exp decode --scale tiny --out target/check-decode > /dev/null
+grep -q "bit-identical" target/check-decode/decode.md
+if grep -q "| NO |" target/check-decode/decode.md; then
+  echo "decode smoke-run: fused fast path diverged from the graph baseline" >&2
   exit 1
 fi
 

@@ -161,7 +161,9 @@ fn beam_log_z(logits: &[f32]) -> f32 {
 
 #[test]
 fn beam_matches_exhaustive_oracle_when_width_covers_all_items() {
-    use lc_rec::core::{constrained_beam_search, CausalLm, ExtendedVocab, LmConfig};
+    use lc_rec::core::{
+        constrained_beam_search, constrained_beam_search_graph, CausalLm, ExtendedVocab, LmConfig,
+    };
 
     let mut rng = StdRng::seed_from_u64(0x0BEA_04AC);
     for case in 0..12 {
@@ -197,8 +199,15 @@ fn beam_matches_exhaustive_oracle_when_width_covers_all_items() {
         // exhaustive and must reproduce the oracle bit for bit.
         let hyps = constrained_beam_search(&lm, &vocab, &trie, &prompt, n_items);
         assert_eq!(hyps.len(), n_items, "case {case}: beam must surface every item");
-        let mut got: Vec<(u32, u32)> =
+        // The graph-backed baseline drives the same search through full
+        // tape re-forwards; it must agree with the fused path bit for bit.
+        let graph = constrained_beam_search_graph(&lm, &vocab, &trie, &prompt, n_items);
+        let fused_bits: Vec<(u32, u32)> =
             hyps.iter().map(|h| (h.item, h.logprob.to_bits())).collect();
+        let graph_bits: Vec<(u32, u32)> =
+            graph.iter().map(|h| (h.item, h.logprob.to_bits())).collect();
+        assert_eq!(graph_bits, fused_bits, "case {case}: graph baseline vs fused path");
+        let mut got: Vec<(u32, u32)> = fused_bits.clone();
         let mut want: Vec<(u32, u32)> =
             oracle.iter().map(|&(i, lp)| (i, lp.to_bits())).collect();
         // Canonical order (score desc, item asc) on both sides: ranking and
