@@ -53,6 +53,8 @@ pub const EXAMPLE_REQUIRED: &[(&str, &str)] = &[
     ("crates/serve/src/lib.rs", "Engine"),
     ("crates/fault/src/lib.rs", "FaultPlan"),
     ("crates/tensor/src/backend.rs", "active_backend"),
+    ("crates/data/src/scale.rs", "ScaleConfig"),
+    ("crates/tensor/src/serialize.rs", "load_params_file"),
 ];
 
 /// One undocumented public item.

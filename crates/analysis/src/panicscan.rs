@@ -66,6 +66,13 @@ pub const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
     (Some("Pool"), "map"),
     (Some("Pool"), "map_range"),
     (Some("Pool"), "map_reduce"),
+    (Some("ScaleConfig"), "validate"),
+    (Some("ScaleConfig"), "synthetic_codes"),
+    (Some("ScaleConfig"), "stream_users"),
+    (Some("ScaleConfig"), "materialize"),
+    (Some("ScaleConfig"), "replay"),
+    (None, "load_params_file"),
+    (None, "save_params_file"),
 ];
 
 /// One loaded, pre-processed source file.

@@ -1,21 +1,25 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|all \
-//!       [--scale tiny|small] [--out results]
+//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|all \
+//!       [--scale tiny|small] [--tier small|medium|large|all] [--out results]
 //! ```
 //!
 //! Markdown goes to stdout and `<out>/<exp>.md`; CSV artifacts (Figure 4)
-//! go to `<out>/`.
+//! go to `<out>/`. `--tier` selects which serving-scale tiers the `scale`
+//! experiment runs (a single name, a comma list, or `all`); unknown
+//! experiment, scale and tier names are rejected with the valid values
+//! listed — never silently defaulted.
 
 use lcrec_bench::experiments as exp;
-use lcrec_bench::{ExpOutput, Scale};
+use lcrec_bench::{ExpOutput, Scale, ScaleTier};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut which = "all".to_string();
     let mut scale = Scale::Small;
+    let mut tiers: Vec<ScaleTier> = ScaleTier::ALL.to_vec();
     let mut out_dir = "results".to_string();
     let mut i = 1;
     while i < args.len() {
@@ -26,7 +30,17 @@ fn main() {
             }
             "--scale" => {
                 let s = args.get(i + 1).cloned().unwrap_or_else(|| usage());
-                scale = Scale::parse(&s).unwrap_or_else(|| usage());
+                scale = Scale::parse(&s).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown scale {s:?}; valid scales: {}",
+                        Scale::NAMES.join(", ")
+                    ))
+                });
+                i += 2;
+            }
+            "--tier" => {
+                let s = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                tiers = parse_tiers(&s);
                 i += 2;
             }
             "--out" => {
@@ -43,18 +57,20 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "decode", "chaos"];
+    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "decode", "chaos", "scale"];
     // `--exp` accepts a single id, a comma-separated list (run in the
     // given order, sharing the in-process model cache), or "all".
     let selected: Vec<&str> = if which == "all" {
         all.to_vec()
     } else {
         let parts: Vec<&str> = which.split(',').map(str::trim).collect();
-        if parts.iter().all(|p| all.contains(p)) {
-            parts
-        } else {
-            usage()
+        if let Some(unknown) = parts.iter().find(|p| !all.contains(p)) {
+            die(&format!(
+                "unknown experiment {unknown:?}; valid experiments: {}, all",
+                all.join(", ")
+            ));
         }
+        parts
     };
 
     for name in selected {
@@ -77,6 +93,7 @@ fn main() {
             "serve" => exp::serve(scale),
             "decode" => exp::decode(scale),
             "chaos" => exp::chaos(scale),
+            "scale" => exp::scale_tiers(scale, &tiers),
             _ => unreachable!(),
         };
         println!("{}", output.markdown);
@@ -88,10 +105,35 @@ fn main() {
     }
 }
 
+/// Parses `--tier`: a single tier name, a comma list, or `all`. Unknown
+/// names abort with the valid tiers listed — a typo must never silently
+/// fall back to the default set.
+fn parse_tiers(s: &str) -> Vec<ScaleTier> {
+    if s == "all" {
+        return ScaleTier::ALL.to_vec();
+    }
+    s.split(',')
+        .map(str::trim)
+        .map(|part| {
+            ScaleTier::parse(part).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown tier {part:?}; valid tiers: {}, all",
+                    ScaleTier::NAMES.join(", ")
+                ))
+            })
+        })
+        .collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|all] \
-         [--scale tiny|small] [--out DIR]"
+        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|all] \
+         [--scale tiny|small] [--tier small|medium|large|all] [--out DIR]"
     );
     std::process::exit(2);
 }

@@ -4,7 +4,7 @@
 
 use crate::setup::{
     dataset, dataset_suite, indices, item_embeddings, rec_config, train_lcrec, train_lcrec_cached,
-    train_p5cid, train_tiger, Scale,
+    train_p5cid, train_tiger, Scale, ScaleTier,
 };
 use lcrec_core::casestudy;
 use lcrec_core::{LcRec, LcRecRanker, TextSimilarityScorer};
@@ -1289,6 +1289,133 @@ fn scaling_row(phase: &str, threads: &[usize], times: &[f64], identical: bool) -
     row.push(format!("{:.2}x", times.first().unwrap_or(&f64::NAN) / last.max(1e-9)));
     row.push(if identical { "yes".into() } else { "NO".into() });
     row
+}
+
+// ------------------------------------------------------ extra: scale
+
+/// Scale-tier serving benchmark (`repro --exp scale [--tier …]` →
+/// `results/scale.md`): deterministic Zipf-replayed traffic
+/// ([`lcrec_data::ScaleConfig`]) through the serve
+/// [`Engine`](lcrec_serve::Engine) at each [`ScaleTier`] — synthetic
+/// unique semantic indices over the tier's catalog, an untrained LM at
+/// the tier's width/depth (serving cost does not depend on the weight
+/// *values*), request histories drawn from the tier's streamed user
+/// generator. Reports weight bytes, req/s and p50/p99 latency per tier,
+/// and bit-compares batched (`max_batch = 8`) against sequential
+/// (`max_batch = 1`) responses — scaling up must never change an answer.
+pub fn scale_tiers(scale: Scale, tiers: &[ScaleTier]) -> ExpOutput {
+    use lcrec_core::{CausalLm, ExtendedVocab};
+    use lcrec_data::{ScaleConfig, ZipfSampler};
+    use lcrec_rqvae::{IndexTrie, ItemIndices};
+    use lcrec_text::Vocab;
+
+    // Tiny is the smoke configuration: one micro tier, micro LM.
+    let specs: Vec<(String, ScaleConfig, Option<ScaleTier>)> = match scale {
+        Scale::Tiny => vec![("test".to_string(), ScaleConfig::tier_test(), None)],
+        Scale::Small => tiers
+            .iter()
+            .map(|&t| (t.name().to_string(), t.workload(), Some(t)))
+            .collect(),
+    };
+
+    let mut rows = Vec::new();
+    for (name, workload, tier) in &specs {
+        let (sizes, codes) = workload.synthetic_codes().expect("tier presets validate");
+        let idx = ItemIndices::new(sizes, codes);
+        let base = Vocab::build([lcrec_serve::ServeConfig::default().template.as_str()], 1);
+        let vocab = ExtendedVocab::new(base, idx);
+        let trie = IndexTrie::build(vocab.indices());
+        let lm = CausalLm::new(crate::setup::scale_lm_config(*tier, vocab.len()));
+        let weight_bytes = lm.param_bytes();
+
+        // Replayed open-loop traffic: which users arrive follows the
+        // tier's Zipf law; each arriving user's history comes from the
+        // same per-user generator the streaming tests pin.
+        let n_requests = match tier {
+            None => 12,
+            Some(ScaleTier::Small) => 48,
+            Some(ScaleTier::Medium) => 24,
+            Some(ScaleTier::Large) => 12,
+        };
+        let popularity = ZipfSampler::new(workload.num_items, workload.zipf_exponent)
+            .expect("tier presets validate");
+        let histories: Vec<Vec<u32>> = workload
+            .replay()
+            .expect("tier presets validate")
+            .take(n_requests)
+            .map(|user| workload.generate_user(&popularity, user))
+            .collect();
+        let k = 5usize;
+
+        let run = |max_batch: usize| -> (f64, Vec<f64>, Vec<Vec<(u32, u32)>>) {
+            let cfg = lcrec_serve::ServeConfig {
+                max_batch,
+                queue_cap: n_requests.max(1),
+                max_wait_ms: 0,
+                ..lcrec_serve::ServeConfig::default()
+            };
+            let mut engine = lcrec_serve::Engine::new(&lm, &vocab, &trie, cfg);
+            let t0 = std::time::Instant::now(); // lint: allow(det, reason = "throughput experiment measures wall time by design; responses are compared bit-for-bit separately")
+            for hist in &histories {
+                engine.submit(hist, k).expect("queue sized to the load");
+            }
+            let responses = engine.flush();
+            let wall = t0.elapsed().as_secs_f64();
+            let mut lats: Vec<f64> = responses.iter().map(|r| r.latency_s).collect();
+            lats.sort_by(f64::total_cmp);
+            let bits: Vec<Vec<(u32, u32)>> = responses
+                .iter()
+                .map(|r| r.ranked.iter().map(|h| (h.item, h.logprob.to_bits())).collect())
+                .collect();
+            (wall, lats, bits)
+        };
+
+        let (_, _, seq_bits) = run(1);
+        let (wall, lats, bits) = run(8);
+        let pct = |q: f64| -> f64 {
+            if lats.is_empty() {
+                return f64::NAN;
+            }
+            let i = ((lats.len() - 1) as f64 * q).round() as usize;
+            *lats.get(i).unwrap_or(&f64::NAN)
+        };
+        rows.push(vec![
+            name.clone(),
+            workload.num_items.to_string(),
+            workload.num_users.to_string(),
+            format!("{:.1} MB", weight_bytes as f64 / (1024.0 * 1024.0)),
+            n_requests.to_string(),
+            format!("{:.1}", n_requests as f64 / wall.max(1e-9)),
+            format!("{:.1}ms", pct(0.50) * 1e3),
+            format!("{:.1}ms", pct(0.99) * 1e3),
+            if bits == seq_bits { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    let md = format!(
+        "## Extra — scale tiers (`lcrec-data::scale` + `lcrec-serve`)\n\n\
+         Zipf-replayed traffic (deterministic under the tier seed) through\n\
+         the batched inference engine at each scale tier: synthetic unique\n\
+         semantic indices over the tier's catalog, an untrained LM at the\n\
+         tier's width/depth, histories from the streamed user generator.\n\
+         `weights` is the resident f32 parameter size — the small tier fits\n\
+         in L2, the large tier exceeds it by an order of magnitude, so its\n\
+         row measures memory traffic, not cache replay (see\n\
+         docs/PERFORMANCE.md, \"Scale tiers\"). Latency percentiles are\n\
+         per-request submit→response times under `max_batch = 8`;\n\
+         `bit-identical` compares every ranking and log-prob bit against\n\
+         the sequential (`max_batch = 1`) run of the same traffic.\n\n{}",
+        markdown_table(
+            &["tier", "items", "users", "weights", "requests", "req/s", "p50", "p99", "bit-identical"],
+            &rows
+        )
+    );
+    ExpOutput::text(md)
+}
+
+/// [`scale_tiers`] over every tier — the `repro --exp scale` default.
+pub fn scale(scale: Scale) -> ExpOutput {
+    scale_tiers(scale, &ScaleTier::ALL)
 }
 
 struct BeamRanker<'a> {

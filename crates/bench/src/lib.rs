@@ -11,4 +11,4 @@ pub mod experiments;
 pub mod setup;
 
 pub use experiments::ExpOutput;
-pub use setup::Scale;
+pub use setup::{Scale, ScaleTier};

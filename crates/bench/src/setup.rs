@@ -2,8 +2,8 @@
 //! trained models at either of two scales (`Tiny` for tests/benches,
 //! `Small` for the checked-in experiment runs).
 
-use lcrec_core::{LcRec, LcRecConfig, P5Cid, P5CidConfig, Tiger, TigerConfig};
-use lcrec_data::{Dataset, DatasetConfig, TaskSet};
+use lcrec_core::{LcRec, LcRecConfig, LmConfig, P5Cid, P5CidConfig, Tiger, TigerConfig};
+use lcrec_data::{Dataset, DatasetConfig, ScaleConfig, TaskSet};
 use lcrec_rqvae::{build_indices, IndexerKind, ItemIndices, RqVaeConfig};
 use lcrec_seqrec::RecConfig;
 use lcrec_tensor::Tensor;
@@ -29,6 +29,83 @@ impl Scale {
             "small" => Some(Scale::Small),
             _ => None,
         }
+    }
+
+    /// The names [`Scale::parse`] accepts — the repro binary lists these
+    /// when rejecting an unknown scale instead of defaulting silently.
+    pub const NAMES: &'static [&'static str] = &["tiny", "small"];
+}
+
+/// Serving-scale tier for the `scale` experiment (`repro --exp scale
+/// [--tier …]`): pairs a [`ScaleConfig`] workload (catalog, population,
+/// Zipf traffic) with an LM sized so that successive tiers step from
+/// cache-resident weights to a weight set larger than L2 — see
+/// docs/PERFORMANCE.md, "Scale tiers".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleTier {
+    /// Cache-resident control point: ~2k items, 5k users, the small LM.
+    Small,
+    /// Weights around the L2 boundary: 20k items, 100k users.
+    Medium,
+    /// Weights far beyond L2: 120k items, 1M users, `LmConfig::large`.
+    Large,
+}
+
+impl ScaleTier {
+    /// Every tier, in increasing size — the default set the `scale`
+    /// experiment runs.
+    pub const ALL: [ScaleTier; 3] = [ScaleTier::Small, ScaleTier::Medium, ScaleTier::Large];
+
+    /// The names [`ScaleTier::parse`] accepts (plus `all` handled by the
+    /// repro binary) — listed in its unknown-tier error message.
+    pub const NAMES: &'static [&'static str] = &["small", "medium", "large"];
+
+    /// Parses a single tier name.
+    pub fn parse(s: &str) -> Option<ScaleTier> {
+        match s {
+            "small" => Some(ScaleTier::Small),
+            "medium" => Some(ScaleTier::Medium),
+            "large" => Some(ScaleTier::Large),
+            _ => None,
+        }
+    }
+
+    /// Display name, matching [`ScaleTier::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleTier::Small => "small",
+            ScaleTier::Medium => "medium",
+            ScaleTier::Large => "large",
+        }
+    }
+
+    /// The tier's synthetic workload (catalog, population, traffic law).
+    pub fn workload(self) -> ScaleConfig {
+        match self {
+            ScaleTier::Small => ScaleConfig::tier_small(),
+            ScaleTier::Medium => ScaleConfig::tier_medium(),
+            ScaleTier::Large => ScaleConfig::tier_large(),
+        }
+    }
+}
+
+/// LM configuration for a scale tier at the given (extended) vocabulary
+/// size; `None` is the micro configuration the tiny smoke run uses.
+pub fn scale_lm_config(tier: Option<ScaleTier>, vocab: usize) -> LmConfig {
+    match tier {
+        None => LmConfig::test(vocab),
+        Some(ScaleTier::Small) => LmConfig::small(vocab),
+        Some(ScaleTier::Medium) => LmConfig {
+            vocab,
+            dim: 128,
+            layers: 3,
+            heads: 8,
+            ff_hidden: 256,
+            max_seq: 128,
+            dropout: 0.1,
+            seed: 1234,
+        },
+        Some(ScaleTier::Large) => LmConfig::large(vocab),
     }
 }
 

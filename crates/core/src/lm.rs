@@ -60,6 +60,16 @@ impl LmConfig {
     pub fn test(vocab: usize) -> Self {
         LmConfig { vocab, dim: 16, layers: 1, heads: 2, ff_hidden: 32, max_seq: 48, dropout: 0.0, seed: 5 }
     }
+
+    /// The scale-tier configuration: wide and deep enough that the weight
+    /// set (reported by [`CausalLm::param_bytes`]) exceeds a typical
+    /// last-level cache, so serving benchmarks at this tier exercise the
+    /// memory system rather than replaying cache-resident GEMMs — the
+    /// regime `results/scale.md` measures (see docs/PERFORMANCE.md,
+    /// "Scale tiers").
+    pub fn large(vocab: usize) -> Self {
+        LmConfig { vocab, dim: 320, layers: 5, heads: 8, ff_hidden: 640, max_seq: 160, dropout: 0.1, seed: 1234 }
+    }
 }
 
 #[derive(Debug)]
@@ -194,6 +204,12 @@ impl CausalLm {
     /// Total scalar parameters.
     pub fn num_params(&self) -> usize {
         self.ps.num_scalars()
+    }
+
+    /// Resident weight size in bytes (f32 scalars). The scale benchmark
+    /// reports this to show whether a tier's weights fit in cache.
+    pub fn param_bytes(&self) -> usize {
+        self.num_params() * std::mem::size_of::<f32>()
     }
 
     /// The token-embedding matrix (for Figure 4's visualization).

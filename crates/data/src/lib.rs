@@ -12,8 +12,10 @@ pub mod config;
 pub mod dataset;
 pub mod instructions;
 pub mod interactions;
+pub mod scale;
 
 pub use catalog::{Catalog, Item};
 pub use config::DatasetConfig;
 pub use dataset::{Dataset, Stats};
 pub use instructions::{Example, InstructionBuilder, Seg, Task, TaskSet};
+pub use scale::{ReplaySampler, ScaleConfig, ScaleError, UserStream, ZipfSampler};

@@ -1,0 +1,482 @@
+//! Scale tier: parameterized large-catalog synthetic workloads.
+//!
+//! The [`DatasetConfig`](crate::DatasetConfig) presets model the *semantics*
+//! of the paper's datasets at a size one CPU can train on. This module
+//! models their *load shape* at production size: catalogs of 10⁵+ items,
+//! user populations of 10⁶+, and power-law (Zipf) traffic — the regime
+//! where batching, threading and the fused decode path must earn their
+//! keep (`ROADMAP.md` item 1, `results/scale.md`).
+//!
+//! Two constraints drive the design:
+//!
+//! * **Streaming generation.** A million-user population must never be
+//!   materialized: [`ScaleConfig::stream_users`] emits one user's
+//!   interaction sequence at a time, each a pure function of
+//!   `(seed, user)`, so memory stays O(catalog) + O(one user) no matter
+//!   how many users are drawn. [`ScaleConfig::materialize`] is the
+//!   whole-population reference the scale-invariance suite bit-compares
+//!   against (`tests/scale.rs`).
+//! * **Deterministic replay.** [`ScaleConfig::replay`] yields an open-loop
+//!   stream of user ids whose visit frequencies follow the configured
+//!   Zipf law — same seed, same traffic, bit for bit — so serving
+//!   benchmarks at different tiers and batch sizes see *identical* load.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A typed reason a scale workload cannot be built. Every constructor on
+/// [`ScaleConfig`] validates up front and returns one of these instead of
+/// panicking — degenerate tiers are a caller error, not a crash.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScaleError {
+    /// The catalog is empty; there is nothing to interact with.
+    NoItems,
+    /// Traffic replay over zero users cannot sample anyone.
+    NoUsers,
+    /// The Zipf exponent must be finite and non-negative
+    /// (`0` = uniform, larger = more head-heavy).
+    BadExponent {
+        /// The rejected exponent.
+        value: f64,
+    },
+    /// The index shape is degenerate (zero levels or an empty codebook).
+    EmptyIndexShape,
+    /// The catalog does not fit in the extended vocabulary: `codebook ^
+    /// levels` distinct semantic IDs cannot cover `num_items` items.
+    VocabExhausted {
+        /// Items the configuration asks for.
+        items: usize,
+        /// Distinct indices the shape can express.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleError::NoItems => write!(f, "scale config has zero items"),
+            ScaleError::NoUsers => {
+                write!(f, "traffic replay needs at least one user to sample from")
+            }
+            ScaleError::BadExponent { value } => {
+                write!(f, "Zipf exponent {value} must be finite and >= 0")
+            }
+            ScaleError::EmptyIndexShape => {
+                write!(f, "index shape needs at least one level and a non-empty codebook")
+            }
+            ScaleError::VocabExhausted { items, capacity } => write!(
+                f,
+                "{items} items exceed the {capacity} distinct indices the extended \
+                 vocabulary can express (codebook_size ^ levels); deepen or widen the index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
+/// Parameters of a scale-tier workload: catalog size, user population,
+/// traffic skew and the semantic-index shape that sizes the extended
+/// vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_data::scale::ScaleConfig;
+///
+/// let cfg = ScaleConfig::tier_test();
+/// // Streaming generation never materializes the population…
+/// let first: Vec<Vec<u32>> = cfg.stream_users().expect("valid tier").take(3).collect();
+/// // …and is bit-identical to the materialized reference.
+/// let all = cfg.materialize().expect("valid tier");
+/// assert_eq!(&all[..3], &first[..]);
+/// // Replayed traffic is deterministic under the seed.
+/// let a: Vec<usize> = cfg.replay().expect("valid tier").take(8).collect();
+/// let b: Vec<usize> = cfg.replay().expect("valid tier").take(8).collect();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Items in the catalog. Item id doubles as popularity rank
+    /// (id 0 is the head of the catalog).
+    pub num_items: usize,
+    /// Users in the population. User id doubles as traffic rank for
+    /// replay (user 0 is the heaviest user).
+    pub num_users: usize,
+    /// Zipf exponent shared by item popularity and user traffic:
+    /// `0` = uniform, `~1` = classic web traffic, larger = heavier head.
+    pub zipf_exponent: f64,
+    /// Mean interactions per user (shifted-geometric around this value).
+    pub mean_seq_len: f32,
+    /// Hard cap on interactions kept per user.
+    pub max_seq_len: usize,
+    /// Semantic-index levels `H` for the synthetic vocabulary.
+    pub levels: usize,
+    /// Codebook size `K` per level; capacity is `K ^ H` distinct IDs.
+    pub codebook_size: usize,
+    /// Master seed; every stream derived from this config is a pure
+    /// function of it.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    fn base(num_items: usize, num_users: usize, levels: usize, codebook_size: usize) -> Self {
+        ScaleConfig {
+            num_items,
+            num_users,
+            zipf_exponent: 1.05,
+            mean_seq_len: 9.0,
+            max_seq_len: 20,
+            levels,
+            codebook_size,
+            seed: 0x5CA1E,
+        }
+    }
+
+    /// Smallest tier: a cache-resident control point (~2k items, 5k users).
+    pub fn tier_small() -> Self {
+        Self::base(2_000, 5_000, 3, 32)
+    }
+
+    /// Middle tier: the catalog outgrows L2 (~20k items, 100k users).
+    pub fn tier_medium() -> Self {
+        Self::base(20_000, 100_000, 3, 64)
+    }
+
+    /// Large tier: 120k items, a million users — paired with
+    /// `LmConfig::large`, model weights no longer fit in cache.
+    pub fn tier_large() -> Self {
+        Self::base(120_000, 1_000_000, 3, 64)
+    }
+
+    /// Micro tier for unit tests and smoke runs.
+    pub fn tier_test() -> Self {
+        Self::base(64, 200, 2, 16)
+    }
+
+    /// Distinct semantic IDs the index shape can express
+    /// (`codebook_size ^ levels`, saturating).
+    pub fn index_capacity(&self) -> usize {
+        let mut cap = 1usize;
+        for _ in 0..self.levels {
+            cap = cap.saturating_mul(self.codebook_size);
+        }
+        cap
+    }
+
+    /// Validates the configuration, returning the first problem found.
+    ///
+    /// Zero *users* is deliberately legal here — an empty population
+    /// streams nothing — but [`ScaleConfig::replay`] needs someone to
+    /// sample and rejects it with [`ScaleError::NoUsers`].
+    pub fn validate(&self) -> Result<(), ScaleError> {
+        if self.num_items == 0 {
+            return Err(ScaleError::NoItems);
+        }
+        if !self.zipf_exponent.is_finite() || self.zipf_exponent < 0.0 {
+            return Err(ScaleError::BadExponent { value: self.zipf_exponent });
+        }
+        if self.levels == 0 || self.codebook_size == 0 {
+            return Err(ScaleError::EmptyIndexShape);
+        }
+        if self.num_items > self.index_capacity() {
+            return Err(ScaleError::VocabExhausted {
+                items: self.num_items,
+                capacity: self.index_capacity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Synthetic conflict-free semantic codes: item `i`'s code sequence
+    /// is `i` written in base `codebook_size`, most-significant level
+    /// first. Distinct items get distinct digit strings, so the codes
+    /// are unique by construction and share prefixes hierarchically —
+    /// the shape the RQ-VAE learns, without training one at 10⁵ items.
+    /// Returns `(codebook_sizes, codes)` ready for `ItemIndices::new`
+    /// (built by the caller; `lcrec-data` sits below `lcrec-rqvae`).
+    pub fn synthetic_codes(&self) -> Result<(Vec<usize>, Vec<Vec<u16>>), ScaleError> {
+        self.validate()?;
+        let mut codes = Vec::with_capacity(self.num_items);
+        for item in 0..self.num_items {
+            let mut digits = vec![0u16; self.levels];
+            let mut rest = item;
+            for d in digits.iter_mut().rev() {
+                *d = (rest % self.codebook_size) as u16;
+                rest /= self.codebook_size;
+            }
+            codes.push(digits);
+        }
+        Ok((vec![self.codebook_size; self.levels], codes))
+    }
+
+    /// One user's interaction sequence — a pure function of
+    /// `(seed, user)`, identical whether reached by streaming,
+    /// materializing, or direct random access.
+    pub fn generate_user(&self, popularity: &ZipfSampler, user: usize) -> Vec<u32> {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Shifted-geometric length around the configured mean, capped.
+        let extra = self.mean_seq_len - 1.0;
+        let p = 1.0 / extra.max(1.0);
+        let mut len = 1usize;
+        while len < self.max_seq_len && rng.random_range(0.0f32..1.0) > p {
+            len += 1;
+        }
+        let mut seq = Vec::with_capacity(len);
+        for _ in 0..len {
+            seq.push(popularity.sample(&mut rng) as u32);
+        }
+        seq
+    }
+
+    /// Streaming generation: an iterator emitting each user's sequence in
+    /// user order **without materializing the population** — memory stays
+    /// O(catalog popularity table) + O(one sequence) regardless of
+    /// `num_users` (the allocation high-water probe in `tests/scale.rs`
+    /// guards this).
+    pub fn stream_users(&self) -> Result<UserStream, ScaleError> {
+        self.validate()?;
+        Ok(UserStream {
+            cfg: self.clone(),
+            popularity: ZipfSampler::new(self.num_items, self.zipf_exponent)?,
+            next: 0,
+        })
+    }
+
+    /// Whole-population reference generation: collects every user's
+    /// sequence into memory. Exists as the bit-identity oracle for
+    /// [`ScaleConfig::stream_users`] and for workloads small enough to
+    /// hold; at the large tiers, stream instead.
+    pub fn materialize(&self) -> Result<Vec<Vec<u32>>, ScaleError> {
+        self.validate()?;
+        let popularity = ZipfSampler::new(self.num_items, self.zipf_exponent)?;
+        let mut all = Vec::with_capacity(self.num_users);
+        for user in 0..self.num_users {
+            all.push(self.generate_user(&popularity, user));
+        }
+        Ok(all)
+    }
+
+    /// Deterministic open-loop traffic replay: an endless stream of user
+    /// ids whose long-run visit frequencies follow the configured Zipf
+    /// law over the population (user 0 heaviest). Drives the serving
+    /// benchmarks; same seed, same traffic.
+    pub fn replay(&self) -> Result<ReplaySampler, ScaleError> {
+        self.validate()?;
+        if self.num_users == 0 {
+            return Err(ScaleError::NoUsers);
+        }
+        Ok(ReplaySampler {
+            traffic: ZipfSampler::new(self.num_users, self.zipf_exponent)?,
+            rng: StdRng::seed_from_u64(self.seed.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        })
+    }
+}
+
+/// Iterator over per-user sequences in user order; see
+/// [`ScaleConfig::stream_users`].
+#[derive(Debug)]
+pub struct UserStream {
+    cfg: ScaleConfig,
+    popularity: ZipfSampler,
+    next: usize,
+}
+
+impl Iterator for UserStream {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        if self.next >= self.cfg.num_users {
+            return None;
+        }
+        let seq = self.cfg.generate_user(&self.popularity, self.next);
+        self.next += 1;
+        Some(seq)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.num_users - self.next;
+        (left, Some(left))
+    }
+}
+
+/// Endless deterministic user-id stream following the traffic Zipf law;
+/// see [`ScaleConfig::replay`].
+#[derive(Debug)]
+pub struct ReplaySampler {
+    traffic: ZipfSampler,
+    rng: StdRng,
+}
+
+impl Iterator for ReplaySampler {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        Some(self.traffic.sample(&mut self.rng))
+    }
+}
+
+/// Inverse-CDF sampler over ranks `0..n` with weight `1 / (rank+1)^s`:
+/// exponent `0` is uniform, larger exponents concentrate mass on the
+/// head. The cumulative table is built once (8 bytes per rank) and each
+/// draw is one uniform plus a binary search — O(log n), allocation-free.
+#[derive(Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Precomputes the cumulative weight table for `n` ranks.
+    pub fn new(n: usize, exponent: f64) -> Result<Self, ScaleError> {
+        if n == 0 {
+            return Err(ScaleError::NoItems);
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(ScaleError::BadExponent { value: exponent });
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            // powf underflows to 0 for extreme skew at deep ranks; the
+            // head weight is exactly 1.0, so the total stays positive.
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        Ok(ZipfSampler { cumulative, total, exponent })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the sampler covers no ranks (unreachable via
+    /// [`ZipfSampler::new`], which rejects `n = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The analytic (unnormalized) weight of a rank — the oracle the
+    /// frequency-ranking test compares empirical counts against.
+    pub fn analytic_weight(&self, rank: usize) -> f64 {
+        1.0 / ((rank + 1) as f64).powf(self.exponent)
+    }
+
+    /// Draws one rank. Deterministic given the RNG state.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = rng.random_range(0.0..self.total);
+        let i = self.cumulative.partition_point(|&c| c <= u);
+        i.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_scale_up() {
+        for cfg in [
+            ScaleConfig::tier_test(),
+            ScaleConfig::tier_small(),
+            ScaleConfig::tier_medium(),
+            ScaleConfig::tier_large(),
+        ] {
+            cfg.validate().expect("preset must validate");
+        }
+        assert!(ScaleConfig::tier_large().num_items > ScaleConfig::tier_medium().num_items);
+        assert!(ScaleConfig::tier_medium().num_users > ScaleConfig::tier_small().num_users);
+    }
+
+    #[test]
+    fn synthetic_codes_are_unique_and_in_range() {
+        let cfg = ScaleConfig::tier_test();
+        let (sizes, codes) = cfg.synthetic_codes().expect("valid");
+        assert_eq!(sizes, vec![cfg.codebook_size; cfg.levels]);
+        assert_eq!(codes.len(), cfg.num_items);
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len(), "codes must be unique");
+        for code in &codes {
+            assert_eq!(code.len(), cfg.levels);
+            for (&d, &k) in code.iter().zip(sizes.iter()) {
+                assert!((d as usize) < k);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_a_pure_function_of_the_seed() {
+        let cfg = ScaleConfig::tier_test();
+        let a: Vec<Vec<u32>> = cfg.stream_users().expect("valid").collect();
+        let b: Vec<Vec<u32>> = cfg.stream_users().expect("valid").collect();
+        assert_eq!(a, b);
+        let mut shifted = cfg.clone();
+        shifted.seed ^= 1;
+        let c: Vec<Vec<u32>> = shifted.stream_users().expect("valid").collect();
+        assert_ne!(a, c, "a different seed must produce different traffic");
+    }
+
+    #[test]
+    fn sequences_respect_bounds() {
+        let cfg = ScaleConfig::tier_test();
+        for seq in cfg.stream_users().expect("valid") {
+            assert!(!seq.is_empty());
+            assert!(seq.len() <= cfg.max_seq_len);
+            for &i in &seq {
+                assert!((i as usize) < cfg.num_items);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_under_skew() {
+        let s = ZipfSampler::new(100, 1.2).expect("valid");
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50].max(1) * 5, "head {} vs mid {}", counts[0], counts[50]);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let s = ZipfSampler::new(10, 0.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let (lo, hi) = (4_000usize, 6_000usize);
+        for (r, &c) in counts.iter().enumerate() {
+            assert!(c > lo && c < hi, "rank {r} count {c} not uniform-ish");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_yield_typed_errors() {
+        let mut cfg = ScaleConfig::tier_test();
+        cfg.num_items = 0;
+        assert_eq!(cfg.validate(), Err(ScaleError::NoItems));
+
+        let mut cfg = ScaleConfig::tier_test();
+        cfg.zipf_exponent = f64::NAN;
+        assert!(matches!(cfg.validate(), Err(ScaleError::BadExponent { .. })));
+
+        let mut cfg = ScaleConfig::tier_test();
+        cfg.levels = 0;
+        assert_eq!(cfg.validate(), Err(ScaleError::EmptyIndexShape));
+
+        let mut cfg = ScaleConfig::tier_test();
+        cfg.num_items = 10_000;
+        cfg.levels = 2;
+        cfg.codebook_size = 16; // capacity 256 < 10_000
+        assert!(matches!(cfg.validate(), Err(ScaleError::VocabExhausted { .. })));
+    }
+}

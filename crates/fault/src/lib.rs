@@ -368,10 +368,23 @@ pub fn deadline_expired(waited_ms: u64, deadline_ms: u64) -> bool {
     waited_ms >= deadline_ms
 }
 
+/// The FNV-1a 64-bit offset basis: the initial state for an incremental
+/// hash built with [`fnv1a64_extend`].
+pub const FNV1A64_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a over `bytes` — the workspace's dependency-free stable hash, also
 /// used by the checkpoint checksum trailer.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_extend(FNV1A64_BASIS, bytes)
+}
+
+/// Extends an incremental FNV-1a state with more bytes. Feeding a stream
+/// chunk by chunk — starting from [`FNV1A64_BASIS`] — produces exactly
+/// [`fnv1a64`] of the concatenation, which is what lets the chunked
+/// checkpoint reader verify a multi-megabyte trailer checksum while
+/// holding only one chunk in memory.
+pub fn fnv1a64_extend(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);

@@ -66,7 +66,7 @@ impl ParamStore {
 
     /// The registered name of a parameter.
     pub fn name(&self, id: ParamId) -> &str {
-        &self.entries[id.0].name
+        &self.entries[id.0].name // lint: allow(panic, reason = "ParamIds are only minted by this store's add(), as dense indices into entries")
     }
 
     /// Immutable view of a parameter value.
@@ -78,7 +78,7 @@ impl ParamStore {
     /// Mutable view of a parameter value (used by tests and manual updates).
     #[inline]
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
-        &mut self.entries[id.0].value
+        &mut self.entries[id.0].value // lint: allow(panic, reason = "ParamIds are only minted by this store's add(), as dense indices into entries")
     }
 
     /// Immutable view of a parameter gradient.

@@ -23,17 +23,25 @@
 #      baseline at tiny scale — the run itself asserts repetition
 #      determinism, and the grep below asserts the fused path stayed
 #      bit-identical to the baseline (see docs/PERFORMANCE.md);
-#   7. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
+#   7. a scale smoke-run: Zipf-replayed traffic through the serve engine
+#      at the smallest tier (tiny → the test tier) — the grep asserts
+#      the batched run stayed bit-identical to the sequential baseline
+#      (see docs/PERFORMANCE.md, "Scale tiers");
+#   8. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
 #      call-graph panic reachability (panicscan), determinism hazards
 #      (detlint), public-API doc coverage and the env-var documentation
 #      gate; and
-#   8. a warning-free `cargo doc` build of the whole workspace.
+#   9. a warning-free `cargo doc` build of the whole workspace.
 #
-# Usage: scripts/check.sh [analysis-only]
+# Usage: scripts/check.sh [analysis-only|scale-tests-only]
 #
-#   analysis-only   run only stage 6 (seconds instead of minutes) — the
-#                   right loop when iterating on lint annotations or on
-#                   the analysis passes themselves.
+#   analysis-only     run only stage 8 (seconds instead of minutes) — the
+#                     right loop when iterating on lint annotations or on
+#                     the analysis passes themselves.
+#   scale-tests-only  run only the scale-invariance suite (tests/scale.rs)
+#                     — the fast loop when iterating on the scale tier
+#                     (streaming generation, chunked checkpoint I/O, the
+#                     tiered serving bench).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,6 +67,13 @@ run_analysis() {
 if [ "$mode" = "analysis-only" ]; then
   run_analysis
   echo "All analysis passes clean."
+  exit 0
+fi
+
+if [ "$mode" = "scale-tests-only" ]; then
+  echo "== scale-invariance suite (tests/scale.rs) =="
+  cargo test --quiet --test scale
+  echo "Scale-invariance suite passed."
   exit 0
 fi
 
@@ -93,6 +108,15 @@ cargo run --release --quiet -p lcrec-bench --bin repro -- \
 grep -q "bit-identical" target/check-decode/decode.md
 if grep -q "| NO |" target/check-decode/decode.md; then
   echo "decode smoke-run: fused fast path diverged from the graph baseline" >&2
+  exit 1
+fi
+
+echo "== scale smoke-run (smallest tier) =="
+cargo run --release --quiet -p lcrec-bench --bin repro -- \
+  --exp scale --scale tiny --out target/check-scale > /dev/null
+grep -q "bit-identical" target/check-scale/scale.md
+if grep -q "| NO |" target/check-scale/scale.md; then
+  echo "scale smoke-run: batched serving diverged from the sequential baseline" >&2
   exit 1
 fi
 
