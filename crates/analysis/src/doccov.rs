@@ -51,6 +51,9 @@ pub const EXAMPLE_REQUIRED: &[(&str, &str)] = &[
     ("crates/par/src/lib.rs", "Pool"),
     ("crates/rqvae/src/indices.rs", "IndexTrie"),
     ("crates/serve/src/lib.rs", "Engine"),
+    ("crates/serve/src/router.rs", "Router"),
+    ("crates/serve/src/router.rs", "new"),
+    ("crates/serve/src/router.rs", "submit"),
     ("crates/fault/src/lib.rs", "FaultPlan"),
     ("crates/tensor/src/backend.rs", "active_backend"),
     ("crates/data/src/scale.rs", "ScaleConfig"),

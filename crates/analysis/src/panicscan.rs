@@ -51,6 +51,14 @@ pub const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
     (Some("Engine"), "step_outcomes"),
     (Some("Engine"), "flush"),
     (Some("Engine"), "flush_outcomes"),
+    (Some("Router"), "submit"),
+    (Some("Router"), "step"),
+    (Some("Router"), "step_outcomes"),
+    (Some("Router"), "flush"),
+    (Some("Router"), "flush_outcomes"),
+    (Some("Router"), "hot_swap"),
+    (Some("Ring"), "primary"),
+    (Some("Ring"), "replica_cycle"),
     (None, "constrained_beam_search"),
     (None, "constrained_beam_search_with"),
     (None, "multi_constrained_beam_search"),

@@ -1,15 +1,18 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|all \
-//!       [--scale tiny|small] [--tier small|medium|large|all] [--out results]
+//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|fleet|all \
+//!       [--scale tiny|small] [--tier small|medium|large|all] \
+//!       [--shards N[,N…]|all] [--out results]
 //! ```
 //!
 //! Markdown goes to stdout and `<out>/<exp>.md`; CSV artifacts (Figure 4)
 //! go to `<out>/`. `--tier` selects which serving-scale tiers the `scale`
-//! experiment runs (a single name, a comma list, or `all`); unknown
-//! experiment, scale and tier names are rejected with the valid values
-//! listed — never silently defaulted.
+//! and `fleet` experiments run (a single name, a comma list, or `all`);
+//! `--shards` selects the fleet experiment's shard counts (positive
+//! integers, a comma list, or `all` for the default {1, 2, 4} sweep).
+//! Unknown experiment, scale, tier and shard values are rejected with the
+//! valid values listed — never silently defaulted.
 
 use lcrec_bench::experiments as exp;
 use lcrec_bench::{ExpOutput, Scale, ScaleTier};
@@ -20,6 +23,7 @@ fn main() {
     let mut which = "all".to_string();
     let mut scale = Scale::Small;
     let mut tiers: Vec<ScaleTier> = ScaleTier::ALL.to_vec();
+    let mut shards: Vec<usize> = exp::DEFAULT_FLEET_SHARDS.to_vec();
     let mut out_dir = "results".to_string();
     let mut i = 1;
     while i < args.len() {
@@ -43,6 +47,11 @@ fn main() {
                 tiers = parse_tiers(&s);
                 i += 2;
             }
+            "--shards" => {
+                let s = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                shards = parse_shards(&s);
+                i += 2;
+            }
             "--out" => {
                 out_dir = args.get(i + 1).cloned().unwrap_or_else(|| usage());
                 i += 2;
@@ -57,7 +66,7 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "decode", "chaos", "scale"];
+    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "decode", "chaos", "scale", "fleet"];
     // `--exp` accepts a single id, a comma-separated list (run in the
     // given order, sharing the in-process model cache), or "all".
     let selected: Vec<&str> = if which == "all" {
@@ -94,6 +103,7 @@ fn main() {
             "decode" => exp::decode(scale),
             "chaos" => exp::chaos(scale),
             "scale" => exp::scale_tiers(scale, &tiers),
+            "fleet" => exp::fleet(scale, &tiers, &shards),
             _ => unreachable!(),
         };
         println!("{}", output.markdown);
@@ -125,6 +135,26 @@ fn parse_tiers(s: &str) -> Vec<ScaleTier> {
         .collect()
 }
 
+/// Parses `--shards`: a positive shard count, a comma list, or `all` for
+/// the default sweep. Zero or non-numeric values abort with the valid
+/// form listed — a typo must never silently fall back to the default.
+fn parse_shards(s: &str) -> Vec<usize> {
+    if s == "all" {
+        return exp::DEFAULT_FLEET_SHARDS.to_vec();
+    }
+    s.split(',')
+        .map(str::trim)
+        .map(|part| match part.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => die(&format!(
+                "unknown shard count {part:?}; valid values: positive integers \
+                 (e.g. 1,2,4), or all for the default {:?} sweep",
+                exp::DEFAULT_FLEET_SHARDS
+            )),
+        })
+        .collect()
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
@@ -132,8 +162,8 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|all] \
-         [--scale tiny|small] [--tier small|medium|large|all] [--out DIR]"
+        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|fleet|all] \
+         [--scale tiny|small] [--tier small|medium|large|all] [--shards N[,N…]|all] [--out DIR]"
     );
     std::process::exit(2);
 }

@@ -1418,6 +1418,171 @@ pub fn scale(scale: Scale) -> ExpOutput {
     scale_tiers(scale, &ScaleTier::ALL)
 }
 
+// ------------------------------------------------------ extra: fleet
+
+/// Shard counts the `repro --exp fleet` default sweeps.
+pub const DEFAULT_FLEET_SHARDS: &[usize] = &[1, 2, 4];
+
+/// Sharded-fleet serving benchmark (`repro --exp fleet [--tier …]
+/// [--shards …]` → `results/fleet.md`): the same Zipf-replayed traffic as
+/// [`scale_tiers`], driven through the consistent-hash
+/// [`Router`](lcrec_serve::Router) at each requested shard count. Reports
+/// req/s, p50/p99 latency and the per-shard admission split (from the
+/// `router.shard<N>.requests` obs counters), and bit-compares every
+/// ranking + log-prob against a direct single-[`Engine`](lcrec_serve::Engine)
+/// run of the same traffic — the fleet-level determinism contract:
+/// sharding must never change an answer.
+pub fn fleet(scale: Scale, tiers: &[ScaleTier], shard_counts: &[usize]) -> ExpOutput {
+    use lcrec_core::{CausalLm, ExtendedVocab};
+    use lcrec_data::{ScaleConfig, ZipfSampler};
+    use lcrec_rqvae::{IndexTrie, ItemIndices};
+    use lcrec_text::Vocab;
+
+    // Tiny is the smoke configuration: one micro tier, micro LM.
+    let specs: Vec<(String, ScaleConfig, Option<ScaleTier>)> = match scale {
+        Scale::Tiny => vec![("test".to_string(), ScaleConfig::tier_test(), None)],
+        Scale::Small => tiers
+            .iter()
+            .map(|&t| (t.name().to_string(), t.workload(), Some(t)))
+            .collect(),
+    };
+    let shard_counts: Vec<usize> =
+        if shard_counts.is_empty() { DEFAULT_FLEET_SHARDS.to_vec() } else { shard_counts.to_vec() };
+
+    let obs_was_on = lcrec_obs::enabled();
+    lcrec_obs::set_enabled(true);
+
+    let mut rows = Vec::new();
+    for (name, workload, tier) in &specs {
+        let (sizes, codes) = workload.synthetic_codes().expect("tier presets validate");
+        let idx = ItemIndices::new(sizes, codes);
+        let base = Vocab::build([lcrec_serve::ServeConfig::default().template.as_str()], 1);
+        let vocab = ExtendedVocab::new(base, idx);
+        let trie = IndexTrie::build(vocab.indices());
+        let lm = CausalLm::new(crate::setup::scale_lm_config(*tier, vocab.len()));
+
+        let n_requests = match tier {
+            None => 12,
+            Some(ScaleTier::Small) => 48,
+            Some(ScaleTier::Medium) => 24,
+            Some(ScaleTier::Large) => 12,
+        };
+        let popularity = ZipfSampler::new(workload.num_items, workload.zipf_exponent)
+            .expect("tier presets validate");
+        // Replayed open-loop traffic, keyed by user id — the router needs
+        // the id to place each request on the ring.
+        let traffic: Vec<(u64, Vec<u32>)> = workload
+            .replay()
+            .expect("tier presets validate")
+            .take(n_requests)
+            .map(|user| (user as u64, workload.generate_user(&popularity, user)))
+            .collect();
+        let k = 5usize;
+        let shard_cfg = |queue_cap: usize| lcrec_serve::ServeConfig {
+            max_batch: 8,
+            queue_cap: queue_cap.max(1),
+            max_wait_ms: 0,
+            ..lcrec_serve::ServeConfig::default()
+        };
+
+        // Direct-engine baseline: the same traffic through one bare
+        // engine, in arrival order. Its per-request rankings are the
+        // reference bits every shard count must reproduce.
+        let direct_bits: Vec<Vec<(u32, u32)>> = {
+            let mut engine =
+                lcrec_serve::Engine::new(&lm, &vocab, &trie, shard_cfg(n_requests));
+            for (_, hist) in &traffic {
+                engine.submit(hist, k).expect("queue sized to the load");
+            }
+            engine
+                .flush()
+                .iter()
+                .map(|r| r.ranked.iter().map(|h| (h.item, h.logprob.to_bits())).collect())
+                .collect()
+        };
+
+        for &shards in &shard_counts {
+            lcrec_obs::reset();
+            let cfg = lcrec_serve::RouterConfig {
+                shards,
+                shard: shard_cfg(n_requests),
+                ..lcrec_serve::RouterConfig::default()
+            };
+            let mut router = lcrec_serve::Router::new(&lm, &vocab, &trie, cfg);
+            let t0 = std::time::Instant::now(); // lint: allow(det, reason = "throughput experiment measures wall time by design; rankings are compared bit-for-bit separately")
+            for (user, hist) in &traffic {
+                router.submit(*user, hist, k).expect("per-shard queues sized to the load");
+            }
+            let outcomes = router.flush_outcomes();
+            let wall = t0.elapsed().as_secs_f64();
+
+            // Tickets are issued in arrival order, so slotting responses
+            // by ticket id aligns them with the baseline's arrival order.
+            let mut bits: Vec<Vec<(u32, u32)>> = vec![Vec::new(); traffic.len()];
+            let mut lats: Vec<f64> = Vec::with_capacity(traffic.len());
+            let mut completed = 0usize;
+            for o in &outcomes {
+                if let lcrec_serve::RouterOutcome::Completed { response, .. } = o {
+                    completed += 1;
+                    lats.push(response.latency_s);
+                    if let Some(slot) = bits.get_mut(response.id as usize) {
+                        *slot = response
+                            .ranked
+                            .iter()
+                            .map(|h| (h.item, h.logprob.to_bits()))
+                            .collect();
+                    }
+                }
+            }
+            assert_eq!(completed, traffic.len(), "no deadline, queues sized: all complete");
+            assert_eq!(router.pending_len(), 0, "every ticket resolved exactly once");
+            lats.sort_by(f64::total_cmp);
+            let pct = |q: f64| -> f64 {
+                if lats.is_empty() {
+                    return f64::NAN;
+                }
+                let i = ((lats.len() - 1) as f64 * q).round() as usize;
+                *lats.get(i).unwrap_or(&f64::NAN)
+            };
+            let snap = lcrec_obs::snapshot();
+            let per_shard: Vec<String> = (0..shards)
+                .map(|s| snap.counter(&format!("router.shard{s}.requests")).to_string())
+                .collect();
+            rows.push(vec![
+                name.clone(),
+                shards.to_string(),
+                n_requests.to_string(),
+                format!("{:.1}", n_requests as f64 / wall.max(1e-9)),
+                format!("{:.1}ms", pct(0.50) * 1e3),
+                format!("{:.1}ms", pct(0.99) * 1e3),
+                per_shard.join("/"),
+                if bits == direct_bits { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    lcrec_obs::set_enabled(obs_was_on);
+
+    let md = format!(
+        "## Extra — sharded serving fleet (`lcrec-serve::router`)\n\n\
+         The scale tiers' Zipf-replayed traffic routed through the\n\
+         consistent-hash `Router` at each shard count: every user id maps\n\
+         to a shard via the seeded ring, each shard runs its own bounded\n\
+         `Engine` (`max_batch = 8`), and `per-shard reqs` is the admission\n\
+         split the `router.shard<N>.requests` obs counters recorded. All\n\
+         shards run in one process on one CPU, so sharding adds routing\n\
+         overhead rather than parallel speedup here — the column that\n\
+         matters is `bit-identical`: every ranking and log-prob bit must\n\
+         match a direct single-`Engine` run of the same traffic, at every\n\
+         shard count (see docs/FLEET.md; hedging and hot-swap semantics\n\
+         are exercised by tests/fleet.rs).\n\n{}",
+        markdown_table(
+            &["tier", "shards", "requests", "req/s", "p50", "p99", "per-shard reqs", "bit-identical"],
+            &rows
+        )
+    );
+    ExpOutput::text(md)
+}
+
 struct BeamRanker<'a> {
     model: &'a LcRec,
     builder: InstructionBuilder<'a>,

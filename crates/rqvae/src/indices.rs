@@ -368,20 +368,20 @@ impl PointerTrie {
     fn insert(&mut self, codes: &[u16], item: u32) {
         let mut node = 0usize;
         for &c in codes {
-            let next = match self.children[node].get(&c) {
+            let next = match self.children[node].get(&c) { // lint: allow(panic, reason = "node is 0 (created in build) or a child id stored when that node was pushed, so it is always < children.len()")
                 Some(&n) => n,
                 None => {
                     self.children.push(HashMap::new());
                     self.items.push(None);
                     let id = self.children.len() - 1;
-                    self.children[node].insert(c, id);
+                    self.children[node].insert(c, id); // lint: allow(panic, reason = "node predates the push above, so it stays in bounds after the vec grew")
                     id
                 }
             };
             node = next;
         }
-        if self.items[node].is_none() {
-            self.items[node] = Some(item);
+        if self.items[node].is_none() { // lint: allow(panic, reason = "items grows in lockstep with children, so every node id indexes both")
+            self.items[node] = Some(item); // lint: allow(panic, reason = "items grows in lockstep with children, so every node id indexes both")
         }
     }
 

@@ -35,6 +35,10 @@
 
 #![warn(missing_docs)]
 
+pub mod router;
+
+pub use router::{Ring, Router, RouterConfig, RouterOutcome, RouterReject, HEDGE_ENV, SHARDS_ENV};
+
 use lcrec_core::{
     multi_constrained_beam_search_scratch, CausalLm, DecodeScratch, ExtendedVocab, Hypothesis,
     LcRec,
@@ -122,7 +126,10 @@ impl ServeConfig {
     }
 }
 
-fn env_usize(name: &str) -> Option<usize> {
+/// Shared env-var parsing for this crate's gate module (`detlint` allows
+/// environment reads only here, so [`router::RouterConfig::from_env`]
+/// calls back into this helper).
+pub(crate) fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| v.trim().parse::<usize>().ok())
 }
 
@@ -356,6 +363,13 @@ impl<'a> Engine<'a> {
     pub fn with_backoff(mut self, backoff: Backoff) -> Self {
         self.backoff = backoff;
         self
+    }
+
+    /// Replaces the fault plan in place. [`Router`] uses this to give
+    /// every shard a plan derived from one spec but a shard-distinct
+    /// seed, so replicas do not hiccup in lockstep.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
     }
 
     /// An engine over a trained [`LcRec`] model's LM, vocabulary and trie.

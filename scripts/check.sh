@@ -27,15 +27,19 @@
 #      at the smallest tier (tiny → the test tier) — the grep asserts
 #      the batched run stayed bit-identical to the sequential baseline
 #      (see docs/PERFORMANCE.md, "Scale tiers");
-#   8. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
+#   8. a fleet smoke-run: the same traffic through the consistent-hash
+#      router at shard counts 1, 2 and 4 — the grep asserts every shard
+#      count stayed bit-identical to the direct-engine baseline (see
+#      docs/FLEET.md);
+#   9. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
 #      call-graph panic reachability (panicscan), determinism hazards
 #      (detlint), public-API doc coverage and the env-var documentation
 #      gate; and
-#   9. a warning-free `cargo doc` build of the whole workspace.
+#  10. a warning-free `cargo doc` build of the whole workspace.
 #
 # Usage: scripts/check.sh [analysis-only|scale-tests-only]
 #
-#   analysis-only     run only stage 8 (seconds instead of minutes) — the
+#   analysis-only     run only stage 9 (seconds instead of minutes) — the
 #                     right loop when iterating on lint annotations or on
 #                     the analysis passes themselves.
 #   scale-tests-only  run only the scale-invariance suite (tests/scale.rs)
@@ -117,6 +121,15 @@ cargo run --release --quiet -p lcrec-bench --bin repro -- \
 grep -q "bit-identical" target/check-scale/scale.md
 if grep -q "| NO |" target/check-scale/scale.md; then
   echo "scale smoke-run: batched serving diverged from the sequential baseline" >&2
+  exit 1
+fi
+
+echo "== fleet smoke-run (shard counts 1, 2, 4) =="
+cargo run --release --quiet -p lcrec-bench --bin repro -- \
+  --exp fleet --scale tiny --out target/check-fleet > /dev/null
+grep -q "bit-identical" target/check-fleet/fleet.md
+if grep -q "| NO |" target/check-fleet/fleet.md; then
+  echo "fleet smoke-run: sharded routing diverged from the direct-engine baseline" >&2
   exit 1
 fi
 

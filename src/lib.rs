@@ -81,7 +81,10 @@ pub mod prelude {
         build_indices, IndexTrie, IndexerKind, ItemIndices, RqVae, RqVaeConfig,
     };
     pub use lcrec_seqrec::{RecConfig, SasRec, ScoreModel, ScoreRanker, TrainingPairs};
-    pub use lcrec_serve::{Engine, Outcome, Reject, Response, ServeConfig, TimeoutReason};
+    pub use lcrec_serve::{
+        Engine, Outcome, Reject, Response, Ring, Router, RouterConfig, RouterOutcome,
+        RouterReject, ServeConfig, TimeoutReason,
+    };
     pub use lcrec_tensor::{Graph, ParamStore, Tensor};
     pub use lcrec_text::{TextEncoder, TextGen, Vocab};
 }
