@@ -58,6 +58,8 @@ pub const EXAMPLE_REQUIRED: &[(&str, &str)] = &[
     ("crates/tensor/src/backend.rs", "active_backend"),
     ("crates/data/src/scale.rs", "ScaleConfig"),
     ("crates/tensor/src/serialize.rs", "load_params_file"),
+    ("crates/rqvae/src/catalog.rs", "CatalogUpdater"),
+    ("crates/core/src/snapshot.rs", "CatalogTrie"),
 ];
 
 /// One undocumented public item.

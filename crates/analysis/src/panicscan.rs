@@ -57,6 +57,7 @@ pub const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
     (Some("Router"), "flush"),
     (Some("Router"), "flush_outcomes"),
     (Some("Router"), "hot_swap"),
+    (Some("Router"), "swap_catalog"),
     (Some("Ring"), "primary"),
     (Some("Ring"), "replica_cycle"),
     (None, "constrained_beam_search"),
@@ -71,6 +72,19 @@ pub const ENTRY_POINTS: &[(Option<&str>, &str)] = &[
     (Some("IndexTrie"), "allowed_slice"),
     (Some("IndexTrie"), "item_at"),
     (Some("IndexTrie"), "levels"),
+    (Some("IndexTrie"), "try_build"),
+    (Some("CatalogTrie"), "insert"),
+    (Some("CatalogTrie"), "snapshot"),
+    (Some("CatalogTrie"), "snapshot_at"),
+    // `CatalogUpdater::{quantize, admit}` are deliberately NOT entry
+    // points: they run the RQ-VAE encoder forward pass, and the tensor
+    // kernels (like every NN forward, e.g. `RqVae::encode`) are outside
+    // the declared panic-free surface. The trie side of admission is in.
+    (Some("CatalogTrie"), "materialize"),
+    (Some("CatalogTrie"), "materialize_at"),
+    (Some("TrieSnapshot"), "allowed_slice"),
+    (Some("TrieSnapshot"), "item_at"),
+    (Some("TrieSnapshot"), "materialize"),
     (Some("Pool"), "map"),
     (Some("Pool"), "map_range"),
     (Some("Pool"), "map_reduce"),

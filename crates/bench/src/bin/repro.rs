@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|fleet|all \
+//! repro --exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|fleet|evolve|all \
 //!       [--scale tiny|small] [--tier small|medium|large|all] \
 //!       [--shards N[,N…]|all] [--out results]
 //! ```
@@ -66,7 +66,7 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "decode", "chaos", "scale", "fleet"];
+    let all = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "sweeps", "scaling", "calib", "profile", "serve", "decode", "chaos", "scale", "fleet", "evolve"];
     // `--exp` accepts a single id, a comma-separated list (run in the
     // given order, sharing the in-process model cache), or "all".
     let selected: Vec<&str> = if which == "all" {
@@ -104,6 +104,7 @@ fn main() {
             "chaos" => exp::chaos(scale),
             "scale" => exp::scale_tiers(scale, &tiers),
             "fleet" => exp::fleet(scale, &tiers, &shards),
+            "evolve" => exp::evolve(scale),
             _ => unreachable!(),
         };
         println!("{}", output.markdown);
@@ -162,7 +163,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|fleet|all] \
+        "usage: repro [--exp table2|table3|table4|fig2|fig3|fig4|table5|fig5|fig6|sweeps|scaling|calib|profile|serve|decode|chaos|scale|fleet|evolve|all] \
          [--scale tiny|small] [--tier small|medium|large|all] [--shards N[,N…]|all] [--out DIR]"
     );
     std::process::exit(2);

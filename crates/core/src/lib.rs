@@ -14,6 +14,7 @@ pub mod casestudy;
 pub mod lcrec;
 pub mod lm;
 pub mod p5cid;
+pub mod snapshot;
 pub mod tiger;
 pub mod vocab;
 pub mod zeroshot;
@@ -28,6 +29,7 @@ pub use lm::{
     dense_batch_order, train_lm, CausalLm, DecodeScratch, KvCache, LmConfig, LmTrainConfig,
 };
 pub use p5cid::{collaborative_indices, P5Cid, P5CidConfig};
+pub use snapshot::{CatalogTrie, TrieSnapshot};
 pub use tiger::{Tiger, TigerConfig};
 pub use vocab::ExtendedVocab;
 pub use zeroshot::TextSimilarityScorer;

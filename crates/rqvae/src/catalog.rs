@@ -1,0 +1,334 @@
+//! Incremental catalog admission: assign semantic IDs to **new** items
+//! against a frozen RQ-VAE (ROADMAP item 4, "online catalog evolution").
+//!
+//! Training-time index construction ([`RqVae::build_indices`]) quantizes
+//! the whole catalog at once and resolves conflicts globally. Production
+//! catalogs mutate constantly, so [`CatalogUpdater`] replays the same
+//! two-stage scheme one item at a time: greedy nearest-codeword
+//! quantization (Eqn. 1–2) for the proposed path, then — only when the
+//! full path is already bound — a per-cohort relocation step that reuses
+//! the Sinkhorn transport machinery of the training-time conflict
+//! resolver. The arithmetic is shared with the training path
+//! (`model::nearest`, [`RqVae::quantize_greedy`]), so re-admitting a
+//! training-set item reproduces its original codes bit-exactly
+//! (`tests/evolution.rs` pins this oracle).
+//!
+//! Admission never mutates existing bindings: an item admitted at epoch
+//! `t` keeps its codes forever, which is what lets the serving layer keep
+//! old trie snapshots valid (see `lcrec_core::CatalogTrie` and
+//! `docs/CATALOG.md`).
+
+use crate::indices::{IndexError, ItemIndices};
+use crate::model::{nearest, RqVae};
+use crate::sinkhorn::{balanced_assign, sinkhorn_plan};
+use lcrec_tensor::linalg::sq_dist;
+use lcrec_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// The outcome of one successful [`CatalogUpdater::admit`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// The item id the catalog assigned (always `indices().len() - 1`).
+    pub item: u32,
+    /// The semantic-ID path the item was bound to.
+    pub codes: Vec<u16>,
+    /// `true` when the greedy path was taken verbatim; `false` when a
+    /// collision forced the last level (or, under overflow, the
+    /// second-to-last level) away from the nearest codeword.
+    pub greedy: bool,
+    /// How many times the item was reseated into a sibling prefix cohort
+    /// because its target cohort had no free leaf slot.
+    pub relocations: usize,
+}
+
+/// Assigns semantic IDs to new items by nearest-codeword quantization
+/// against a **frozen** [`RqVae`], with Sinkhorn-based relocation when the
+/// proposed path is already bound.
+///
+/// The updater owns a growing [`ItemIndices`]; every admitted item gets
+/// the next dense id. Existing bindings are never changed — collisions are
+/// resolved by moving the *new* item to a free sibling slot, and a typed
+/// [`IndexError::SlotsExhausted`] is returned once the relocation budget
+/// is spent with every reachable cohort full.
+///
+/// # Examples
+///
+/// ```
+/// use lcrec_rqvae::{CatalogUpdater, ItemIndices, RqVae, RqVaeConfig};
+///
+/// let mut cfg = RqVaeConfig::small(4, 8);
+/// cfg.levels = 2;
+/// cfg.codebook_size = 4;
+/// cfg.latent_dim = 4;
+/// cfg.hidden = vec![8];
+/// let model = RqVae::new(cfg);
+///
+/// // Start from an empty catalog with the model's code geometry.
+/// let base = ItemIndices::new(vec![4, 4], vec![]);
+/// let mut updater = CatalogUpdater::new(&model, base);
+///
+/// let first = updater.admit(&[0.5, -0.25, 0.125, 1.0]).expect("free slot");
+/// assert_eq!(first.item, 0);
+/// assert!(first.greedy, "an empty catalog admits on the greedy path");
+///
+/// // The same embedding collides on the full path; the new item is
+/// // relocated to a free sibling slot instead of shadowing item 0.
+/// let second = updater.admit(&[0.5, -0.25, 0.125, 1.0]).expect("free slot");
+/// assert_eq!(second.item, 1);
+/// assert_ne!(second.codes, first.codes);
+/// assert_eq!(updater.indices().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CatalogUpdater<'a> {
+    model: &'a RqVae,
+    indices: ItemIndices,
+    /// Full code path → bound item, kept sorted so cohort occupancy is a
+    /// contiguous range scan (and iteration order is deterministic).
+    occupied: BTreeMap<Vec<u16>, u32>,
+}
+
+impl<'a> CatalogUpdater<'a> {
+    /// Wraps a frozen model and the catalog indexed so far. `base` may be
+    /// empty (a catalog built from scratch) or the training-time
+    /// [`RqVae::build_indices`] output. Its geometry must match the
+    /// model's (`levels` × `codebook_size`); mismatches are construction
+    /// bugs and panic like [`ItemIndices::new`] does. If `base` still
+    /// contains full-path conflicts, the lowest item id holds each path —
+    /// the same first-insert-wins rule as [`crate::IndexTrie::build`].
+    pub fn new(model: &'a RqVae, base: ItemIndices) -> CatalogUpdater<'a> {
+        let cfg = model.config();
+        assert_eq!(base.levels, cfg.levels, "catalog levels must match the model");
+        assert!(
+            base.codebook_sizes.iter().all(|&s| s == cfg.codebook_size),
+            "catalog codebook sizes must match the model"
+        );
+        let mut occupied = BTreeMap::new();
+        for (item, codes) in base.codes.iter().enumerate() {
+            occupied.entry(codes.clone()).or_insert(item as u32);
+        }
+        CatalogUpdater { model, indices: base, occupied }
+    }
+
+    /// The catalog indexed so far: the base items plus every admission,
+    /// in admission order.
+    pub fn indices(&self) -> &ItemIndices {
+        &self.indices
+    }
+
+    /// Consumes the updater, yielding the grown catalog.
+    pub fn into_indices(self) -> ItemIndices {
+        self.indices
+    }
+
+    /// Number of items currently indexed.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no item has been indexed yet.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Greedy nearest-codeword quantization of one text embedding — the
+    /// codes the item *wants*, before any collision handling. Exactly the
+    /// training-time arithmetic ([`RqVae::quantize_greedy`] on a one-row
+    /// batch), so for items whose training-time assignment was greedy the
+    /// result is bit-identical to their original semantic IDs.
+    pub fn quantize(&self, embedding: &[f32]) -> Result<Vec<u16>, IndexError> {
+        let (codes, _z) = self.encode_and_quantize(embedding)?;
+        Ok(codes)
+    }
+
+    /// Admits one new item: quantize, resolve any collision, bind the
+    /// next dense item id to the final path. Existing bindings are never
+    /// touched. Fails with [`IndexError::DimensionMismatch`] on a wrong
+    /// embedding width and [`IndexError::SlotsExhausted`] when the
+    /// relocation budget runs out with every reachable cohort full (the
+    /// catalog is effectively at code-space capacity around that prefix).
+    pub fn admit(&mut self, embedding: &[f32]) -> Result<Admission, IndexError> {
+        let (greedy_codes, z) = self.encode_and_quantize(embedding)?;
+        let h = self.indices.levels;
+        let k = self.model.config().codebook_size;
+        let mut codes = greedy_codes;
+        let mut relocations = 0usize;
+        let mut greedy = true;
+        // Mirrors the round structure of the training-time conflict
+        // resolver: each round either lands the item (free path, or a
+        // Sinkhorn-picked free leaf in its cohort) or relocates it into a
+        // sibling cohort via the level-(H-2) code; the budget bounds
+        // pathological near-full catalogs.
+        for round in 0..(2 * k + 4) {
+            if !self.occupied.contains_key(&codes) {
+                return Ok(self.bind(codes, greedy, relocations));
+            }
+            if greedy {
+                lcrec_obs::counter_add("catalog.collisions", 1);
+                greedy = false;
+            }
+            let prefix: Vec<u16> = codes.iter().take(h.saturating_sub(1)).copied().collect();
+            let free = self.free_leaf_codes(&prefix, k);
+            if !free.is_empty() {
+                // Transport the item onto the cohort's free codes — the
+                // same Sinkhorn-balanced assignment the training-time
+                // resolver uses, degenerate single-row case.
+                let book = self.model.codebook(h - 1);
+                let snapshot = [codes.clone()];
+                let r = self.model.residual_at(&z, &snapshot, 0, h - 1);
+                let cost: Vec<f32> =
+                    free.iter().map(|&c| sq_dist(&r, book.row(c as usize))).collect();
+                let cost = Tensor::new(&[1, free.len()], cost);
+                let plan = sinkhorn_plan(&cost, self.model.config().sinkhorn);
+                let pick = balanced_assign(&plan).first().copied().unwrap_or(0) as usize;
+                if let (Some(&code), Some(slot)) = (free.get(pick), codes.last_mut()) {
+                    *slot = code;
+                }
+                return Ok(self.bind(codes, false, relocations));
+            }
+            if h < 2 {
+                return Err(IndexError::SlotsExhausted { prefix });
+            }
+            // Cohort full: reseat into a sibling prefix by walking the
+            // level-(H-2) codeword ranking further down each round, then
+            // re-aim the last level greedily inside the new cohort.
+            relocations += 1;
+            lcrec_obs::counter_add("catalog.relocations", 1);
+            let up_book = self.model.codebook(h - 2);
+            let snapshot = [codes.clone()];
+            let r = self.model.residual_at(&z, &snapshot, 0, h - 2);
+            let mut ranked: Vec<usize> = (0..k).collect();
+            ranked.sort_by(|&a, &b| {
+                sq_dist(&r, up_book.row(a))
+                    .partial_cmp(&sq_dist(&r, up_book.row(b)))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let next = ranked.get((1 + round) % k).copied().unwrap_or(0);
+            if let Some(slot) = codes.get_mut(h - 2) {
+                *slot = next as u16;
+            }
+            let snapshot = [codes.clone()];
+            let r_last = self.model.residual_at(&z, &snapshot, 0, h - 1);
+            let (best, _) = nearest(self.model.codebook(h - 1), &r_last);
+            if let Some(slot) = codes.last_mut() {
+                *slot = best as u16;
+            }
+        }
+        let prefix: Vec<u16> = codes.iter().take(h.saturating_sub(1)).copied().collect();
+        Err(IndexError::SlotsExhausted { prefix })
+    }
+
+    /// Encodes one embedding and greedy-quantizes it; returns the codes
+    /// and the one-row latent (needed for residual arithmetic later).
+    fn encode_and_quantize(&self, embedding: &[f32]) -> Result<(Vec<u16>, Tensor), IndexError> {
+        let dim = self.model.config().input_dim;
+        if embedding.len() != dim {
+            return Err(IndexError::DimensionMismatch { expected: dim, got: embedding.len() });
+        }
+        let e = Tensor::new(&[1, dim], embedding.to_vec());
+        let z = self.model.encode(&e);
+        let (codes, _) = self.model.quantize_greedy(&z);
+        let codes = codes.into_iter().next().unwrap_or_default();
+        Ok((codes, z))
+    }
+
+    /// Last-level codes still free inside the `prefix` cohort, ascending.
+    fn free_leaf_codes(&self, prefix: &[u16], k: usize) -> Vec<u16> {
+        let mut used = vec![false; k];
+        let mut lo = prefix.to_vec();
+        lo.push(0);
+        for (path, _) in self.occupied.range(lo..) {
+            if !path.starts_with(prefix) {
+                break;
+            }
+            if let Some(&c) = path.last() {
+                if let Some(u) = used.get_mut(c as usize) {
+                    *u = true;
+                }
+            }
+        }
+        (0..k as u16).filter(|&c| !used.get(c as usize).copied().unwrap_or(true)).collect()
+    }
+
+    /// Binds the next dense item id to `codes` and records the admission.
+    fn bind(&mut self, codes: Vec<u16>, greedy: bool, relocations: usize) -> Admission {
+        let item = self.indices.codes.len() as u32;
+        self.indices.codes.push(codes.clone());
+        self.occupied.insert(codes.clone(), item);
+        lcrec_obs::counter_add("catalog.admitted", 1);
+        Admission { item, codes, greedy, relocations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RqVaeConfig;
+
+    fn tiny_model(levels: usize, k: usize) -> RqVae {
+        let mut cfg = RqVaeConfig::small(6, 16);
+        cfg.levels = levels;
+        cfg.codebook_size = k;
+        cfg.latent_dim = 4;
+        cfg.hidden = vec![8];
+        cfg.seed = 9;
+        RqVae::new(cfg)
+    }
+
+    fn empty_base(levels: usize, k: usize) -> ItemIndices {
+        ItemIndices::new(vec![k; levels], vec![])
+    }
+
+    #[test]
+    fn admission_assigns_dense_ids_and_free_paths_verbatim() {
+        let model = tiny_model(3, 4);
+        let mut up = CatalogUpdater::new(&model, empty_base(3, 4));
+        let e = [0.3, -0.7, 1.1, 0.0, 0.5, -0.2];
+        let want = up.quantize(&e).expect("dimension matches");
+        let adm = up.admit(&e).expect("empty catalog admits");
+        assert_eq!(adm.item, 0);
+        assert_eq!(adm.codes, want, "free path keeps the greedy codes");
+        assert!(adm.greedy);
+        assert_eq!(adm.relocations, 0);
+    }
+
+    #[test]
+    fn collisions_relocate_without_touching_existing_bindings() {
+        let model = tiny_model(3, 4);
+        let mut up = CatalogUpdater::new(&model, empty_base(3, 4));
+        let e = [0.3, -0.7, 1.1, 0.0, 0.5, -0.2];
+        let first = up.admit(&e).expect("empty catalog admits");
+        let second = up.admit(&e).expect("cohort has free slots");
+        assert_ne!(first.codes, second.codes);
+        assert!(!second.greedy);
+        assert_eq!(up.indices().of(0), first.codes.as_slice(), "item 0 untouched");
+        assert!(up.indices().is_unique());
+    }
+
+    #[test]
+    fn exhausted_code_space_is_a_typed_error() {
+        // 2 levels × K=2 → 4 leaf slots total; the 5th admission of the
+        // same embedding must fail with SlotsExhausted, not loop or panic.
+        let model = tiny_model(2, 2);
+        let mut up = CatalogUpdater::new(&model, empty_base(2, 2));
+        let e = [0.3, -0.7, 1.1, 0.0, 0.5, -0.2];
+        for _ in 0..4 {
+            up.admit(&e).expect("capacity remains");
+        }
+        assert!(up.indices().is_unique());
+        match up.admit(&e) {
+            Err(IndexError::SlotsExhausted { .. }) => {}
+            other => panic!("expected SlotsExhausted, got {other:?}"),
+        }
+        assert_eq!(up.len(), 4, "failed admission binds nothing");
+    }
+
+    #[test]
+    fn wrong_embedding_width_is_a_typed_error() {
+        let model = tiny_model(2, 4);
+        let mut up = CatalogUpdater::new(&model, empty_base(2, 4));
+        match up.admit(&[1.0, 2.0]) {
+            Err(IndexError::DimensionMismatch { expected: 6, got: 2 }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+}

@@ -2,12 +2,84 @@
 
 use std::collections::HashMap;
 
+/// Typed failures of catalog indexing operations: checked trie
+/// construction ([`IndexTrie::try_build`]), copy-on-write inserts
+/// (`lcrec_core::CatalogTrie`) and incremental admission
+/// (`crate::CatalogUpdater`). Every variant names the offending item or
+/// code path, so callers can log or surface the exact conflict instead of
+/// silently shadowing it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexError {
+    /// The item id is already bound to a code path in this index.
+    DuplicateItem {
+        /// The already-bound item id.
+        item: u32,
+    },
+    /// The full code path is already bound to another item.
+    PathOccupied {
+        /// The contested code path.
+        codes: Vec<u16>,
+        /// The item currently bound to it.
+        bound: u32,
+    },
+    /// A code path's depth does not match the index's level count.
+    LevelMismatch {
+        /// Levels the index expects.
+        expected: usize,
+        /// Levels the caller supplied.
+        got: usize,
+    },
+    /// An embedding's dimension does not match the model's input width.
+    DimensionMismatch {
+        /// Dimension the model expects.
+        expected: usize,
+        /// Dimension the caller supplied.
+        got: usize,
+    },
+    /// Conflict resolution ran out of leaf slots: every cohort reachable
+    /// within the relocation budget is full.
+    SlotsExhausted {
+        /// The prefix cohort the item last tried to land in.
+        prefix: Vec<u16>,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::DuplicateItem { item } => {
+                write!(f, "item {item} is already bound to a code path")
+            }
+            IndexError::PathOccupied { codes, bound } => {
+                let path: Vec<String> = codes.iter().map(|c| c.to_string()).collect();
+                write!(f, "code path {} is already bound to item {bound}", path.join("."))
+            }
+            IndexError::LevelMismatch { expected, got } => {
+                write!(f, "code path has {got} levels, index expects {expected}")
+            }
+            IndexError::DimensionMismatch { expected, got } => {
+                write!(f, "embedding has dimension {got}, model expects {expected}")
+            }
+            IndexError::SlotsExhausted { prefix } => {
+                let path: Vec<String> = prefix.iter().map(|c| c.to_string()).collect();
+                write!(
+                    f,
+                    "no free leaf slot within the relocation budget (last cohort [{}])",
+                    path.join(".")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
 /// The learned multi-level indices of a whole catalog.
 ///
 /// `codes[item][level]` is the codeword chosen at that level. The paper's
 /// notation `<a_12><b_3><c_41><d_9>` corresponds to
 /// `codes[item] = [12, 3, 41, 9]` with `levels = 4`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ItemIndices {
     /// Number of levels `H`.
     pub levels: usize,
@@ -150,7 +222,7 @@ impl ItemIndices {
 /// assert_eq!(trie.item_at(&[0, 3]), Some(1));
 /// assert_eq!(trie.item_at(&[2, 3]), None);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexTrie {
     levels: usize,
     /// Node `n`'s edges are `edge_codes[child_start[n]..child_start[n+1]]`
@@ -175,6 +247,29 @@ impl IndexTrie {
             .map(|(item, codes)| (codes.clone(), item as u32))
             .collect();
         IndexTrie::from_paths(indices.levels, paths)
+    }
+
+    /// [`IndexTrie::build`] with conflicts surfaced instead of swallowed:
+    /// when two items share a full code path the silent first-insert-wins
+    /// rule is replaced by a typed [`IndexError::PathOccupied`] naming the
+    /// contested path and the item already bound to it. On a conflict-free
+    /// input the result is node-for-node identical to [`IndexTrie::build`].
+    pub fn try_build(indices: &ItemIndices) -> Result<Self, IndexError> {
+        let mut paths: Vec<(Vec<u16>, u32)> = indices
+            .codes
+            .iter()
+            .enumerate()
+            .map(|(item, codes)| (codes.clone(), item as u32))
+            .collect();
+        paths.sort_by(|a, b| a.0.cmp(&b.0));
+        for w in paths.windows(2) {
+            if let [(pa, ia), (pb, _)] = w {
+                if pa == pb {
+                    return Err(IndexError::PathOccupied { codes: pa.clone(), bound: *ia });
+                }
+            }
+        }
+        Ok(IndexTrie::from_paths(indices.levels, paths))
     }
 
     /// CSR construction from full code paths: stable-sort by code path
@@ -490,6 +585,21 @@ mod tests {
         assert_eq!(trie.item_at(&[3, 0, 0]), Some(3));
         assert_eq!(trie.item_at(&[1, 1, 1]), None);
         assert_eq!(trie.item_at(&[0, 1]), None, "partial index is not an item");
+    }
+
+    #[test]
+    fn try_build_rejects_full_path_collisions() {
+        let dup = ItemIndices::new(vec![2, 2], vec![vec![0, 1], vec![0, 1], vec![1, 0]]);
+        match IndexTrie::try_build(&dup) {
+            Err(IndexError::PathOccupied { codes, bound }) => {
+                assert_eq!(codes, vec![0, 1]);
+                assert_eq!(bound, 0, "the first-bound item is named");
+            }
+            other => panic!("expected PathOccupied, got {other:?}"),
+        }
+        let idx = sample();
+        let checked = IndexTrie::try_build(&idx).expect("conflict-free input");
+        assert_eq!(checked, IndexTrie::build(&idx), "checked build matches the silent one");
     }
 
     #[test]

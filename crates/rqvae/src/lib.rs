@@ -9,13 +9,15 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod indexers;
 pub mod indices;
 pub mod kmeans;
 pub mod model;
 pub mod sinkhorn;
 
+pub use catalog::{Admission, CatalogUpdater};
 pub use indexers::{build_indices, IndexerKind};
-pub use indices::{IndexTrie, ItemIndices, PointerTrie};
+pub use indices::{IndexError, IndexTrie, ItemIndices, PointerTrie};
 pub use model::{RqVae, RqVaeConfig, TrainCursor, TrainReport};
 pub use sinkhorn::{sinkhorn_plan, uniform_assign, SinkhornConfig};

@@ -613,8 +613,16 @@ impl RqVae {
     }
 
     /// Residual of item `i` entering level `level` (z minus the chosen
-    /// codewords of all earlier levels).
-    fn residual_at(&self, z: &Tensor, codes: &[Vec<u16>], i: usize, level: usize) -> Vec<f32> {
+    /// codewords of all earlier levels). Shared with the incremental
+    /// admission path (`crate::catalog`), which must reproduce the exact
+    /// training-time arithmetic.
+    pub(crate) fn residual_at(
+        &self,
+        z: &Tensor,
+        codes: &[Vec<u16>],
+        i: usize,
+        level: usize,
+    ) -> Vec<f32> {
         let mut r = z.row(i).to_vec();
         for (l, &code) in codes[i][..level].iter().enumerate() {
             let cw = self.ps.value(self.codebooks[l]);
@@ -736,7 +744,9 @@ impl RqVae {
     }
 }
 
-fn nearest(book: &Tensor, row: &[f32]) -> (usize, f32) {
+/// Index and squared distance of the codeword closest to `row`. Shared
+/// with the incremental admission path (`crate::catalog`).
+pub(crate) fn nearest(book: &Tensor, row: &[f32]) -> (usize, f32) {
     let mut best = 0;
     let mut bd = f32::INFINITY;
     for c in 0..book.rows() {

@@ -1,0 +1,169 @@
+//! Bounded incremental fine-tuning ("absorption") of new catalog items.
+//!
+//! When the catalog grows online (see `docs/CATALOG.md`), the sequential
+//! recommender should learn the new items **without retraining the
+//! world**. The absorb loop wraps the resumable train/resume cursors of
+//! [`crate::common`] with a hard step budget: run at most `max_steps`
+//! optimizer batches over the post-admission training pairs, checkpoint
+//! at any batch boundary, and resume bit-identically to an uninterrupted
+//! run — the exact same contract as full training, just bounded.
+//!
+//! The budget is in *batches*, not epochs, so the serving side can absorb
+//! N new items in K bounded steps on a schedule regardless of dataset
+//! size (`repro --exp evolve` measures recall-on-new-items before and
+//! after one absorption pass).
+
+use crate::common::{train_begin, train_tick, NextItemModel, SeqTrainCursor, TrainingPairs};
+use lcrec_par::Pool;
+
+/// Everything a bounded absorption run carries across batches: the
+/// underlying resumable [`SeqTrainCursor`] plus the step budget and how
+/// much of it is spent. Checkpoint with [`save_absorb_checkpoint`] and
+/// resume with [`load_absorb_checkpoint`]; any stop/resume sequence is
+/// bit-identical to never stopping (`tests/evolution.rs` pins this).
+#[derive(Debug)]
+pub struct AbsorbCursor {
+    inner: SeqTrainCursor,
+    steps_done: u64,
+    max_steps: u64,
+}
+
+impl AbsorbCursor {
+    /// Optimizer batches run so far (≤ [`AbsorbCursor::max_steps`]).
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// The hard step budget this run was started with.
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// The underlying resumable training cursor (epoch/batch position and
+    /// per-epoch losses so far).
+    pub fn inner(&self) -> &SeqTrainCursor {
+        &self.inner
+    }
+}
+
+/// Starts a bounded absorption run: at most `max_steps` optimizer batches
+/// over whatever pairs are passed to [`absorb_tick`]. Absorption is plain
+/// (resumable) training with a budget, so the model keeps its existing
+/// parameters — only the incremental gradient steps are applied.
+pub fn absorb_begin<M: NextItemModel>(model: &M, max_steps: u64) -> AbsorbCursor {
+    AbsorbCursor { inner: train_begin(model), steps_done: 0, max_steps }
+}
+
+/// Runs **one** absorption batch and returns `true` while budget and work
+/// remain. Identical arithmetic to [`train_tick`] — same batch order,
+/// dropout streams and gradient summation — so absorption inherits the
+/// bit-identical stop/resume contract.
+pub fn absorb_tick<M: NextItemModel>(
+    pool: &Pool,
+    model: &mut M,
+    pairs: &TrainingPairs,
+    cursor: &mut AbsorbCursor,
+) -> bool {
+    if cursor.steps_done >= cursor.max_steps {
+        return false;
+    }
+    let more = train_tick(pool, model, pairs, &mut cursor.inner);
+    cursor.steps_done += 1;
+    lcrec_obs::counter_add("catalog.absorb_steps", 1);
+    more && cursor.steps_done < cursor.max_steps
+}
+
+/// Runs a bounded absorption pass to completion (budget spent or training
+/// finished) and returns the final cursor. Equivalent to
+/// [`absorb_begin`] + [`absorb_tick`] in a loop.
+pub fn absorb_with<M: NextItemModel>(
+    pool: &Pool,
+    model: &mut M,
+    pairs: &TrainingPairs,
+    max_steps: u64,
+) -> AbsorbCursor {
+    let _span = lcrec_obs::span("seqrec.absorb");
+    let mut cursor = absorb_begin(model, max_steps);
+    while absorb_tick(pool, model, pairs, &mut cursor) {}
+    cursor
+}
+
+/// Writes a crash-safe mid-absorption snapshot: model parameters, AdamW
+/// state, the inner training cursor and the step budget/progress, sealed
+/// with the checkpoint trailer from `lcrec_tensor::serialize`.
+pub fn save_absorb_checkpoint<M: NextItemModel>(
+    model: &M,
+    cursor: &AbsorbCursor,
+    w: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    let mut extra = Vec::new();
+    extra.extend_from_slice(&cursor.steps_done.to_le_bytes());
+    extra.extend_from_slice(&cursor.max_steps.to_le_bytes());
+    extra.extend_from_slice(&cursor.inner.to_blob());
+    lcrec_tensor::serialize::save_train_state(model.store(), cursor.inner.opt(), &extra, w)
+}
+
+/// Restores a snapshot written by [`save_absorb_checkpoint`] into an
+/// architecturally identical model and returns the cursor to continue
+/// [`absorb_tick`]-ing from. On any corruption the model is left
+/// untouched and a typed error is returned.
+pub fn load_absorb_checkpoint<M: NextItemModel>(
+    model: &mut M,
+    r: &mut impl std::io::Read,
+) -> std::io::Result<AbsorbCursor> {
+    let mut opt = lcrec_tensor::AdamW::new(model.config().lr);
+    let extra = lcrec_tensor::serialize::load_train_state(model.store_mut(), &mut opt, r)?;
+    let malformed =
+        || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed absorb cursor");
+    let steps_done =
+        u64::from_le_bytes(extra.get(0..8).ok_or_else(malformed)?.try_into().map_err(|_| malformed())?);
+    let max_steps =
+        u64::from_le_bytes(extra.get(8..16).ok_or_else(malformed)?.try_into().map_err(|_| malformed())?);
+    let inner = SeqTrainCursor::from_blob(opt, extra.get(16..).ok_or_else(malformed)?)
+        .ok_or_else(malformed)?;
+    Ok(AbsorbCursor { inner, steps_done, max_steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::RecConfig;
+    use crate::sasrec::SasRec;
+    use lcrec_data::{Dataset, DatasetConfig};
+
+    fn fixture() -> (SasRec, TrainingPairs) {
+        let ds = Dataset::generate(&DatasetConfig::tiny());
+        let cfg = RecConfig::test();
+        let pairs = TrainingPairs::build(&ds, cfg.max_len);
+        (SasRec::new(ds.num_items(), cfg), pairs)
+    }
+
+    #[test]
+    fn budget_bounds_the_step_count() {
+        let (mut model, pairs) = fixture();
+        let pool = Pool::new(1);
+        let cursor = absorb_with(&pool, &mut model, &pairs, 3);
+        assert_eq!(cursor.steps_done(), 3);
+        assert_eq!(cursor.max_steps(), 3);
+    }
+
+    #[test]
+    fn absorption_is_prefix_of_full_training() {
+        // K absorb steps must produce exactly the parameters of the first
+        // K batches of an uninterrupted training run.
+        let (mut absorbed, pairs) = fixture();
+        let pool = Pool::new(1);
+        absorb_with(&pool, &mut absorbed, &pairs, 4);
+
+        let (mut trained, _) = fixture();
+        let mut cursor = crate::common::train_begin(&trained);
+        for _ in 0..4 {
+            crate::common::train_tick(&pool, &mut trained, &pairs, &mut cursor);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        lcrec_tensor::serialize::save_params(absorbed.store(), &mut a).expect("in-memory write");
+        lcrec_tensor::serialize::save_params(trained.store(), &mut b).expect("in-memory write");
+        assert_eq!(a, b, "absorption diverged from the training prefix");
+    }
+}

@@ -279,7 +279,13 @@ impl SeqTrainCursor {
         self.losses
     }
 
-    fn to_blob(&self) -> Vec<u8> {
+    /// The optimizer driving this run (shared with the absorb-loop
+    /// checkpoint writer in `crate::absorb`).
+    pub(crate) fn opt(&self) -> &lcrec_tensor::AdamW {
+        &self.opt
+    }
+
+    pub(crate) fn to_blob(&self) -> Vec<u8> {
         let mut b = Vec::new();
         b.extend_from_slice(&(self.epoch as u64).to_le_bytes());
         b.extend_from_slice(&(self.batch as u64).to_le_bytes());
@@ -291,7 +297,7 @@ impl SeqTrainCursor {
         b
     }
 
-    fn from_blob(opt: lcrec_tensor::AdamW, b: &[u8]) -> Option<SeqTrainCursor> {
+    pub(crate) fn from_blob(opt: lcrec_tensor::AdamW, b: &[u8]) -> Option<SeqTrainCursor> {
         let u64_at = |pos: &mut usize| -> Option<u64> {
             let s = b.get(*pos..*pos + 8)?;
             *pos += 8;

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absorb;
 pub mod bert4rec;
 pub mod caser;
 pub mod common;
@@ -19,11 +20,15 @@ pub mod hgn;
 pub mod s3rec;
 pub mod sasrec;
 
+pub use absorb::{
+    absorb_begin, absorb_tick, absorb_with, load_absorb_checkpoint, save_absorb_checkpoint,
+    AbsorbCursor,
+};
 pub use bert4rec::Bert4Rec;
 pub use caser::Caser;
 pub use common::{
-    train_next_item, train_next_item_with, NextItemModel, RecConfig, ScoreModel, ScoreRanker,
-    TrainingPairs,
+    score_single, train_next_item, train_next_item_with, NextItemModel, RecConfig, ScoreModel,
+    ScoreRanker, TrainingPairs,
 };
 pub use dssm::{Dssm, DssmConfig};
 pub use fdsa::Fdsa;

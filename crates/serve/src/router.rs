@@ -290,6 +290,9 @@ pub struct Router<'a> {
     /// `None` falls back to the `LCREC_FAULT` environment plan.
     faults: Option<(Mode, u64, u64)>,
     epoch: u64,
+    /// Catalog epoch of the trie snapshot new admissions decode against
+    /// (see [`Router::swap_catalog`]); 0 until the first catalog swap.
+    catalog_epoch: u64,
 }
 
 impl<'a> Router<'a> {
@@ -341,6 +344,7 @@ impl<'a> Router<'a> {
             backoff: Backoff::default(),
             faults: None,
             epoch: 0,
+            catalog_epoch: 0,
         }
     }
 
@@ -404,6 +408,12 @@ impl<'a> Router<'a> {
     /// on every [`Router::hot_swap`].
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The catalog epoch new admissions decode against — the value passed
+    /// to the latest [`Router::swap_catalog`] call (0 before the first).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
     }
 
     /// Routes a request (user id + history → top-`k` items) to the user's
@@ -566,6 +576,26 @@ impl<'a> Router<'a> {
         }
         self.epoch += 1;
         lcrec_obs::counter_add("router.swaps", 1);
+        out
+    }
+
+    /// [`Router::hot_swap`] for **catalog growth**: flips the fleet to a
+    /// trie materialized from a newer `lcrec_core::CatalogTrie` epoch
+    /// (typically the same `lm`/`vocab` — the code space H × K does not
+    /// change when items are admitted). In-flight batches finish decoding
+    /// against the old snapshot's trie while new admissions see the grown
+    /// one; `catalog_epoch` records which snapshot epoch the fleet now
+    /// serves, and the `catalog.swaps` counter tracks roll-forwards.
+    pub fn swap_catalog(
+        &mut self,
+        lm: &'a CausalLm,
+        vocab: &'a ExtendedVocab,
+        trie: &'a IndexTrie,
+        catalog_epoch: u64,
+    ) -> Vec<RouterOutcome> {
+        let out = self.hot_swap(lm, vocab, trie);
+        self.catalog_epoch = catalog_epoch;
+        lcrec_obs::counter_add("catalog.swaps", 1);
         out
     }
 

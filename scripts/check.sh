@@ -31,11 +31,15 @@
 #      router at shard counts 1, 2 and 4 — the grep asserts every shard
 #      count stayed bit-identical to the direct-engine baseline (see
 #      docs/FLEET.md);
-#   9. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
+#   9. an evolve smoke-run: incremental catalog growth at tiny scale —
+#      the greps assert the copy-on-write trie stayed bit-identical to a
+#      full rebuild AND that the old snapshot still decodes bit-
+#      identically after growth (see docs/CATALOG.md);
+#  10. the dependency-free analysis passes (see docs/ANALYSIS.md): lint,
 #      call-graph panic reachability (panicscan), determinism hazards
 #      (detlint), public-API doc coverage and the env-var documentation
 #      gate; and
-#  10. a warning-free `cargo doc` build of the whole workspace.
+#  11. a warning-free `cargo doc` build of the whole workspace.
 #
 # Usage: scripts/check.sh [analysis-only|scale-tests-only]
 #
@@ -130,6 +134,15 @@ cargo run --release --quiet -p lcrec-bench --bin repro -- \
 grep -q "bit-identical" target/check-fleet/fleet.md
 if grep -q "| NO |" target/check-fleet/fleet.md; then
   echo "fleet smoke-run: sharded routing diverged from the direct-engine baseline" >&2
+  exit 1
+fi
+
+echo "== evolve smoke-run (tiny scale) =="
+cargo run --release --quiet -p lcrec-bench --bin repro -- \
+  --exp evolve --scale tiny --out target/check-evolve > /dev/null
+grep -q "bit-identical" target/check-evolve/evolve.md
+if grep -q "| NO |" target/check-evolve/evolve.md; then
+  echo "evolve smoke-run: incremental trie or old-snapshot decode diverged" >&2
   exit 1
 fi
 
